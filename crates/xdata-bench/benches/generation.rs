@@ -1,0 +1,130 @@
+//! Criterion benches for end-to-end suite generation — the ablations called
+//! out in DESIGN.md: unfolding on/off across join counts, FK-count effect,
+//! aggregate-dataset cost, and mutant-space enumeration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xdata_bench::{chain_schema, chain_sql};
+use xdata_catalog::DomainCatalog;
+use xdata_core::{generate, GenOptions};
+use xdata_relalg::mutation::{mutation_space, MutationOptions};
+use xdata_relalg::normalize;
+use xdata_solver::Mode;
+use xdata_sql::parse_query;
+
+fn bench_generation_by_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_by_joins");
+    group.sample_size(10);
+    for joins in [1usize, 2, 3, 4] {
+        let k = joins + 1;
+        let schema = chain_schema(k, 0);
+        let q = normalize(&parse_query(&chain_sql(k)).unwrap(), &schema).unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        for (name, mode) in [("unfold", Mode::Unfold), ("lazy", Mode::Lazy)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, joins),
+                &(&q, &schema, &domains),
+                |b, (q, schema, domains)| {
+                    let opts = GenOptions { mode, ..GenOptions::default() };
+                    b.iter(|| generate(q, schema, domains, &opts).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fk_effect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_fk_sweep_3joins");
+    group.sample_size(10);
+    let k = 4;
+    for fks in [0usize, 1, 2, 3] {
+        let schema = chain_schema(k, fks);
+        let q = normalize(&parse_query(&chain_sql(k)).unwrap(), &schema).unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(fks),
+            &(&q, &schema, &domains),
+            |b, (q, schema, domains)| {
+                let opts = GenOptions::default();
+                b.iter(|| generate(q, schema, domains, &opts).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_aggregate_dataset(c: &mut Criterion) {
+    let schema = chain_schema(3, 1);
+    let q = normalize(
+        &parse_query(
+            "SELECT i.dept_id, SUM(i.salary) FROM instructor i, teaches t \
+             WHERE i.id = t.id GROUP BY i.dept_id",
+        )
+        .unwrap(),
+        &schema,
+    )
+    .unwrap();
+    let domains = DomainCatalog::defaults(&schema);
+    c.bench_function("generate_aggregate_query", |b| {
+        let opts = GenOptions::default();
+        b.iter(|| generate(&q, &schema, &domains, &opts).unwrap())
+    });
+}
+
+fn bench_mutation_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutation_space");
+    for joins in [2usize, 3, 4, 5] {
+        let k = joins + 1;
+        let schema = chain_schema(k, 0);
+        let q = normalize(&parse_query(&chain_sql(k)).unwrap(), &schema).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(joins), &q, |b, q| {
+            b.iter(|| mutation_space(q, MutationOptions { include_full: false, include_extensions: false, tree_limit: 20_000 }))
+        });
+    }
+    group.finish();
+}
+
+fn bench_suite_minimization(c: &mut Criterion) {
+    // The §VII future-work feature: greedy set cover over the kill matrix.
+    let schema = chain_schema(4, 2);
+    let q = normalize(&parse_query(&chain_sql(4)).unwrap(), &schema).unwrap();
+    let domains = DomainCatalog::defaults(&schema);
+    let suite = generate(&q, &schema, &domains, &GenOptions::default()).unwrap();
+    let space = mutation_space(
+        &q,
+        MutationOptions { include_full: false, include_extensions: false, tree_limit: 20_000 },
+    );
+    c.bench_function("minimize_suite_3joins", |b| {
+        b.iter(|| xdata_core::minimize_suite(&q, &suite, &space, &schema).unwrap())
+    });
+}
+
+fn bench_having_generation(c: &mut Criterion) {
+    // Constrained aggregation: group construction with COUNT/SUM conjuncts.
+    let schema = chain_schema(2, 0);
+    let q = normalize(
+        &parse_query(
+            "SELECT dept_id, COUNT(*) FROM instructor GROUP BY dept_id \
+             HAVING COUNT(*) > 2 AND SUM(salary) >= 40",
+        )
+        .unwrap(),
+        &schema,
+    )
+    .unwrap();
+    let domains = DomainCatalog::defaults(&schema);
+    c.bench_function("generate_having_query", |b| {
+        let opts = GenOptions::default();
+        b.iter(|| generate(&q, &schema, &domains, &opts).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generation_by_joins,
+    bench_fk_effect,
+    bench_aggregate_dataset,
+    bench_mutation_enumeration,
+    bench_suite_minimization,
+    bench_having_generation
+);
+criterion_main!(benches);

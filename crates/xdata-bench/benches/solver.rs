@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks for the constraint solver: the §VI-B
+//! unfolding ablation at the solver level, plus DPLL/difference-logic
+//! scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xdata_solver::{Atom, Formula, Mode, Problem, RelOp, Term};
+
+/// An FK-shaped problem: `n` referencing tuples, `n+2` referenced tuples,
+/// with domains — the constraint pattern X-Data emits most.
+fn fk_problem(n: u32) -> Problem {
+    let mut p = Problem::new();
+    let r = p.add_array("r", n, 2);
+    let s = p.add_array("s", n + 2, 2);
+    let qi = p.fresh_qvar();
+    let qj = p.fresh_qvar();
+    p.assert(Formula::forall(
+        qi,
+        r,
+        Formula::exists(
+            qj,
+            s,
+            Formula::atom(Term::qfield(r, qi, 0), RelOp::Eq, Term::qfield(s, qj, 0)),
+        ),
+    ));
+    // Domains.
+    for (arr, len) in [(r, n), (s, n + 2)] {
+        for i in 0..len {
+            for f in 0..2 {
+                p.assert(Formula::atom(Term::field(arr, i, f), RelOp::Ge, Term::Const(0)));
+                p.assert(Formula::atom(Term::field(arr, i, f), RelOp::Le, Term::Const(50)));
+            }
+        }
+    }
+    // Primary key FD on s.
+    for i in 0..n + 2 {
+        for j in (i + 1)..n + 2 {
+            let key_eq =
+                Formula::atom(Term::field(s, i, 0), RelOp::Eq, Term::field(s, j, 0));
+            let all_eq = Formula::and((0..2).map(|f| {
+                Formula::Atom(Atom::new(
+                    Term::field(s, i, f),
+                    RelOp::Eq,
+                    Term::field(s, j, f),
+                ))
+            }));
+            p.assert(Formula::or([Formula::not(key_eq), all_eq]));
+        }
+    }
+    p
+}
+
+fn bench_unfold_vs_lazy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantifier_handling");
+    for n in [2u32, 4, 8] {
+        let p = fk_problem(n);
+        group.bench_with_input(BenchmarkId::new("unfold", n), &p, |b, p| {
+            b.iter(|| {
+                let (out, _) = p.solve(Mode::Unfold);
+                assert!(out.is_sat());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", n), &p, |b, p| {
+            b.iter(|| {
+                let (out, _) = p.solve(Mode::Lazy);
+                assert!(out.is_sat());
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Difference-logic chains: x0 < x1 < ... < xn with tight bounds.
+fn bench_diff_logic_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff_logic_chain");
+    for n in [16u32, 64, 256] {
+        let mut p = Problem::new();
+        let a = p.add_array("r", n, 1);
+        for i in 0..n - 1 {
+            p.assert(Formula::atom(
+                Term::field(a, i, 0),
+                RelOp::Lt,
+                Term::field(a, i + 1, 0),
+            ));
+        }
+        p.assert(Formula::atom(Term::field(a, 0, 0), RelOp::Ge, Term::Const(0)));
+        p.assert(Formula::atom(
+            Term::field(a, n - 1, 0),
+            RelOp::Le,
+            Term::Const(n as i64),
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| {
+                let (out, _) = p.solve(Mode::Unfold);
+                assert!(out.is_sat());
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Unsatisfiable nullification-vs-FK conflict: the "equivalent mutant"
+/// detection path (§V-A) must also be fast.
+fn bench_unsat_detection(c: &mut Criterion) {
+    let mut p = fk_problem(4);
+    // Nullify every s-key against r[0]'s key: contradicts the FK.
+    let (r, s) = (xdata_solver::ArrayId(0), xdata_solver::ArrayId(1));
+    let q = p.fresh_qvar();
+    p.assert(Formula::not_exists(
+        q,
+        s,
+        Formula::atom(Term::qfield(s, q, 0), RelOp::Eq, Term::field(r, 0, 0)),
+    ));
+    c.bench_function("unsat_equivalent_mutant", |b| {
+        b.iter(|| {
+            let (out, _) = p.solve(Mode::Unfold);
+            assert!(matches!(out, xdata_solver::SolveOutcome::Unsat));
+        })
+    });
+}
+
+criterion_group!(benches, bench_unfold_vs_lazy, bench_diff_logic_chain, bench_unsat_detection);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Shared helpers for the evaluation harness (§VI-C of the paper).
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables:
+//!
+//! * `table1` — inner-join queries, 1–6 joins × foreign-key sweep
+//!   (Table I);
+//! * `table2` — selection/aggregation query mix (Table II);
+//! * `inputdb` — the §VI-C.3 input-database experiment;
+//! * `baseline_cmp` — the §VI-C.1 comparison against reference \[14\]'s
+//!   approach.
+//!
+//! Criterion micro/ablation benches live in `benches/`.
+
+use std::time::{Duration, Instant};
+
+use xdata_catalog::{university, DomainCatalog, Schema};
+use xdata_core::{generate, GenOptions, TestSuite};
+use xdata_engine::kill::kill_report;
+use xdata_relalg::mutation::{mutation_space, MutationOptions};
+use xdata_relalg::{normalize, NormQuery};
+use xdata_solver::Mode;
+use xdata_sql::parse_query;
+
+/// SQL text for the evaluation's canonical chain query over `k` relations
+/// (`k-1` joins): instructor–teaches–course–takes–student–advisor–
+/// department, joined pairwise on the conditions of
+/// [`university::join_chain_condition`].
+pub fn chain_sql(k: usize) -> String {
+    assert!((2..=7).contains(&k), "chain queries span 2..=7 relations");
+    let rels = university::join_chain(k);
+    let mut conds = Vec::new();
+    for i in 0..k - 1 {
+        let (lr, la, rr, ra) = university::join_chain_condition(i);
+        conds.push(format!("{lr}.{la} = {rr}.{ra}"));
+    }
+    format!("SELECT * FROM {} WHERE {}", rels.join(", "), conds.join(" AND "))
+}
+
+/// Number of foreign keys of the full University schema that are relevant
+/// to the first `k` chain relations (the Table I sweep goes from 0 up to
+/// "the number of constraints originally present on relations in the
+/// query").
+pub fn relevant_fk_count(k: usize) -> usize {
+    let rels = university::join_chain(k);
+    let schema = university::schema();
+    schema
+        .foreign_keys()
+        .iter()
+        .filter(|fk| rels.contains(&fk.from.as_str()) && rels.contains(&fk.to.as_str()))
+        .count()
+}
+
+/// A schema keeping only the foreign keys *among* the first `k` chain
+/// relations, truncated to `n` of them.
+pub fn chain_schema(k: usize, n_fks: usize) -> Schema {
+    let rels = university::join_chain(k);
+    let mut schema = university::schema();
+    let keep: Vec<xdata_catalog::ForeignKey> = schema
+        .foreign_keys()
+        .iter()
+        .filter(|fk| rels.contains(&fk.from.as_str()) && rels.contains(&fk.to.as_str()))
+        .take(n_fks)
+        .cloned()
+        .collect();
+    schema.clear_foreign_keys();
+    // Re-add the kept FKs by names.
+    let pairs: Vec<(String, Vec<String>, String, Vec<String>)> = keep
+        .iter()
+        .map(|fk| {
+            let from_rel = schema.relation(&fk.from).expect("relation").clone();
+            let to_rel = schema.relation(&fk.to).expect("relation").clone();
+            (
+                fk.from.clone(),
+                fk.from_cols.iter().map(|c| from_rel.attr(*c).name.clone()).collect(),
+                fk.to.clone(),
+                fk.to_cols.iter().map(|c| to_rel.attr(*c).name.clone()).collect(),
+            )
+        })
+        .collect();
+    for (from, fc, to, tc) in pairs {
+        let fc: Vec<&str> = fc.iter().map(String::as_str).collect();
+        let tc: Vec<&str> = tc.iter().map(String::as_str).collect();
+        schema.add_foreign_key(&from, &fc, &to, &tc).expect("valid kept FK");
+    }
+    schema
+}
+
+/// One evaluation row: generate with the given mode, time it, count
+/// datasets; optionally evaluate the kill matrix.
+pub struct EvalRow {
+    pub datasets: usize,
+    pub skipped: usize,
+    /// Canonically-deduplicated mutant count.
+    pub mutants: usize,
+    /// Killed, counting canonical classes once.
+    pub killed: usize,
+    /// Killed under the paper's raw counting (every `(tree, node, kind)`
+    /// triple across all join orderings counts separately).
+    pub killed_raw: usize,
+    pub time_unfold: Duration,
+    pub time_lazy: Duration,
+}
+
+/// Generation options for benches (synthetic domains, no input DB).
+pub fn bench_opts(mode: Mode) -> GenOptions {
+    GenOptions { mode, input_db: None, compare_attr_pairs: true }
+}
+
+/// Run the full §VI-C loop for one query: time both solver modes, then
+/// check kills (mutation space excludes full-outer mutations, as the
+/// paper's evaluation does).
+pub fn evaluate_query(sql: &str, schema: &Schema, tree_limit: usize) -> EvalRow {
+    let q = normalize(&parse_query(sql).expect("bench SQL parses"), schema)
+        .expect("bench SQL normalizes");
+    let domains = DomainCatalog::defaults(schema);
+
+    let (suite, time_unfold) = timed_generate(&q, schema, &domains, Mode::Unfold);
+    let (_, time_lazy) = timed_generate(&q, schema, &domains, Mode::Lazy);
+
+    let mopts = MutationOptions { include_full: false, include_extensions: false, tree_limit };
+    let space = mutation_space(&q, mopts);
+    let report =
+        kill_report(&q, &space, &suite.data(), schema).expect("kill checking succeeds");
+
+    // Raw counting: join mutants occupy the first `space.join.len()`
+    // indices of the report, each weighted by its multiplicity.
+    let mut killed_raw = 0usize;
+    for (i, k) in report.killed_by.iter().enumerate() {
+        if k.is_none() {
+            continue;
+        }
+        killed_raw += if i < space.join.len() { space.join[i].multiplicity } else { 1 };
+    }
+
+    EvalRow {
+        // The paper's dataset counts exclude the original-query dataset.
+        datasets: suite.datasets.len().saturating_sub(1),
+        skipped: suite.skipped.len(),
+        mutants: space.len(),
+        killed: report.killed_count(),
+        killed_raw,
+        time_unfold,
+        time_lazy,
+    }
+}
+
+/// Generate and time one mode.
+pub fn timed_generate(
+    q: &NormQuery,
+    schema: &Schema,
+    domains: &DomainCatalog,
+    mode: Mode,
+) -> (TestSuite, Duration) {
+    let opts = bench_opts(mode);
+    let start = Instant::now();
+    let suite = generate(q, schema, domains, &opts).expect("generation succeeds");
+    (suite, start.elapsed())
+}
+
+/// Format a duration in seconds with millisecond precision, like the
+/// paper's tables.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_sql_shapes() {
+        let s = chain_sql(2);
+        assert!(s.contains("instructor, teaches"));
+        assert!(s.contains("instructor.id = teaches.id"));
+        let s7 = chain_sql(7);
+        assert!(s7.contains("department"));
+        assert_eq!(s7.matches(" AND ").count(), 5);
+    }
+
+    #[test]
+    fn relevant_fks_grow_with_chain() {
+        assert!(relevant_fk_count(2) >= 1);
+        assert!(relevant_fk_count(7) >= relevant_fk_count(4));
+    }
+
+    #[test]
+    fn chain_schema_keeps_only_relevant() {
+        let s = chain_schema(2, 10);
+        assert_eq!(s.foreign_keys().len(), relevant_fk_count(2));
+        let s0 = chain_schema(4, 0);
+        assert!(s0.foreign_keys().is_empty());
+    }
+
+    #[test]
+    fn evaluate_query_smoke() {
+        let schema = chain_schema(2, 0);
+        let row = evaluate_query(&chain_sql(2), &schema, 10_000);
+        assert_eq!(row.datasets, 2);
+        assert_eq!(row.mutants, 2);
+        assert_eq!(row.killed, 2);
+    }
+}

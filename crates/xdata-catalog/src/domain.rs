@@ -1,0 +1,502 @@
+//! Per-attribute value domains.
+//!
+//! The paper's `genDBConstraints()` "adds domain constraints, to ensure that
+//! values for an attribute are generated from the domain of that attribute;
+//! we can for example specify the domain to be an integer, or enumerate data
+//! values to be used for that domain" (§V-B). By default the evaluation
+//! "constrains attributes to take domain values that are present in an
+//! input database" (§VI-C) — that is what [`DomainCatalog::from_dataset`]
+//! builds.
+//!
+//! Internally the solver works over integers; string-typed attributes get an
+//! enumerated domain whose values are integer *codes*, decoded back to
+//! strings when a dataset is materialized. Dictionaries are shared across
+//! attributes with the same *name* (e.g. `instructor.dept_name` and
+//! `department.dept_name`), so equi-joins and foreign keys over strings are
+//! preserved by the integer coding.
+
+use std::collections::BTreeMap;
+
+use crate::dataset::Dataset;
+use crate::schema::Schema;
+use crate::types::SqlType;
+use crate::value::Value;
+
+/// The domain of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// Any integer in `[lo, hi]`. The default for numeric attributes; the
+    /// bounds keep generated values small and readable.
+    IntRange { lo: i64, hi: i64 },
+    /// An enumerated set of concrete values (all of one type). Generated
+    /// values must be one of these. This is how input-database value reuse
+    /// (§VI-A) and string attributes are expressed.
+    Enumerated(Vec<Value>),
+}
+
+impl Domain {
+    /// Default integer domain: small non-negative values, per the paper's
+    /// goal of small and intuitive test cases.
+    pub fn default_int() -> Domain {
+        Domain::IntRange { lo: 0, hi: 1_000 }
+    }
+
+    /// Number of distinct values, if finite and enumerable cheaply.
+    pub fn size(&self) -> Option<usize> {
+        match self {
+            Domain::IntRange { lo, hi } => usize::try_from(hi - lo + 1).ok(),
+            Domain::Enumerated(vs) => Some(vs.len()),
+        }
+    }
+
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            Domain::IntRange { lo, hi } => match v {
+                Value::Int(i) => *lo <= *i && *i <= *hi,
+                Value::Double(d) => *lo as f64 <= *d && *d <= *hi as f64,
+                _ => false,
+            },
+            Domain::Enumerated(vs) => vs.iter().any(|x| x.group_eq(v)),
+        }
+    }
+}
+
+/// Domains for every attribute of a schema, keyed by
+/// `(relation name, column position)`.
+#[derive(Debug, Clone, Default)]
+pub struct DomainCatalog {
+    domains: BTreeMap<(String, usize), Domain>,
+    /// Indirection from attribute to its dictionary: attributes with the
+    /// same dictionary key share codes.
+    dict_key: BTreeMap<(String, usize), String>,
+    /// Dictionary of human-readable string values per dictionary key; the
+    /// i-th entry decodes code `i`.
+    dictionaries: BTreeMap<String, Vec<String>>,
+}
+
+/// Fallback dictionary used for string attributes with no supplied values;
+/// mirrors the paper's "small and intuitive" datasets.
+const DEFAULT_STRINGS: [&str; 12] = [
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliet",
+    "kilo", "lima",
+];
+
+impl DomainCatalog {
+    /// Build default domains for `schema`: numeric attributes get
+    /// [`Domain::default_int`], string attributes get a generic dictionary
+    /// shared across same-named attributes.
+    pub fn defaults(schema: &Schema) -> Self {
+        let mut cat = DomainCatalog::default();
+        for rel in schema.relations() {
+            for (pos, attr) in rel.attributes.iter().enumerate() {
+                let key = (rel.name.clone(), pos);
+                match attr.ty {
+                    SqlType::Int | SqlType::Double => {
+                        cat.domains.insert(key, Domain::default_int());
+                    }
+                    SqlType::Varchar => {
+                        let dkey = attr.name.clone();
+                        let dict: Vec<String> = DEFAULT_STRINGS
+                            .iter()
+                            .map(|s| format!("{}_{}", attr.name, s))
+                            .collect();
+                        let n = dict.len() as i64;
+                        cat.dictionaries.entry(dkey.clone()).or_insert(dict);
+                        cat.dict_key.insert(key.clone(), dkey);
+                        cat.domains
+                            .insert(key, Domain::Enumerated((0..n).map(Value::Int).collect()));
+                    }
+                }
+            }
+        }
+        cat
+    }
+
+    /// Build domains whose values are exactly those present in `dataset`
+    /// (the paper's default evaluation setting, §VI-C). Attributes with no
+    /// values in the dataset keep their schema defaults.
+    pub fn from_dataset(schema: &Schema, dataset: &Dataset) -> Self {
+        let mut cat = Self::defaults(schema);
+        // First pass: merge string values into shared dictionaries.
+        let mut new_dicts: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for rel in schema.relations() {
+            let Some(tuples) = dataset.relation(&rel.name) else { continue };
+            for (pos, attr) in rel.attributes.iter().enumerate() {
+                if attr.ty != SqlType::Varchar {
+                    continue;
+                }
+                let dkey = cat
+                    .dict_key
+                    .get(&(rel.name.clone(), pos))
+                    .cloned()
+                    .unwrap_or_else(|| attr.name.clone());
+                let entry = new_dicts.entry(dkey).or_default();
+                for t in tuples {
+                    if let Value::Str(s) = &t[pos] {
+                        if !entry.contains(s) {
+                            entry.push(s.clone());
+                        }
+                    }
+                }
+            }
+        }
+        for (dkey, mut dict) in new_dicts {
+            if dict.is_empty() {
+                continue;
+            }
+            dict.sort();
+            cat.dictionaries.insert(dkey, dict);
+        }
+        // Second pass: per-attribute domains restricted to observed values.
+        for rel in schema.relations() {
+            let Some(tuples) = dataset.relation(&rel.name) else { continue };
+            if tuples.is_empty() {
+                continue;
+            }
+            for (pos, attr) in rel.attributes.iter().enumerate() {
+                let key = (rel.name.clone(), pos);
+                match attr.ty {
+                    SqlType::Int | SqlType::Double => {
+                        let mut vals: Vec<Value> = tuples
+                            .iter()
+                            .map(|t| t[pos].clone())
+                            .filter(|v| !v.is_null())
+                            .collect();
+                        vals.sort();
+                        vals.dedup();
+                        if !vals.is_empty() {
+                            cat.domains.insert(key, Domain::Enumerated(vals));
+                        }
+                    }
+                    SqlType::Varchar => {
+                        let mut codes: Vec<Value> = tuples
+                            .iter()
+                            .filter_map(|t| match &t[pos] {
+                                Value::Str(s) => {
+                                    cat.encode_string(&rel.name, pos, s).map(Value::Int)
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        codes.sort();
+                        codes.dedup();
+                        if !codes.is_empty() {
+                            cat.domains.insert(key, Domain::Enumerated(codes));
+                        }
+                    }
+                }
+            }
+        }
+        cat
+    }
+
+    pub fn set(&mut self, relation: &str, column: usize, domain: Domain) {
+        self.domains.insert((relation.into(), column), domain);
+    }
+
+    /// Install a dictionary for a string attribute; other attributes sharing
+    /// this attribute's dictionary key see the same values.
+    pub fn set_dictionary(&mut self, relation: &str, column: usize, dict: Vec<String>) {
+        let dkey = self
+            .dict_key
+            .get(&(relation.to_string(), column))
+            .cloned()
+            .unwrap_or_else(|| format!("{relation}.{column}"));
+        let n = dict.len() as i64;
+        self.dictionaries.insert(dkey.clone(), dict);
+        self.dict_key.insert((relation.into(), column), dkey);
+        self.domains.insert(
+            (relation.into(), column),
+            Domain::Enumerated((0..n).map(Value::Int).collect()),
+        );
+    }
+
+    pub fn get(&self, relation: &str, column: usize) -> Option<&Domain> {
+        self.domains.get(&(relation.to_string(), column))
+    }
+
+    fn dict_for(&self, relation: &str, column: usize) -> Option<&Vec<String>> {
+        let dkey = self.dict_key.get(&(relation.to_string(), column))?;
+        self.dictionaries.get(dkey)
+    }
+
+    /// Decode a solver integer for a string attribute back into a string;
+    /// codes beyond the dictionary get a numeric suffix so decoding is total
+    /// and injective.
+    pub fn decode_string(&self, relation: &str, column: usize, code: i64) -> String {
+        match self.dict_for(relation, column) {
+            Some(dict) if !dict.is_empty() => {
+                if code >= 0 && (code as usize) < dict.len() {
+                    dict[code as usize].clone()
+                } else {
+                    let idx = code.rem_euclid(dict.len() as i64) as usize;
+                    format!("{}#{}", dict[idx], code)
+                }
+            }
+            _ => format!("str{code}"),
+        }
+    }
+
+    /// Encode a string into its solver integer code, if it is in the
+    /// dictionary.
+    pub fn encode_string(&self, relation: &str, column: usize, s: &str) -> Option<i64> {
+        self.dict_for(relation, column)?.iter().position(|d| d == s).map(|p| p as i64)
+    }
+
+    /// Merge the dictionaries of two string attributes so they share codes.
+    /// Needed when a query equi-joins string attributes with *different*
+    /// names (different default dictionaries): without a shared coding,
+    /// integer equality in the solver would not correspond to string
+    /// equality in the materialized dataset.
+    ///
+    /// Codes of `a`'s dictionary are preserved; codes of `b`'s dictionary
+    /// are remapped (its enumerated domains are rewritten accordingly).
+    pub fn merge_dictionaries(
+        &mut self,
+        rel_a: &str,
+        col_a: usize,
+        rel_b: &str,
+        col_b: usize,
+    ) {
+        let key_a = (rel_a.to_string(), col_a);
+        let key_b = (rel_b.to_string(), col_b);
+        let ka = self.dict_key.get(&key_a).cloned().unwrap_or_else(|| format!("{rel_a}.{col_a}"));
+        let kb = self.dict_key.get(&key_b).cloned().unwrap_or_else(|| format!("{rel_b}.{col_b}"));
+        self.dict_key.insert(key_a, ka.clone());
+        self.dict_key.insert(key_b, kb.clone());
+        if ka == kb {
+            return;
+        }
+        let da = self.dictionaries.remove(&ka).unwrap_or_default();
+        let db = self.dictionaries.remove(&kb).unwrap_or_default();
+        let da_len = da.len() as i64;
+        let mut merged = da;
+        // Remap table: old b-code -> new code in the merged dictionary.
+        let mut remap: Vec<i64> = Vec::with_capacity(db.len());
+        for s in db {
+            let pos = match merged.iter().position(|x| *x == s) {
+                Some(p) => p,
+                None => {
+                    merged.push(s);
+                    merged.len() - 1
+                }
+            };
+            remap.push(pos as i64);
+        }
+        let total = merged.len() as i64;
+        self.dictionaries.insert(ka.clone(), merged);
+        // Repoint kb-attributes to ka, remapping their enumerated domains.
+        let kb_attrs: Vec<(String, usize)> = self
+            .dict_key
+            .iter()
+            .filter(|(_, v)| **v == kb)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for attr in kb_attrs {
+            self.dict_key.insert(attr.clone(), ka.clone());
+            if let Some(Domain::Enumerated(vs)) = self.domains.get(&attr) {
+                let mapped: Vec<Value> = vs
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(i) if *i >= 0 && (*i as usize) < remap.len() => {
+                            Value::Int(remap[*i as usize])
+                        }
+                        other => other.clone(),
+                    })
+                    .collect();
+                self.domains.insert(attr, Domain::Enumerated(mapped));
+            }
+        }
+        // ka-attributes with full-dictionary domains widen to the merge.
+        let ka_attrs: Vec<(String, usize)> = self
+            .dict_key
+            .iter()
+            .filter(|(_, v)| **v == ka)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for attr in ka_attrs {
+            let full_before_merge = match self.domains.get(&attr) {
+                // "Full dictionary" = exactly the codes 0..da_len, in order.
+                Some(Domain::Enumerated(vs)) => {
+                    vs.len() as i64 == da_len
+                        && vs.iter().enumerate().all(|(i, v)| *v == Value::Int(i as i64))
+                }
+                _ => true,
+            };
+            if full_before_merge {
+                self.domains
+                    .insert(attr, Domain::Enumerated((0..total).map(Value::Int).collect()));
+            }
+            // Otherwise: restricted domain (e.g. from an input database) —
+            // keep the restriction; ka-codes are stable across the merge.
+        }
+    }
+
+    /// Encode a string, appending it to the attribute's dictionary (and
+    /// widening the attribute's enumerated domain) if absent. Used to make
+    /// query string literals codable before constraint generation.
+    pub fn ensure_string(&mut self, relation: &str, column: usize, s: &str) -> i64 {
+        if let Some(code) = self.encode_string(relation, column, s) {
+            return code;
+        }
+        let dkey = self
+            .dict_key
+            .get(&(relation.to_string(), column))
+            .cloned()
+            .unwrap_or_else(|| format!("{relation}.{column}"));
+        self.dict_key.insert((relation.into(), column), dkey.clone());
+        let dict = self.dictionaries.entry(dkey).or_default();
+        dict.push(s.to_string());
+        let code = dict.len() as i64 - 1;
+        match self.domains.get_mut(&(relation.to_string(), column)) {
+            Some(Domain::Enumerated(vs)) => vs.push(Value::Int(code)),
+            _ => {
+                self.domains.insert(
+                    (relation.into(), column),
+                    Domain::Enumerated((0..=code).map(Value::Int).collect()),
+                );
+            }
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Relation};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation(
+            Relation::new(
+                "r",
+                vec![Attribute::new("id", SqlType::Int), Attribute::new("name", SqlType::Varchar)],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            Relation::new(
+                "s",
+                vec![Attribute::new("k", SqlType::Int), Attribute::new("name", SqlType::Varchar)],
+                &["k"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn defaults_cover_all_attributes() {
+        let cat = DomainCatalog::defaults(&schema());
+        assert!(cat.get("r", 0).is_some());
+        assert!(cat.get("r", 1).is_some());
+        assert!(cat.get("s", 1).is_some());
+    }
+
+    #[test]
+    fn same_named_attributes_share_dictionary() {
+        let cat = DomainCatalog::defaults(&schema());
+        // r.name and s.name must decode identically for string equi-joins.
+        assert_eq!(cat.decode_string("r", 1, 3), cat.decode_string("s", 1, 3));
+    }
+
+    #[test]
+    fn string_attributes_get_enumerated_codes() {
+        let cat = DomainCatalog::defaults(&schema());
+        match cat.get("r", 1).unwrap() {
+            Domain::Enumerated(vs) => assert!(!vs.is_empty()),
+            d => panic!("expected enumerated, got {d:?}"),
+        }
+        assert_ne!(cat.decode_string("r", 1, 0), cat.decode_string("r", 1, 1));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut cat = DomainCatalog::defaults(&schema());
+        cat.set_dictionary("r", 1, vec!["CS".into(), "Biology".into()]);
+        assert_eq!(cat.encode_string("r", 1, "Biology"), Some(1));
+        assert_eq!(cat.decode_string("r", 1, 1), "Biology");
+        assert_eq!(cat.encode_string("r", 1, "Physics"), None);
+        // Shared via dictionary key "name":
+        assert_eq!(cat.encode_string("s", 1, "CS"), Some(0));
+    }
+
+    #[test]
+    fn from_dataset_restricts_int_domain() {
+        let schema = schema();
+        let mut ds = Dataset::new();
+        ds.push("r", vec![Value::Int(7), Value::Str("CS".into())]);
+        ds.push("r", vec![Value::Int(9), Value::Str("EE".into())]);
+        let cat = DomainCatalog::from_dataset(&schema, &ds);
+        match cat.get("r", 0).unwrap() {
+            Domain::Enumerated(vs) => assert_eq!(vs, &vec![Value::Int(7), Value::Int(9)]),
+            d => panic!("unexpected {d:?}"),
+        }
+        let code = cat.encode_string("r", 1, "EE").unwrap();
+        assert_eq!(cat.decode_string("r", 1, code), "EE");
+    }
+
+    #[test]
+    fn domain_contains() {
+        let d = Domain::IntRange { lo: 0, hi: 10 };
+        assert!(d.contains(&Value::Int(5)));
+        assert!(!d.contains(&Value::Int(11)));
+        assert!(!d.contains(&Value::Str("x".into())));
+        let e = Domain::Enumerated(vec![Value::Int(1), Value::Int(2)]);
+        assert!(e.contains(&Value::Int(2)));
+        assert!(!e.contains(&Value::Int(3)));
+    }
+
+    #[test]
+    fn merge_dictionaries_unifies_codes() {
+        let mut cat = DomainCatalog::default();
+        cat.set_dictionary("a", 0, vec!["x".into(), "y".into()]);
+        cat.set_dictionary("b", 0, vec!["y".into(), "z".into()]);
+        cat.merge_dictionaries("a", 0, "b", 0);
+        // Same string → same code on both sides now.
+        let ya = cat.encode_string("a", 0, "y").unwrap();
+        let yb = cat.encode_string("b", 0, "y").unwrap();
+        assert_eq!(ya, yb);
+        // All three strings representable from either attribute.
+        for s in ["x", "y", "z"] {
+            assert_eq!(cat.encode_string("a", 0, s), cat.encode_string("b", 0, s), "{s}");
+            assert!(cat.encode_string("a", 0, s).is_some(), "{s}");
+        }
+        // Decoding agrees.
+        let zc = cat.encode_string("b", 0, "z").unwrap();
+        assert_eq!(cat.decode_string("a", 0, zc), "z");
+        // Idempotent.
+        let before = cat.encode_string("a", 0, "z");
+        cat.merge_dictionaries("a", 0, "b", 0);
+        assert_eq!(cat.encode_string("a", 0, "z"), before);
+    }
+
+    #[test]
+    fn merge_remaps_restricted_domains() {
+        let mut cat = DomainCatalog::default();
+        cat.set_dictionary("a", 0, vec!["x".into(), "y".into()]);
+        cat.set_dictionary("b", 0, vec!["z".into(), "y".into()]);
+        // Restrict b's domain to {code of "y"} = {1} pre-merge.
+        cat.set("b", 0, Domain::Enumerated(vec![Value::Int(1)]));
+        cat.merge_dictionaries("a", 0, "b", 0);
+        // Post-merge "y" has a's code 1... and b's restricted domain must
+        // point at the *new* code for "y".
+        let y = cat.encode_string("b", 0, "y").unwrap();
+        match cat.get("b", 0).unwrap() {
+            Domain::Enumerated(vs) => assert_eq!(vs, &vec![Value::Int(y)]),
+            d => panic!("unexpected {d:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_is_total_beyond_dictionary() {
+        let mut cat = DomainCatalog::defaults(&schema());
+        cat.set_dictionary("r", 1, vec!["a".into(), "b".into()]);
+        let wide = cat.decode_string("r", 1, 5);
+        assert!(wide.contains('#'));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for schema construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// Two relations with the same name were added.
+    DuplicateRelation(String),
+    /// A relation declares two attributes with the same name.
+    DuplicateAttribute { relation: String, attribute: String },
+    /// A constraint or query referenced a relation that does not exist.
+    UnknownRelation(String),
+    /// A constraint or query referenced an attribute that does not exist.
+    UnknownAttribute { relation: String, attribute: String },
+    /// A foreign key's column list length does not match the referenced key.
+    ForeignKeyArity {
+        from: String,
+        to: String,
+        from_cols: usize,
+        to_cols: usize,
+    },
+    /// A foreign key references columns that are not the primary key of the
+    /// referenced relation (the paper assumes FKs reference primary keys).
+    ForeignKeyTarget { from: String, to: String },
+    /// A foreign key column's type differs from the referenced column's.
+    ForeignKeyTypeMismatch {
+        from: String,
+        from_col: String,
+        to: String,
+        to_col: String,
+    },
+    /// Primary key refers to a non-existent attribute position.
+    BadPrimaryKey { relation: String },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateRelation(r) => write!(f, "duplicate relation `{r}`"),
+            CatalogError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "duplicate attribute `{attribute}` in relation `{relation}`")
+            }
+            CatalogError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            CatalogError::UnknownAttribute { relation, attribute } => {
+                write!(f, "unknown attribute `{relation}.{attribute}`")
+            }
+            CatalogError::ForeignKeyArity { from, to, from_cols, to_cols } => write!(
+                f,
+                "foreign key {from} -> {to}: {from_cols} columns reference {to_cols} columns"
+            ),
+            CatalogError::ForeignKeyTarget { from, to } => write!(
+                f,
+                "foreign key {from} -> {to} must reference the primary key of `{to}`"
+            ),
+            CatalogError::ForeignKeyTypeMismatch { from, from_col, to, to_col } => write!(
+                f,
+                "foreign key column {from}.{from_col} type differs from {to}.{to_col}"
+            ),
+            CatalogError::BadPrimaryKey { relation } => {
+                write!(f, "primary key of `{relation}` references a non-existent column")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}

@@ -1,0 +1,35 @@
+//! # xdata-catalog
+//!
+//! Schema and value model for the X-Data test-data generation system, a
+//! reproduction of *"Generating Test Data for Killing SQL Mutants: A
+//! Constraint-based Approach"* (Shah et al.).
+//!
+//! This crate provides the substrate every other crate builds on:
+//!
+//! * [`Value`] — SQL values with `NULL` and three-valued-logic comparison
+//!   semantics ([`Truth`]).
+//! * [`SqlType`] — the column types supported by the paper's query class.
+//! * [`Schema`], [`Relation`], [`ForeignKey`] — relational schemata with
+//!   primary- and foreign-key constraints (the only constraints the paper
+//!   assumes, A1), plus the transitive foreign-key closure of §V-B.
+//! * [`Domain`] — per-attribute value domains used both to keep generated
+//!   data "small and intuitive" (§I) and to implement the input-database
+//!   mode of §VI-A.
+//! * [`Dataset`] — a generated test case: a small database instance.
+//! * [`university`] — the (slightly modified) University schema of
+//!   Silberschatz, Korth & Sudarshan used throughout the paper's evaluation.
+
+pub mod dataset;
+pub mod domain;
+pub mod error;
+pub mod schema;
+pub mod types;
+pub mod university;
+pub mod value;
+
+pub use dataset::{Dataset, Tuple};
+pub use domain::{Domain, DomainCatalog};
+pub use error::CatalogError;
+pub use schema::{Attribute, ForeignKey, Relation, Schema};
+pub use types::SqlType;
+pub use value::{Truth, Value};

@@ -1,0 +1,83 @@
+//! SQL column types for the paper's query class.
+//!
+//! Assumption A4 restricts queries to simple arithmetic over attribute
+//! values, so the type lattice is deliberately small: integers, doubles and
+//! variable-length strings. Dates in realistic schemas are modelled as
+//! integers (days since an epoch), which preserves every comparison the
+//! query class can express.
+
+use std::fmt;
+
+/// A SQL column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SqlType {
+    /// 64-bit signed integer (`INT`, `BIGINT`, dates-as-days, ...).
+    Int,
+    /// 64-bit IEEE float (`DOUBLE`, `NUMERIC`, `DECIMAL`, ...).
+    Double,
+    /// Variable-length string (`VARCHAR`, `TEXT`, `CHAR`, ...).
+    Varchar,
+}
+
+impl SqlType {
+    /// Whether values of this type are numeric (participate in arithmetic
+    /// and `SUM`/`AVG` aggregation).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, SqlType::Int | SqlType::Double)
+    }
+
+    /// Whether two types are comparable with `=,<,>,<=,>=,<>` without an
+    /// explicit cast. Numeric types are mutually comparable; strings only
+    /// compare with strings.
+    pub fn comparable_with(self, other: SqlType) -> bool {
+        self == other || (self.is_numeric() && other.is_numeric())
+    }
+
+    /// Canonical SQL keyword for this type.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            SqlType::Int => "INT",
+            SqlType::Double => "DOUBLE",
+            SqlType::Varchar => "VARCHAR",
+        }
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_types_are_numeric() {
+        assert!(SqlType::Int.is_numeric());
+        assert!(SqlType::Double.is_numeric());
+        assert!(!SqlType::Varchar.is_numeric());
+    }
+
+    #[test]
+    fn comparability_is_symmetric() {
+        for a in [SqlType::Int, SqlType::Double, SqlType::Varchar] {
+            for b in [SqlType::Int, SqlType::Double, SqlType::Varchar] {
+                assert_eq!(a.comparable_with(b), b.comparable_with(a));
+            }
+        }
+    }
+
+    #[test]
+    fn int_compares_with_double_but_not_varchar() {
+        assert!(SqlType::Int.comparable_with(SqlType::Double));
+        assert!(!SqlType::Int.comparable_with(SqlType::Varchar));
+    }
+
+    #[test]
+    fn display_matches_sql_name() {
+        assert_eq!(SqlType::Varchar.to_string(), "VARCHAR");
+        assert_eq!(SqlType::Int.to_string(), "INT");
+    }
+}

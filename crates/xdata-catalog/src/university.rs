@@ -1,0 +1,277 @@
+//! The University schema used throughout the paper's evaluation.
+//!
+//! "The schema used was a slightly modified version of the University schema
+//! of [Silberschatz, Korth & Sudarshan]" (§VI-C). As in the paper we modify
+//! it slightly: identifiers are integers (the solver's native type), names
+//! and departments are strings with shared dictionaries, and the foreign-key
+//! set is ordered so the evaluation can sweep "the number of foreign key
+//! constraints from 0 up to the number of constraints originally present"
+//! (§VI-C.1) via [`crate::Schema::truncate_foreign_keys`].
+
+use crate::dataset::Dataset;
+use crate::error::CatalogError;
+use crate::schema::{Attribute, Relation, Schema};
+use crate::types::SqlType;
+use crate::value::Value;
+
+/// Build the full University schema with all foreign keys.
+///
+/// Relations: `department`, `instructor`, `course`, `teaches`, `student`,
+/// `takes`, `advisor`, `section`.
+pub fn schema() -> Schema {
+    try_schema().expect("university schema is statically well-formed")
+}
+
+/// Build the University schema keeping only the first `n` foreign keys
+/// (Table I's FK sweep). `n` larger than the FK count keeps them all.
+pub fn schema_with_fk_count(n: usize) -> Schema {
+    let mut s = schema();
+    s.truncate_foreign_keys(n);
+    s
+}
+
+fn try_schema() -> Result<Schema, CatalogError> {
+    use SqlType::*;
+    let mut s = Schema::new();
+    s.add_relation(Relation::new(
+        "department",
+        vec![
+            Attribute::new("dept_id", Int),
+            Attribute::new("dept_name", Varchar),
+            Attribute::new("building", Varchar),
+            Attribute::new("budget", Int),
+        ],
+        &["dept_id"],
+    )?)?;
+    s.add_relation(Relation::new(
+        "instructor",
+        vec![
+            Attribute::new("id", Int),
+            Attribute::new("name", Varchar),
+            Attribute::new("dept_id", Int),
+            Attribute::new("salary", Int),
+        ],
+        &["id"],
+    )?)?;
+    s.add_relation(Relation::new(
+        "course",
+        vec![
+            Attribute::new("course_id", Int),
+            Attribute::new("title", Varchar),
+            Attribute::new("dept_id", Int),
+            Attribute::new("credits", Int),
+        ],
+        &["course_id"],
+    )?)?;
+    s.add_relation(Relation::new(
+        "teaches",
+        vec![
+            Attribute::new("id", Int),
+            Attribute::new("course_id", Int),
+            Attribute::new("sec_id", Int),
+            Attribute::new("year", Int),
+        ],
+        &["id", "course_id", "sec_id", "year"],
+    )?)?;
+    s.add_relation(Relation::new(
+        "student",
+        vec![
+            Attribute::new("sid", Int),
+            Attribute::new("name", Varchar),
+            Attribute::new("dept_id", Int),
+            Attribute::new("tot_cred", Int),
+        ],
+        &["sid"],
+    )?)?;
+    s.add_relation(Relation::new(
+        "takes",
+        vec![
+            Attribute::new("sid", Int),
+            Attribute::new("course_id", Int),
+            Attribute::new("sec_id", Int),
+            Attribute::new("year", Int),
+            Attribute::new("grade", Int),
+        ],
+        &["sid", "course_id", "sec_id", "year"],
+    )?)?;
+    s.add_relation(Relation::new(
+        "advisor",
+        vec![Attribute::new("s_id", Int), Attribute::new("i_id", Int)],
+        &["s_id"],
+    )?)?;
+    s.add_relation(Relation::new(
+        "section",
+        vec![
+            Attribute::new("course_id", Int),
+            Attribute::new("sec_id", Int),
+            Attribute::new("year", Int),
+            Attribute::new("building", Varchar),
+        ],
+        &["course_id", "sec_id", "year"],
+    )?)?;
+
+    // Foreign keys, ordered roughly by how central they are to the
+    // evaluation's join chains so `truncate_foreign_keys(n)` produces the
+    // paper's 0..=all sweep sensibly.
+    s.add_foreign_key("teaches", &["id"], "instructor", &["id"])?;
+    s.add_foreign_key("teaches", &["course_id"], "course", &["course_id"])?;
+    s.add_foreign_key("takes", &["course_id"], "course", &["course_id"])?;
+    s.add_foreign_key("takes", &["sid"], "student", &["sid"])?;
+    s.add_foreign_key("instructor", &["dept_id"], "department", &["dept_id"])?;
+    s.add_foreign_key("student", &["dept_id"], "department", &["dept_id"])?;
+    s.add_foreign_key("course", &["dept_id"], "department", &["dept_id"])?;
+    s.add_foreign_key("advisor", &["s_id"], "student", &["sid"])?;
+    s.add_foreign_key("advisor", &["i_id"], "instructor", &["id"])?;
+    s.add_foreign_key("section", &["course_id"], "course", &["course_id"])?;
+    Ok(s)
+}
+
+/// A small sample database in the spirit of the textbook's example data;
+/// `tuples_per_relation` controls the size (the §VI-C.3 experiment uses 5
+/// and 9).
+pub fn sample_data(tuples_per_relation: usize) -> Dataset {
+    let n = tuples_per_relation;
+    let mut d = Dataset::with_label(format!("university sample ({n} tuples/relation)"));
+    let depts = ["CS", "Biology", "Physics", "History", "Music", "EE", "Math", "Finance", "Art"];
+    let buildings = ["Taylor", "Watson", "Painter", "Packard", "Garfield"];
+    let names = [
+        "Srinivasan", "Wu", "Mozart", "Einstein", "ElSaid", "Gold", "Katz", "Califieri", "Singh",
+    ];
+    for i in 0..n.min(depts.len()) {
+        d.push(
+            "department",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Str(depts[i].into()),
+                Value::Str(buildings[i % buildings.len()].into()),
+                Value::Int(50_000 + 10_000 * i as i64),
+            ],
+        );
+    }
+    let ndep = n.min(depts.len()) as i64;
+    for i in 0..n {
+        let i = i as i64;
+        d.push(
+            "instructor",
+            vec![
+                Value::Int(10 + i),
+                Value::Str(names[i as usize % names.len()].into()),
+                Value::Int(1 + (i % ndep)),
+                Value::Int(60_000 + 5_000 * i),
+            ],
+        );
+        d.push(
+            "course",
+            vec![
+                Value::Int(100 + i),
+                Value::Str(format!("Course-{i}")),
+                Value::Int(1 + (i % ndep)),
+                Value::Int(3 + (i % 2)),
+            ],
+        );
+        d.push(
+            "teaches",
+            vec![Value::Int(10 + i), Value::Int(100 + i), Value::Int(1), Value::Int(2009)],
+        );
+        d.push(
+            "student",
+            vec![
+                Value::Int(1000 + i),
+                Value::Str(names[(i as usize + 3) % names.len()].into()),
+                Value::Int(1 + (i % ndep)),
+                Value::Int(30 + i),
+            ],
+        );
+        d.push(
+            "takes",
+            vec![
+                Value::Int(1000 + i),
+                Value::Int(100 + i),
+                Value::Int(1),
+                Value::Int(2009),
+                Value::Int(70 + (i % 30)),
+            ],
+        );
+        d.push("advisor", vec![Value::Int(1000 + i), Value::Int(10 + i)]);
+        d.push(
+            "section",
+            vec![
+                Value::Int(100 + i),
+                Value::Int(1),
+                Value::Int(2009),
+                Value::Str(buildings[i as usize % buildings.len()].into()),
+            ],
+        );
+    }
+    d
+}
+
+/// Names of the relations forming the evaluation's canonical join chain:
+/// index `k` (2..=7) gives the first `k` relations, joined pairwise.
+pub fn join_chain(k: usize) -> Vec<&'static str> {
+    const CHAIN: [&str; 7] =
+        ["instructor", "teaches", "course", "takes", "student", "advisor", "department"];
+    CHAIN[..k.min(7)].to_vec()
+}
+
+/// The equi-join condition linking consecutive relations of [`join_chain`],
+/// as `(left_rel, left_attr, right_rel, right_attr)`.
+pub fn join_chain_condition(i: usize) -> (&'static str, &'static str, &'static str, &'static str) {
+    const CONDS: [(&str, &str, &str, &str); 6] = [
+        ("instructor", "id", "teaches", "id"),
+        ("teaches", "course_id", "course", "course_id"),
+        ("course", "course_id", "takes", "course_id"),
+        ("takes", "sid", "student", "sid"),
+        ("student", "sid", "advisor", "s_id"),
+        ("student", "dept_id", "department", "dept_id"),
+    ];
+    CONDS[i]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_builds_with_all_fks() {
+        let s = schema();
+        assert_eq!(s.relations().count(), 8);
+        assert_eq!(s.foreign_keys().len(), 10);
+    }
+
+    #[test]
+    fn fk_sweep_truncates() {
+        assert_eq!(schema_with_fk_count(0).foreign_keys().len(), 0);
+        assert_eq!(schema_with_fk_count(4).foreign_keys().len(), 4);
+        assert_eq!(schema_with_fk_count(100).foreign_keys().len(), 10);
+    }
+
+    #[test]
+    fn sample_data_is_legal_instance() {
+        let s = schema();
+        let d = sample_data(5);
+        let errs = d.integrity_violations(&s);
+        assert!(errs.is_empty(), "violations: {errs:?}");
+    }
+
+    #[test]
+    fn sample_data_size_scales() {
+        assert!(sample_data(9).total_tuples() > sample_data(5).total_tuples());
+    }
+
+    #[test]
+    fn join_chain_lengths() {
+        assert_eq!(join_chain(2), vec!["instructor", "teaches"]);
+        assert_eq!(join_chain(7).len(), 7);
+    }
+
+    #[test]
+    fn chain_conditions_reference_real_attributes() {
+        let s = schema();
+        for i in 0..6 {
+            let (lr, la, rr, ra) = join_chain_condition(i);
+            assert!(s.relation(lr).unwrap().attr_pos(la).is_some(), "{lr}.{la}");
+            assert!(s.relation(rr).unwrap().attr_pos(ra).is_some(), "{rr}.{ra}");
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! SQL values with `NULL` and three-valued logic.
+//!
+//! The engine that checks whether a mutant is killed (crate `xdata-engine`)
+//! must evaluate outer joins faithfully, and outer joins produce `NULL`s, so
+//! the value model carries SQL's three-valued comparison semantics even
+//! though *queries* never test for `NULL` explicitly (assumption A6).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::types::SqlType;
+
+/// A single SQL value.
+///
+/// `Double` values are compared via [`f64::total_cmp`], which gives `Value`
+/// a total order usable in `BTreeMap`s and sorting; NaN never occurs in
+/// generated data (the solver only produces finite values).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL (of any type).
+    Null,
+    Int(i64),
+    Double(f64),
+    Str(String),
+}
+
+/// Result of a SQL comparison under three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    True,
+    False,
+    /// Comparison involving NULL.
+    Unknown,
+}
+
+impl Truth {
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// SQL WHERE-clause semantics: a row qualifies only when the predicate
+    /// is definitely true.
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Self {
+        Truth::from_bool(b)
+    }
+}
+
+impl Value {
+    /// The static type of this value, or `None` for NULL (typeless).
+    pub fn sql_type(&self) -> Option<SqlType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(SqlType::Int),
+            Value::Double(_) => Some(SqlType::Double),
+            Value::Str(_) => Some(SqlType::Varchar),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of this value (Int widened to f64) used by arithmetic
+    /// and `SUM`/`AVG`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Double(d) if d.fract() == 0.0 => Some(*d as i64),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison. NULL compared with anything (including
+    /// NULL) is `Unknown`; cross-type numeric comparison widens to f64;
+    /// comparing a string with a number is a type error handled upstream and
+    /// conservatively returns `Unknown` here.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Some(x.total_cmp(&y)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Three-valued equality.
+    pub fn sql_eq(&self, other: &Value) -> Truth {
+        match self.sql_cmp(other) {
+            None => Truth::Unknown,
+            Some(ord) => Truth::from_bool(ord == Ordering::Equal),
+        }
+    }
+
+    /// Grouping/`DISTINCT` equality: unlike [`Value::sql_eq`], NULL equals
+    /// NULL (SQL treats NULLs as one group in GROUP BY and DISTINCT).
+    pub fn group_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// Total order used for deterministic output and grouping: NULL sorts
+    /// first, then numerics (widened), then strings.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Double(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if rank(a) == 1 && rank(b) == 1 => {
+                // Mixed Int/Double: compare widened, tie-break on variant so
+                // Int(1) and Double(1.0) are distinguishable in a total order.
+                let x = a.as_f64().expect("numeric");
+                let y = b.as_f64().expect("numeric");
+                x.total_cmp(&y).then_with(|| {
+                    let va = matches!(a, Value::Double(_)) as u8;
+                    let vb = matches!(b, Value::Double(_)) as u8;
+                    va.cmp(&vb)
+                })
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Double(d) => {
+                1u8.hash(state);
+                d.to_bits().hash(state);
+                2u8.hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(d: f64) -> Self {
+        Value::Double(d)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), Truth::Unknown);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), Truth::Unknown);
+        assert!(Value::Null.sql_cmp(&Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        use Truth::*;
+        assert_eq!(Unknown.and(False), False);
+        assert_eq!(Unknown.and(True), Unknown);
+        assert_eq!(Unknown.or(True), True);
+        assert_eq!(Unknown.or(False), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn string_number_comparison_is_unknown() {
+        assert_eq!(Value::Str("a".into()).sql_eq(&Value::Int(1)), Truth::Unknown);
+    }
+
+    #[test]
+    fn group_eq_treats_nulls_equal() {
+        assert!(Value::Null.group_eq(&Value::Null));
+        assert!(!Value::Null.group_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn total_order_null_first() {
+        let mut vals = vec![Value::Str("a".into()), Value::Int(3), Value::Null];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(3));
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Value::Str("CS".into()).to_string(), "'CS'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn where_semantics_only_true_qualifies() {
+        assert!(Truth::True.is_true());
+        assert!(!Truth::Unknown.is_true());
+        assert!(!Truth::False.is_true());
+    }
+}

@@ -1,0 +1,31 @@
+//! Generation errors.
+
+use std::fmt;
+
+/// Errors raised by the test-data generator. Note that an *unsatisfiable*
+/// constraint set is not an error (it flags an equivalent mutant group);
+/// these are genuine failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The solver gave up (resource limit) — distinct from Unsat.
+    SolverUnknown(String),
+    /// A string literal in the query could not be coded into the domain
+    /// dictionary (internal error — preparation extends dictionaries).
+    UncodedString(String),
+    /// Schema/query mismatch that slipped past normalization.
+    Internal(String),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::SolverUnknown(what) => {
+                write!(f, "solver resource limit exceeded while generating `{what}`")
+            }
+            GenError::UncodedString(s) => write!(f, "string literal `{s}` missing from dictionary"),
+            GenError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}

@@ -1,0 +1,1017 @@
+//! Algorithm 1 and its sub-procedures (§V of the paper).
+
+use xdata_catalog::{DomainCatalog, Schema, Value};
+use xdata_relalg::{AttrRef, NormQuery, Operand, SelectSpec};
+use xdata_sql::CompareOp;
+use xdata_solver::{Atom, Formula, RelOp, SolveOutcome, SolverStats, Term};
+
+use crate::builder::ConstraintBuilder;
+use crate::error::GenError;
+use crate::materialize::materialize;
+use crate::suite::{GenOptions, GeneratedDataset, SkipReason, SkippedTarget, TestSuite};
+
+/// Generate the complete test suite for `query` (Algorithm 1):
+/// a dataset for the original query, then datasets killing equivalence-class
+/// mutants, other-predicate mutants, comparison mutants and aggregation
+/// mutants. The number of datasets is linear in the query size.
+pub fn generate(
+    query: &NormQuery,
+    schema: &Schema,
+    domains: &DomainCatalog,
+    opts: &GenOptions,
+) -> Result<TestSuite, GenError> {
+    // Preprocessing beyond what normalization did: make sure every string
+    // literal in the query is dictionary-coded.
+    let domains = prepare_domains(query, schema, domains);
+    let gen = Gen { query, schema, domains: &domains, opts };
+    let mut suite = TestSuite::default();
+    gen.original_query_dataset(&mut suite)?;
+    gen.kill_equivalence_classes(&mut suite)?;
+    gen.kill_other_predicates(&mut suite)?;
+    gen.kill_comparison_operators(&mut suite)?;
+    gen.kill_aggregates(&mut suite)?;
+    gen.kill_having_comparisons(&mut suite)?;
+    gen.kill_duplicates(&mut suite)?;
+    Ok(suite)
+}
+
+/// Extend dictionaries with the query's string literals so they encode,
+/// and widen integer-range domains to cover the query's numeric constants
+/// (a selection like `salary > 50000` needs values on both sides of the
+/// constant, whatever the default range is).
+fn prepare_domains(query: &NormQuery, schema: &Schema, domains: &DomainCatalog) -> DomainCatalog {
+    use xdata_catalog::Domain;
+    let mut d = domains.clone();
+    // String attributes linked by equi-joins or compared directly must
+    // share one dictionary, or integer equality in the solver would not
+    // mean string equality in the dataset.
+    let attr_ty = |a: &AttrRef| -> Option<xdata_catalog::SqlType> {
+        let base = &query.occurrences[a.occ].base;
+        schema.relation(base).map(|r| r.attr(a.col).ty)
+    };
+    let mut merge = |d: &mut DomainCatalog, x: &AttrRef, y: &AttrRef| {
+        if attr_ty(x) == Some(xdata_catalog::SqlType::Varchar)
+            && attr_ty(y) == Some(xdata_catalog::SqlType::Varchar)
+        {
+            let (bx, by) =
+                (query.occurrences[x.occ].base.clone(), query.occurrences[y.occ].base.clone());
+            d.merge_dictionaries(&bx, x.col, &by, y.col);
+        }
+    };
+    for ec in &query.eq_classes {
+        for w in ec.windows(2) {
+            merge(&mut d, &w[0], &w[1]);
+        }
+    }
+    for p in &query.preds {
+        if let (Some(x), Some(y)) = (p.lhs.attr_ref(), p.rhs.attr_ref()) {
+            merge(&mut d, &x, &y);
+        }
+    }
+    for p in &query.preds {
+        for (side, other) in [(&p.lhs, &p.rhs), (&p.rhs, &p.lhs)] {
+            let Some(attr) = other.attr_ref() else { continue };
+            let base = &query.occurrences[attr.occ].base;
+            if schema.relation(base).is_none() {
+                continue;
+            }
+            match side {
+                Operand::Const(Value::Str(s)) => {
+                    d.ensure_string(base, attr.col, s);
+                }
+                Operand::Const(Value::Int(k)) => {
+                    if let Some(Domain::IntRange { lo, hi }) = d.get(base, attr.col) {
+                        let (lo, hi) = (*lo, *hi);
+                        // Room on both sides so `<`, `=` and `>` datasets
+                        // all exist.
+                        let new_lo = lo.min(k - 10);
+                        let new_hi = hi.max(k + 10);
+                        if new_lo != lo || new_hi != hi {
+                            d.set(base, attr.col, Domain::IntRange { lo: new_lo, hi: new_hi });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    d
+}
+
+struct Gen<'a> {
+    query: &'a NormQuery,
+    schema: &'a Schema,
+    domains: &'a DomainCatalog,
+    opts: &'a GenOptions,
+}
+
+/// Outcome of one targeted constraint set.
+enum Target {
+    Dataset(GeneratedDataset),
+    Equivalent,
+}
+
+impl<'a> Gen<'a> {
+    /// Build constraints via `f`, add database (and input-database)
+    /// constraints, solve, materialize. Implements the paper's retry:
+    /// when input-database constraints make the set inconsistent, solve
+    /// again without them (§VI-A).
+    fn solve_target(
+        &self,
+        copies: u32,
+        label: &str,
+        f: &dyn Fn(&mut ConstraintBuilder<'_>) -> Result<(), GenError>,
+    ) -> Result<Target, GenError> {
+        let with_input = self.opts.input_db.is_some();
+        if with_input {
+            // The input-constrained attempt gets a decision budget: proving
+            // UNSAT under tuple-pinning can be expensive, and the paper's
+            // §VI-A recovery path is "retry data generation after removing
+            // these constraints" anyway.
+            match self.solve_once(copies, label, f, true) {
+                Ok(Some(ds)) => return Ok(Target::Dataset(ds)),
+                Ok(None) | Err(GenError::SolverUnknown(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        match self.solve_once(copies, label, f, false)? {
+            Some(ds) => Ok(Target::Dataset(ds)),
+            None => Ok(Target::Equivalent),
+        }
+    }
+
+    fn solve_once(
+        &self,
+        copies: u32,
+        label: &str,
+        f: &dyn Fn(&mut ConstraintBuilder<'_>) -> Result<(), GenError>,
+        use_input: bool,
+    ) -> Result<Option<GeneratedDataset>, GenError> {
+        // Iterative deepening over the repair-slot capacity: most targets
+        // need at most one repair tuple per relation, so small tuple arrays
+        // are tried first (exponentially smaller search); only an UNSAT at
+        // full capacity means "no such dataset" (equivalent mutants).
+        let mut agg_stats = xdata_solver::SolverStats::default();
+        for (rung, cap) in crate::builder::REPAIR_LADDER.iter().enumerate() {
+            let mut b = ConstraintBuilder::with_repair_cap(
+                self.schema,
+                self.query,
+                self.domains,
+                copies,
+                *cap,
+            )?;
+            f(&mut b)?;
+            // Input constraints first: they mark pinned relations whose
+            // enumerated domain constraints gen_db_constraints then skips.
+            if use_input {
+                if let Some(input) = &self.opts.input_db {
+                    b.gen_input_db_constraints(input)?;
+                }
+            }
+            b.gen_db_constraints();
+            let limit = if use_input { 500_000 } else { xdata_solver::DEFAULT_DECISION_LIMIT };
+            let (out, stats) = b.problem.solve_with_limit(self.opts.mode, limit);
+            agg_stats.decisions += stats.decisions;
+            agg_stats.conflicts += stats.conflicts;
+            agg_stats.theory_relaxations += stats.theory_relaxations;
+            agg_stats.ground_solves += stats.ground_solves;
+            agg_stats.instantiations += stats.instantiations;
+            agg_stats.ground_atoms = agg_stats.ground_atoms.max(stats.ground_atoms);
+            match out {
+                SolveOutcome::Sat(model) => {
+                    let dataset = materialize(&b, &model, label);
+                    return Ok(Some(GeneratedDataset {
+                        dataset,
+                        label: label.to_string(),
+                        stats: agg_stats,
+                    }));
+                }
+                SolveOutcome::Unsat => {
+                    if rung + 1 == crate::builder::REPAIR_LADDER.len() {
+                        return Ok(None);
+                    }
+                    // Widen and retry: the UNSAT may be a capacity artifact.
+                }
+                SolveOutcome::Unknown => return Err(GenError::SolverUnknown(label.to_string())),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Assert the original query's conditions over copy `c`.
+    fn assert_query_conds(&self, b: &mut ConstraintBuilder<'_>, copy: u32) -> Result<(), GenError> {
+        for ec in &self.query.eq_classes {
+            let f = b.eq_conds(ec, copy);
+            b.problem.assert(f);
+        }
+        for p in &self.query.preds {
+            let f = b.pred_formula(p, copy)?;
+            b.problem.assert(f);
+        }
+        Ok(())
+    }
+
+    /// `generateDataSetForOriginalQuery` (§V-B): a dataset with a non-empty
+    /// result for the original query. With a HAVING clause the dataset
+    /// needs a whole qualifying group, not just one row.
+    fn original_query_dataset(&self, suite: &mut TestSuite) -> Result<(), GenError> {
+        let label = "original query (non-empty result)";
+        let having: &[xdata_relalg::HavingPred] = match &self.query.select {
+            SelectSpec::Aggregation { having, .. } => having,
+            _ => &[],
+        };
+        let outcome = if having.is_empty() {
+            self.solve_target(1, label, &|b| self.assert_query_conds(b, 0))?
+        } else {
+            let SelectSpec::Aggregation { group_by, .. } = &self.query.select else {
+                unreachable!("having implies aggregation");
+            };
+            match crate::having::group_size_for(having) {
+                None => Target::Equivalent,
+                Some(k) => self.solve_target(k, label, &|b| {
+                    for c in 0..k {
+                        self.assert_query_conds(b, c)?;
+                    }
+                    for g in group_by {
+                        for c in 0..k.saturating_sub(1) {
+                            let f = Formula::Atom(Atom::new(
+                                b.cvc_map(*g, c),
+                                RelOp::Eq,
+                                b.cvc_map(*g, c + 1),
+                            ));
+                            b.problem.assert(f);
+                        }
+                    }
+                    crate::having::assert_having(b, group_by, having, k, None)
+                })?,
+            }
+        };
+        match outcome {
+            Target::Dataset(d) => suite.datasets.push(d),
+            Target::Equivalent => suite.skipped.push(SkippedTarget {
+                label: label.to_string(),
+                reason: SkipReason::Equivalent,
+            }),
+        }
+        Ok(())
+    }
+
+    /// Kill datasets for HAVING comparison mutants: like §V-E, three
+    /// datasets per conjunct, constructing groups whose aggregate lands
+    /// exactly on, below and above the constant.
+    fn kill_having_comparisons(&self, suite: &mut TestSuite) -> Result<(), GenError> {
+        let SelectSpec::Aggregation { group_by, having, .. } = &self.query.select else {
+            return Ok(());
+        };
+        for (hi, h) in having.iter().enumerate() {
+            for op in [CompareOp::Eq, CompareOp::Lt, CompareOp::Gt] {
+                let label = format!(
+                    "having {hi} (`{h}`): dataset with `{}`",
+                    op.sql_symbol()
+                );
+                let Some(k) = crate::having::group_size_with_override(having, hi, op) else {
+                    suite.skipped.push(SkippedTarget {
+                        label,
+                        reason: SkipReason::Equivalent,
+                    });
+                    continue;
+                };
+                let target = self.solve_target(k, &label, &|b| {
+                    for c in 0..k {
+                        self.assert_query_conds(b, c)?;
+                    }
+                    for g in group_by {
+                        for c in 0..k.saturating_sub(1) {
+                            let f = Formula::Atom(Atom::new(
+                                b.cvc_map(*g, c),
+                                RelOp::Eq,
+                                b.cvc_map(*g, c + 1),
+                            ));
+                            b.problem.assert(f);
+                        }
+                    }
+                    crate::having::assert_having(b, group_by, having, k, Some((hi, op)))
+                })?;
+                match target {
+                    Target::Dataset(d) => suite.datasets.push(d),
+                    Target::Equivalent => suite
+                        .skipped
+                        .push(SkippedTarget { label, reason: SkipReason::Equivalent }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Algorithm 2: for each element of each equivalence class, nullify it
+    /// (together with every foreign key referencing it) against the rest of
+    /// the class.
+    fn kill_equivalence_classes(&self, suite: &mut TestSuite) -> Result<(), GenError> {
+        for (ci, ec) in self.query.eq_classes.iter().enumerate() {
+            for &e in ec {
+                // S := e plus equivalence-class members whose column is a
+                // foreign key referencing e's column, directly or
+                // indirectly (line 6 of Algorithm 2). Nullable foreign keys
+                // are *not* pulled in (§V-H): the referencing column can
+                // take NULL instead of being jointly nullified.
+                let e_col = self.column_ref(e);
+                let s: Vec<AttrRef> = ec
+                    .iter()
+                    .copied()
+                    .filter(|&m| {
+                        m == e || self.schema.references_strict(&self.column_ref(m), &e_col)
+                    })
+                    .collect();
+                let p: Vec<AttrRef> = ec.iter().copied().filter(|m| !s.contains(m)).collect();
+                let label = format!(
+                    "eq-class {ci}: nullify {} against {}",
+                    self.names(&s),
+                    self.names(&p)
+                );
+                if p.is_empty() {
+                    suite
+                        .skipped
+                        .push(SkippedTarget { label, reason: SkipReason::EmptyP });
+                    continue;
+                }
+                let target = self.solve_target(1, &label, &|b| {
+                    // Members of P match each other.
+                    let f = b.eq_conds(&p, 0);
+                    b.problem.assert(f);
+                    // No tuple of any relation in S matches P's value.
+                    let witness = b.cvc_map(p[0], 0);
+                    for &m in &s {
+                        let f = b.not_exists_value(m, witness);
+                        b.problem.assert(f);
+                    }
+                    // All other equivalence classes hold.
+                    for (cj, other) in self.query.eq_classes.iter().enumerate() {
+                        if cj != ci {
+                            let f = b.eq_conds(other, 0);
+                            b.problem.assert(f);
+                        }
+                    }
+                    // All retained predicates hold.
+                    for pr in &self.query.preds {
+                        let f = b.pred_formula(pr, 0)?;
+                        b.problem.assert(f);
+                    }
+                    Ok(())
+                })?;
+                match target {
+                    Target::Dataset(d) => suite.datasets.push(d),
+                    Target::Equivalent => suite
+                        .skipped
+                        .push(SkippedTarget { label, reason: SkipReason::Equivalent }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Algorithm 3: for each retained predicate and each relation in it,
+    /// a dataset where no tuple of that relation satisfies the predicate
+    /// while everything else holds.
+    fn kill_other_predicates(&self, suite: &mut TestSuite) -> Result<(), GenError> {
+        for (pi, p) in self.query.preds.iter().enumerate() {
+            for r in p.occurrences() {
+                let label = format!(
+                    "pred {pi} (`{p}`): nullify {}",
+                    self.query.occurrences[r].name
+                );
+                let target = self.solve_target(1, &label, &|b| {
+                    let f = b.gen_not_exists(p, r, 0)?;
+                    b.problem.assert(f);
+                    for ec in &self.query.eq_classes {
+                        let f = b.eq_conds(ec, 0);
+                        b.problem.assert(f);
+                    }
+                    for (pj, other) in self.query.preds.iter().enumerate() {
+                        if pj != pi {
+                            let f = b.pred_formula(other, 0)?;
+                            b.problem.assert(f);
+                        }
+                    }
+                    Ok(())
+                })?;
+                match target {
+                    Target::Dataset(d) => suite.datasets.push(d),
+                    Target::Equivalent => suite
+                        .skipped
+                        .push(SkippedTarget { label, reason: SkipReason::Equivalent }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `killComparisonOperators` (§V-E): three datasets per comparison
+    /// conjunct, in which the conjunct is forced to `=`, `<` and `>`
+    /// respectively — sufficient to kill every operator mutant.
+    fn kill_comparison_operators(&self, suite: &mut TestSuite) -> Result<(), GenError> {
+        for (pi, p) in self.query.preds.iter().enumerate() {
+            let attr_vs_const = matches!(
+                (&p.lhs, &p.rhs),
+                (Operand::Attr { .. }, Operand::Const(_)) | (Operand::Const(_), Operand::Attr { .. })
+            );
+            if !attr_vs_const && !self.opts.compare_attr_pairs {
+                continue;
+            }
+            // String comparisons only make sense as =/<>: the `<`/`>`
+            // datasets would compare dictionary codes; skip those targets.
+            let string_pred = matches!(&p.lhs, Operand::Const(Value::Str(_)))
+                || matches!(&p.rhs, Operand::Const(Value::Str(_)));
+            let target_ops: &[CompareOp] = if string_pred {
+                &[CompareOp::Eq, CompareOp::Ne]
+            } else {
+                &[CompareOp::Eq, CompareOp::Lt, CompareOp::Gt]
+            };
+            for &op in target_ops {
+                let label =
+                    format!("comparison {pi} (`{p}`): dataset with `{}`", op.sql_symbol());
+                let target = self.solve_target(1, &label, &|b| {
+                    let f = b.pred_formula_with_op(p, op, 0)?;
+                    b.problem.assert(f);
+                    for ec in &self.query.eq_classes {
+                        let f = b.eq_conds(ec, 0);
+                        b.problem.assert(f);
+                    }
+                    for (pj, other) in self.query.preds.iter().enumerate() {
+                        if pj != pi {
+                            let f = b.pred_formula(other, 0)?;
+                            b.problem.assert(f);
+                        }
+                    }
+                    Ok(())
+                })?;
+                match target {
+                    Target::Dataset(d) => suite.datasets.push(d),
+                    Target::Equivalent => suite
+                        .skipped
+                        .push(SkippedTarget { label, reason: SkipReason::Equivalent }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Algorithm 4: per aggregate, three tuple sets per relation — two with
+    /// duplicate aggregated values, one distinct — all in one group, with
+    /// optional constraint sets relaxed on inconsistency.
+    fn kill_aggregates(&self, suite: &mut TestSuite) -> Result<(), GenError> {
+        let SelectSpec::Aggregation { group_by, aggs, having } = &self.query.select else {
+            return Ok(());
+        };
+        // With a HAVING clause the group size may be forced away from the
+        // three tuple sets Algorithm 4 wants; construct with the forced
+        // size and let the relaxation ladder drop S1/S2 as needed.
+        let copies = if having.is_empty() {
+            3
+        } else {
+            match crate::having::group_size_for(having) {
+                Some(k) => k.max(3).min(crate::having::MAX_GROUP_SIZE),
+                None => return Ok(()), // HAVING unconstructible: no datasets
+            }
+        };
+        for (ai, agg) in aggs.iter().enumerate() {
+            let Some(a) = agg.arg else {
+                continue; // COUNT(*): no operator mutants (§II footnote).
+            };
+            let label = format!("aggregate {ai} ({})", agg.func.display_name());
+            // Optional constraint sets, dropped greedily on inconsistency
+            // (lines 11–13 of Algorithm 4): strong positivity (A ≥ 4, which
+            // separates COUNT = 3 from MIN/MAX/SUM/AVG — the paper's "add
+            // additional constraints to ensure that COUNT ... also
+            // differ"), then weak positivity (A > 0), then S3 (group
+            // isolation), then S1 (duplicate pair), then S2 (distinct
+            // third value).
+            let mut enabled = [true; 5]; // [POS_STRONG, POS_WEAK, S3, S1, S2]
+            let mut produced = None;
+            loop {
+                let target = self.solve_target(copies, &label, &|b| {
+                    self.assert_aggregate_conds(b, group_by, having, a, copies, enabled)
+                })?;
+                match target {
+                    Target::Dataset(d) => {
+                        produced = Some(d);
+                        break;
+                    }
+                    Target::Equivalent => {
+                        // Relax the next enabled optional set.
+                        if let Some(i) = enabled.iter().position(|e| *e) {
+                            enabled[i] = false;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            match produced {
+                Some(d) => suite.datasets.push(d),
+                None => suite
+                    .skipped
+                    .push(SkippedTarget { label, reason: SkipReason::Equivalent }),
+            }
+        }
+        Ok(())
+    }
+
+    fn assert_aggregate_conds(
+        &self,
+        b: &mut ConstraintBuilder<'_>,
+        group_by: &[AttrRef],
+        having: &[xdata_relalg::HavingPred],
+        a: AttrRef,
+        copies: u32,
+        enabled: [bool; 5],
+    ) -> Result<(), GenError> {
+        let [pos_strong, pos_weak, s3, s1, s2] = enabled;
+        // S0: each tuple set satisfies the query's join and selection
+        // conditions, and the sets share the group-by values; the HAVING
+        // clause (if any) must hold for the constructed group too.
+        for c in 0..copies {
+            self.assert_query_conds(b, c)?;
+        }
+        for g in group_by {
+            for c in 0..copies.saturating_sub(1) {
+                let f = Formula::Atom(Atom::new(
+                    b.cvc_map(*g, c),
+                    RelOp::Eq,
+                    b.cvc_map(*g, c + 1),
+                ));
+                b.problem.assert(f);
+            }
+        }
+        if !having.is_empty() {
+            crate::having::assert_having(b, group_by, having, copies, None)?;
+        }
+        if s1 {
+            // S1: sets 0 and 1 share a non-zero aggregated value but are
+            // distinct tuples (differ in some other attribute of A's
+            // relation).
+            let a0 = b.cvc_map(a, 0);
+            let a1 = b.cvc_map(a, 1);
+            b.problem.assert(Formula::Atom(Atom::new(a0, RelOp::Eq, a1)));
+            b.problem.assert(Formula::Atom(Atom::new(a0, RelOp::Ne, Term::Const(0))));
+            let arity = self
+                .schema
+                .relation(&self.query.occurrences[a.occ].base)
+                .expect("occurrence base")
+                .arity();
+            let diff = Formula::or((0..arity).filter(|c| *c != a.col).map(|c| {
+                Formula::Atom(Atom::new(
+                    b.cvc_map(AttrRef::new(a.occ, c), 0),
+                    RelOp::Ne,
+                    b.cvc_map(AttrRef::new(a.occ, c), 1),
+                ))
+            }));
+            b.problem.assert(diff);
+        }
+        if s2 {
+            // S2: the third set's aggregated value differs.
+            let f = Formula::Atom(Atom::new(b.cvc_map(a, 2), RelOp::Ne, b.cvc_map(a, 0)));
+            b.problem.assert(f);
+        }
+        if s3 {
+            // S3: the group-by values of the three sets appear in no other
+            // tuple of the corresponding relations, so the group contains
+            // exactly these tuples.
+            for g in group_by {
+                let witness = b.cvc_map(*g, 0);
+                let base = &self.query.occurrences[g.occ].base;
+                let arr = b.array(base);
+                let (_, total) = b.slots_of(base);
+                let own: Vec<u32> = (0..copies).map(|c| b.slot(g.occ, c)).collect();
+                for slot in 0..total {
+                    if own.contains(&slot) {
+                        continue;
+                    }
+                    let f = Formula::Atom(Atom::new(
+                        Term::field(arr, slot, g.col as u32),
+                        RelOp::Ne,
+                        witness,
+                    ));
+                    b.problem.assert(f);
+                }
+            }
+        }
+        if pos_strong {
+            // A ≥ 4 separates every pair of the eight operators: COUNT of a
+            // 3-tuple group is 3 < 4 ≤ MIN/MAX/AVG/SUM, COUNT(DISTINCT)=2,
+            // SUM(DISTINCT) < SUM (A ≠ 0), AVG(DISTINCT) ≠ AVG (values
+            // differ by S2) — see the killAggregates discussion in §V-F.
+            for c in 0..copies {
+                let f =
+                    Formula::Atom(Atom::new(b.cvc_map(a, c), RelOp::Ge, Term::Const(4)));
+                b.problem.assert(f);
+            }
+        } else if pos_weak {
+            // Fallback: values on one side of zero (the paper's base form).
+            for c in 0..copies {
+                let f =
+                    Formula::Atom(Atom::new(b.cvc_map(a, c), RelOp::Gt, Term::Const(0)));
+                b.problem.assert(f);
+            }
+        }
+        Ok(())
+    }
+
+    /// Kill the `SELECT` ⇄ `SELECT DISTINCT` mutant (footnote 2's
+    /// duplicate-count class): a dataset where the query result contains a
+    /// duplicate row — two tuple combinations agreeing on every projected
+    /// attribute while differing underneath.
+    fn kill_duplicates(&self, suite: &mut TestSuite) -> Result<(), GenError> {
+        let projected: Vec<AttrRef> = match &self.query.select {
+            SelectSpec::Aggregation { .. } => return Ok(()), // no duplicate mutant
+            SelectSpec::Columns(cols) => cols.clone(),
+            SelectSpec::Star => Vec::new(), // sentinel: all attributes
+        };
+        let star = matches!(self.query.select, SelectSpec::Star);
+        let label = "duplicate row (SELECT vs SELECT DISTINCT)";
+        if star {
+            // A duplicated full row needs a relation that admits duplicate
+            // tuples, i.e. one without a primary key.
+            let has_keyless = self.query.occurrences.iter().any(|o| {
+                self.schema
+                    .relation(&o.base)
+                    .map(|r| r.primary_key.is_empty())
+                    .unwrap_or(false)
+            });
+            if !has_keyless {
+                // Structurally impossible (primary keys forbid duplicate
+                // rows under SELECT *): the mutant is equivalent; nothing
+                // to record — no constraint set was even attempted.
+                return Ok(());
+            }
+        }
+        let target = self.solve_target(2, label, &|b| {
+            for c in 0..2 {
+                self.assert_query_conds(b, c)?;
+            }
+            if star {
+                // Identical tuples in both copies: keyless relations will
+                // materialize genuine duplicates.
+                for (occ, o) in self.query.occurrences.iter().enumerate() {
+                    let arity =
+                        self.schema.relation(&o.base).expect("occurrence base").arity();
+                    for col in 0..arity {
+                        let f = Formula::Atom(Atom::new(
+                            b.cvc_map(AttrRef::new(occ, col), 0),
+                            RelOp::Eq,
+                            b.cvc_map(AttrRef::new(occ, col), 1),
+                        ));
+                        b.problem.assert(f);
+                    }
+                }
+            } else {
+                // Equal projections, distinct provenance.
+                for a in &projected {
+                    let f = Formula::Atom(Atom::new(
+                        b.cvc_map(*a, 0),
+                        RelOp::Eq,
+                        b.cvc_map(*a, 1),
+                    ));
+                    b.problem.assert(f);
+                }
+                let mut alternatives = Vec::new();
+                for (occ, o) in self.query.occurrences.iter().enumerate() {
+                    let arity =
+                        self.schema.relation(&o.base).expect("occurrence base").arity();
+                    for col in 0..arity {
+                        alternatives.push(Formula::Atom(Atom::new(
+                            b.cvc_map(AttrRef::new(occ, col), 0),
+                            RelOp::Ne,
+                            b.cvc_map(AttrRef::new(occ, col), 1),
+                        )));
+                    }
+                }
+                b.problem.assert(Formula::or(alternatives));
+            }
+            Ok(())
+        })?;
+        match target {
+            Target::Dataset(d) => suite.datasets.push(d),
+            Target::Equivalent => suite.skipped.push(SkippedTarget {
+                label: label.to_string(),
+                reason: SkipReason::Equivalent,
+            }),
+        }
+        Ok(())
+    }
+
+    fn column_ref(&self, a: AttrRef) -> xdata_catalog::schema::ColumnRef {
+        xdata_catalog::schema::ColumnRef::new(
+            self.query.occurrences[a.occ].base.clone(),
+            a.col,
+        )
+    }
+
+    fn names(&self, attrs: &[AttrRef]) -> String {
+        attrs
+            .iter()
+            .map(|a| self.query.attr_name(self.schema, *a))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Combined stats across all datasets of a run (convenience for benches).
+pub fn total_stats(suite: &TestSuite) -> SolverStats {
+    let mut t = SolverStats::default();
+    for d in &suite.datasets {
+        t.decisions += d.stats.decisions;
+        t.conflicts += d.stats.conflicts;
+        t.theory_relaxations += d.stats.theory_relaxations;
+        t.ground_solves += d.stats.ground_solves;
+        t.instantiations += d.stats.instantiations;
+        t.ground_atoms += d.stats.ground_atoms;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdata_catalog::university;
+    use xdata_relalg::normalize;
+    use xdata_sql::parse_query;
+
+    fn gen(sql: &str, fks: usize) -> (NormQuery, Schema, TestSuite) {
+        let schema = university::schema_with_fk_count(fks);
+        let q = normalize(&parse_query(sql).unwrap(), &schema).unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        let suite = generate(&q, &schema, &domains, &GenOptions::default()).unwrap();
+        (q, schema, suite)
+    }
+
+    #[test]
+    fn all_generated_datasets_are_legal_instances() {
+        let (_, schema, suite) = gen(
+            "SELECT * FROM instructor i, teaches t, course c \
+             WHERE i.id = t.id AND t.course_id = c.course_id",
+            2,
+        );
+        assert!(!suite.datasets.is_empty());
+        for d in &suite.datasets {
+            let errs = d.dataset.integrity_violations(&schema);
+            assert!(errs.is_empty(), "dataset `{}` violations: {errs:?}", d.label);
+        }
+    }
+
+    #[test]
+    fn no_fk_single_join_two_nullification_datasets() {
+        let (_, _, suite) = gen("SELECT * FROM instructor i, teaches t WHERE i.id = t.id", 0);
+        // original + nullify instructor.id + nullify teaches.id.
+        assert_eq!(suite.datasets.len(), 3, "{suite}");
+        assert!(suite.skipped.is_empty());
+    }
+
+    #[test]
+    fn fk_makes_one_direction_equivalent() {
+        let (_, _, suite) = gen("SELECT * FROM instructor i, teaches t WHERE i.id = t.id", 1);
+        // The FK teaches.id → instructor.id makes "nullify instructor.id"
+        // infeasible (Example 2): one dataset fewer, one skip recorded.
+        assert_eq!(suite.datasets.len(), 2, "{suite}");
+        assert_eq!(suite.skipped.len(), 1);
+        // The FK pulls t.id into the nullified set S together with i.id,
+        // leaving P empty — Algorithm 2's special-cased equivalence.
+        assert!(suite.skipped[0].label.contains("i.id"), "{:?}", suite.skipped);
+        assert_eq!(suite.skipped[0].reason, SkipReason::EmptyP);
+    }
+
+    #[test]
+    fn datasets_are_small() {
+        let (_, _, suite) = gen(
+            "SELECT * FROM instructor i, teaches t, course c \
+             WHERE i.id = t.id AND t.course_id = c.course_id",
+            2,
+        );
+        assert!(suite.max_dataset_size() <= 12, "datasets stay small: {suite}");
+    }
+
+    #[test]
+    fn original_dataset_gives_nonempty_result() {
+        let (q, schema, suite) = gen(
+            "SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50000",
+            1,
+        );
+        let original = &suite.datasets[0];
+        assert!(original.label.contains("original"));
+        let r = xdata_engine::execute_query(&q, &original.dataset, &schema).unwrap();
+        assert!(!r.is_empty(), "original-query dataset must produce rows:\n{}", original.dataset);
+    }
+
+    #[test]
+    fn selection_killers_generated() {
+        let (_, _, suite) = gen("SELECT * FROM instructor WHERE salary > 50000", 0);
+        // original + 1 predicate-nullification + 3 comparison datasets.
+        let labels: Vec<&str> = suite.datasets.iter().map(|d| d.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.contains("nullify")), "{labels:?}");
+        assert_eq!(
+            labels.iter().filter(|l| l.contains("comparison")).count(),
+            3,
+            "{labels:?}"
+        );
+    }
+
+    #[test]
+    fn string_selection_generates() {
+        let (q, schema, suite) = gen("SELECT * FROM instructor WHERE name = 'Wu'", 0);
+        for d in &suite.datasets {
+            assert!(d.dataset.integrity_violations(&schema).is_empty());
+        }
+        // The `=` comparison dataset must make the predicate true.
+        let eq_ds = suite
+            .datasets
+            .iter()
+            .find(|d| d.label.contains("`=`"))
+            .expect("eq dataset");
+        let r = xdata_engine::execute_query(&q, &eq_ds.dataset, &schema).unwrap();
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn aggregate_dataset_has_three_tuples_per_group() {
+        let (q, schema, suite) =
+            gen("SELECT dept_id, SUM(salary) FROM instructor GROUP BY dept_id", 0);
+        let agg_ds = suite
+            .datasets
+            .iter()
+            .find(|d| d.label.contains("aggregate"))
+            .expect("aggregate dataset");
+        let tuples = agg_ds.dataset.relation("instructor").unwrap();
+        assert!(tuples.len() >= 3, "{}", agg_ds.dataset);
+        // Two equal salaries, one different, same dept (S1/S2).
+        let r = xdata_engine::execute_query(&q, &agg_ds.dataset, &schema).unwrap();
+        assert!(!r.is_empty());
+        let mut sal: Vec<i64> = tuples.iter().filter_map(|t| t[3].as_i64()).collect();
+        sal.sort_unstable();
+        assert!(sal.windows(2).any(|w| w[0] == w[1]), "duplicate pair: {sal:?}");
+        assert!(sal.windows(2).any(|w| w[0] != w[1]), "distinct value: {sal:?}");
+    }
+
+    #[test]
+    fn aggregate_values_separate_count_from_extrema() {
+        // The strong-positivity constraint (A ≥ 4) keeps COUNT = 3 out of
+        // the value range, so MIN/MAX/SUM/AVG mutants of each other and of
+        // COUNT are all distinguished by value, not by luck.
+        for agg in ["MAX", "MIN", "SUM", "AVG"] {
+            let (q, schema, suite) = gen(
+                &format!("SELECT dept_id, {agg}(salary) FROM instructor GROUP BY dept_id"),
+                0,
+            );
+            let space = xdata_relalg::mutation::mutation_space(
+                &q,
+                xdata_relalg::mutation::MutationOptions::default(),
+            );
+            let report =
+                xdata_engine::kill::kill_report(&q, &space, &suite.data(), &schema).unwrap();
+            let mutants: Vec<_> = space.iter().collect();
+            let surviving: Vec<String> = report
+                .surviving()
+                .map(|i| mutants[i].describe(&q))
+                .filter(|d| d.contains("aggregate"))
+                .collect();
+            assert!(surviving.is_empty(), "{agg}: surviving {surviving:?}\n{suite}");
+        }
+    }
+
+    #[test]
+    fn aggregate_on_unique_key_relaxes_s1() {
+        // Aggregating the primary key itself: duplicates are impossible,
+        // S1 must be dropped but a dataset still generated.
+        let (_, _, suite) = gen("SELECT dept_id, COUNT(id) FROM instructor GROUP BY dept_id", 0);
+        assert!(
+            suite.datasets.iter().any(|d| d.label.contains("aggregate")),
+            "{suite}"
+        );
+    }
+
+    #[test]
+    fn nonequi_join_generates_nullifications_both_sides() {
+        let (_, _, suite) = gen(
+            "SELECT * FROM teaches b, course c WHERE b.course_id = c.course_id + 10",
+            0,
+        );
+        let nulls: Vec<&str> = suite
+            .datasets
+            .iter()
+            .map(|d| d.label.as_str())
+            .filter(|l| l.contains("nullify"))
+            .collect();
+        assert_eq!(nulls.len(), 2, "{nulls:?}");
+    }
+
+    #[test]
+    fn input_db_mode_uses_input_values() {
+        let schema = university::schema_with_fk_count(0);
+        let q = normalize(
+            &parse_query("SELECT * FROM instructor i, teaches t WHERE i.id = t.id").unwrap(),
+            &schema,
+        )
+        .unwrap();
+        let input = university::sample_data(5);
+        let domains = DomainCatalog::from_dataset(&schema, &input);
+        let opts = GenOptions { input_db: Some(input.clone()), ..GenOptions::default() };
+        let suite = generate(&q, &schema, &domains, &opts).unwrap();
+        // The original-query dataset must consist of input tuples.
+        let orig = &suite.datasets[0];
+        for t in orig.dataset.relation("instructor").unwrap() {
+            assert!(
+                input.relation("instructor").unwrap().contains(t),
+                "tuple {t:?} not from input db"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_dictionary_string_join_generates_satisfying_data() {
+        // department.dept_name and section.building use different default
+        // dictionaries; an equi-join between them must still produce a
+        // dataset with a real (string-level) match.
+        let (q, schema, suite) = gen(
+            "SELECT * FROM department d, section s WHERE d.dept_name = s.building",
+            0,
+        );
+        let orig = &suite.datasets[0];
+        let r = xdata_engine::execute_query(&q, &orig.dataset, &schema).unwrap();
+        assert!(!r.is_empty(), "cross-dictionary join unsatisfied:\n{}", orig.dataset);
+        // The joined strings really are equal.
+        let dep = orig.dataset.relation("department").unwrap();
+        let sec = orig.dataset.relation("section").unwrap();
+        assert!(dep.iter().any(|d| sec.iter().any(|s| d[1] == s[3])));
+    }
+
+    #[test]
+    fn nullable_fk_enables_nullification() {
+        // §V-H: with a *nullable* FK teaches.id → instructor.id, nullifying
+        // instructor.id becomes possible — the teaches tuple takes NULL.
+        let ddl = "CREATE TABLE instructor (id INT PRIMARY KEY, salary INT);
+                   CREATE TABLE teaches (tid INT PRIMARY KEY, id INT NULL,
+                       FOREIGN KEY (id) REFERENCES instructor (id));";
+        let schema = xdata_sql::parse_schema(ddl).unwrap();
+        assert!(schema.relation("teaches").unwrap().attr(1).nullable);
+        let q = normalize(
+            &parse_query("SELECT * FROM instructor i, teaches t WHERE i.id = t.id").unwrap(),
+            &schema,
+        )
+        .unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        let suite = generate(&q, &schema, &domains, &GenOptions::default()).unwrap();
+        // Unlike the non-nullable case, nothing is skipped: both directions
+        // of nullification succeed.
+        assert!(suite.skipped.is_empty(), "{suite}");
+        // Some dataset has a teaches row with NULL id.
+        let has_null_fk = suite.datasets.iter().any(|d| {
+            d.dataset
+                .relation("teaches")
+                .unwrap_or(&[])
+                .iter()
+                .any(|t| t[1].is_null())
+        });
+        assert!(has_null_fk, "expected a NULL foreign key value:\n{suite}");
+        // And every dataset is still a legal instance.
+        for d in &suite.datasets {
+            let errs = d.dataset.integrity_violations(&schema);
+            assert!(errs.is_empty(), "{}: {errs:?}", d.label);
+        }
+    }
+
+    #[test]
+    fn non_nullable_fk_still_skips() {
+        let ddl = "CREATE TABLE instructor (id INT PRIMARY KEY, salary INT);
+                   CREATE TABLE teaches (tid INT PRIMARY KEY, id INT,
+                       FOREIGN KEY (id) REFERENCES instructor (id));";
+        let schema = xdata_sql::parse_schema(ddl).unwrap();
+        assert!(!schema.relation("teaches").unwrap().attr(1).nullable);
+        let q = normalize(
+            &parse_query("SELECT * FROM instructor i, teaches t WHERE i.id = t.id").unwrap(),
+            &schema,
+        )
+        .unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        let suite = generate(&q, &schema, &domains, &GenOptions::default()).unwrap();
+        assert_eq!(suite.skipped.len(), 1, "{suite}");
+    }
+
+    #[test]
+    fn lazy_mode_generates_same_suite_shape() {
+        let schema = university::schema_with_fk_count(1);
+        let q = normalize(
+            &parse_query("SELECT * FROM instructor i, teaches t WHERE i.id = t.id").unwrap(),
+            &schema,
+        )
+        .unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        let fast = generate(&q, &schema, &domains, &GenOptions::default()).unwrap();
+        let slow = generate(
+            &q,
+            &schema,
+            &domains,
+            &GenOptions { mode: xdata_solver::Mode::Lazy, ..GenOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(fast.datasets.len(), slow.datasets.len());
+        assert_eq!(fast.skipped.len(), slow.skipped.len());
+    }
+}

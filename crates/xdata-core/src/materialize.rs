@@ -1,0 +1,96 @@
+//! Model → dataset materialization.
+//!
+//! Reads the solver model back into concrete tuples, decodes string codes
+//! through the domain dictionaries, keeps only the repair tuples actually
+//! needed for referential integrity, and eliminates duplicates in relations
+//! with primary keys (§V-B).
+
+use std::collections::BTreeSet;
+
+use xdata_catalog::{Dataset, SqlType, Tuple, Value};
+use xdata_solver::Model;
+
+use crate::builder::ConstraintBuilder;
+
+struct RelTuples {
+    name: String,
+    /// Occurrence-slot tuples (always kept).
+    required: usize,
+    tuples: Vec<Tuple>,
+}
+
+/// Build the dataset from a satisfying model.
+pub fn materialize(b: &ConstraintBuilder<'_>, model: &Model, label: &str) -> Dataset {
+    let mut rels: Vec<RelTuples> = Vec::new();
+    for (rel_name, arr) in b.participating() {
+        let rel = b.schema.relation(rel_name).expect("participating relation");
+        let (occupied, total) = b.slots_of(rel_name);
+        let mut tuples = Vec::with_capacity(total as usize);
+        for slot in 0..total {
+            let mut t: Tuple = Vec::with_capacity(rel.arity());
+            for (col, attr) in rel.attributes.iter().enumerate() {
+                let raw = model.get(arr, slot, col as u32);
+                t.push(if raw == crate::builder::NULL_SENTINEL && attr.nullable {
+                    Value::Null // §V-H nullable foreign-key column
+                } else {
+                    match attr.ty {
+                        SqlType::Int => Value::Int(raw),
+                        SqlType::Double => Value::Double(raw as f64),
+                        SqlType::Varchar => {
+                            Value::Str(b.domains.decode_string(rel_name, col, raw))
+                        }
+                    }
+                });
+            }
+            tuples.push(t);
+        }
+        rels.push(RelTuples { name: rel_name.to_string(), required: occupied as usize, tuples });
+    }
+
+    // Start from the occurrence tuples and close under foreign keys:
+    // a repair tuple is kept only when some kept tuple references it.
+    let mut kept: Vec<BTreeSet<usize>> =
+        rels.iter().map(|r| (0..r.required).collect()).collect();
+    let rel_index = |name: &str| rels.iter().position(|r| r.name == name);
+    loop {
+        let mut added = false;
+        for fk in b.schema.foreign_keys() {
+            let (Some(fi), Some(ti)) = (rel_index(&fk.from), rel_index(&fk.to)) else {
+                continue;
+            };
+            let from_kept: Vec<usize> = kept[fi].iter().copied().collect();
+            for i in from_kept {
+                let ft = &rels[fi].tuples[i];
+                let key: Vec<Value> = fk.from_cols.iter().map(|c| ft[*c].clone()).collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                let matches = |t: &Tuple| {
+                    fk.to_cols.iter().zip(&key).all(|(c, k)| t[*c].group_eq(k))
+                };
+                if kept[ti].iter().any(|&j| matches(&rels[ti].tuples[j])) {
+                    continue;
+                }
+                if let Some(j) =
+                    (rels[ti].required..rels[ti].tuples.len()).find(|&j| matches(&rels[ti].tuples[j]))
+                {
+                    kept[ti].insert(j);
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+
+    let mut ds = Dataset::with_label(label);
+    for (ri, r) in rels.iter().enumerate() {
+        ds.ensure_relation(&r.name);
+        for &i in &kept[ri] {
+            ds.push(&r.name, r.tuples[i].clone());
+        }
+    }
+    ds.dedup_primary_keys(b.schema);
+    ds
+}

@@ -1,0 +1,117 @@
+//! Test-suite types and generation options.
+
+use std::fmt;
+
+use xdata_catalog::Dataset;
+use xdata_solver::{Mode, SolverStats};
+
+/// Options controlling generation.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Quantifier handling (§VI-B): `Unfold` is the paper's fast
+    /// configuration, `Lazy` the "without unfolding" one.
+    pub mode: Mode,
+    /// Force generated tuples to be drawn from this input database (§VI-A).
+    /// On inconsistency the generator retries without the restriction, as
+    /// the paper describes.
+    pub input_db: Option<Dataset>,
+    /// Generate the three `=`, `<`, `>` datasets for attribute-vs-attribute
+    /// comparisons too (a generalization of the paper's `A.x op val` case).
+    pub compare_attr_pairs: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions { mode: Mode::Unfold, input_db: None, compare_attr_pairs: true }
+    }
+}
+
+/// One generated test case.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    pub dataset: Dataset,
+    /// What this dataset targets, e.g. `nullify teaches.id (eq-class 0)`.
+    pub label: String,
+    /// Solver statistics for this dataset's constraint set.
+    pub stats: SolverStats,
+}
+
+/// A targeted constraint set that was unsatisfiable — the signature of an
+/// equivalent mutant group (§V-A).
+#[derive(Debug, Clone)]
+pub struct SkippedTarget {
+    pub label: String,
+    pub reason: SkipReason,
+}
+
+/// Why a target produced no dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkipReason {
+    /// Constraints inconsistent: the targeted mutants are equivalent to the
+    /// original query.
+    Equivalent,
+    /// The nullification set `P` was empty in Algorithm 2 (special-cased
+    /// equivalence).
+    EmptyP,
+}
+
+/// Aggregated statistics for a generation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuiteStats {
+    pub datasets: usize,
+    pub skipped: usize,
+    pub solver_decisions: u64,
+    pub solver_conflicts: u64,
+    pub ground_solves: u64,
+    pub instantiations: u64,
+}
+
+/// The generated test suite.
+#[derive(Debug, Clone, Default)]
+pub struct TestSuite {
+    pub datasets: Vec<GeneratedDataset>,
+    pub skipped: Vec<SkippedTarget>,
+}
+
+impl TestSuite {
+    pub fn stats(&self) -> SuiteStats {
+        let mut s = SuiteStats {
+            datasets: self.datasets.len(),
+            skipped: self.skipped.len(),
+            ..SuiteStats::default()
+        };
+        for d in &self.datasets {
+            s.solver_decisions += d.stats.decisions;
+            s.solver_conflicts += d.stats.conflicts;
+            s.ground_solves += d.stats.ground_solves;
+            s.instantiations += d.stats.instantiations;
+        }
+        s
+    }
+
+    /// Just the datasets (for feeding the kill checker).
+    pub fn data(&self) -> Vec<Dataset> {
+        self.datasets.iter().map(|d| d.dataset.clone()).collect()
+    }
+
+    /// Largest dataset in the suite (tuples) — the paper's "small and
+    /// intuitive" claim is about this number.
+    pub fn max_dataset_size(&self) -> usize {
+        self.datasets.iter().map(|d| d.dataset.total_tuples()).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for TestSuite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "test suite: {} datasets, {} equivalent-mutant groups skipped",
+            self.datasets.len(), self.skipped.len())?;
+        for (i, d) in self.datasets.iter().enumerate() {
+            writeln!(f, "--- dataset {i}: {}", d.label)?;
+            write!(f, "{}", d.dataset)?;
+        }
+        for s in &self.skipped {
+            writeln!(f, "--- skipped (equivalent): {}", s.label)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,30 @@
+//! Execution errors.
+
+use std::fmt;
+
+/// Errors raised during query execution. Most structural problems are
+/// caught earlier by `xdata-relalg` normalization; these remain for
+/// dataset/schema mismatches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An occurrence's base relation is missing from the schema.
+    UnknownRelation(String),
+    /// A tuple's width does not match its relation's arity.
+    ArityMismatch { relation: String, expected: usize, got: usize },
+    /// An aggregate was applied to a non-numeric value.
+    BadAggregateInput(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            EngineError::ArityMismatch { relation, expected, got } => {
+                write!(f, "tuple of width {got} in `{relation}` (arity {expected})")
+            }
+            EngineError::BadAggregateInput(m) => write!(f, "bad aggregate input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,348 @@
+//! Join-tree execution.
+//!
+//! Rows flow through the tree as full-width vectors with one slot group per
+//! relation occurrence; positions owned by occurrences not (yet) joined —
+//! or NULL-extended by an outer join — hold `Value::Null`. Each subtree
+//! reports which occurrences it owns, so merging two sides is a disjoint
+//! copy and NULL-extension falls out naturally.
+
+use xdata_catalog::{Dataset, Schema, Truth, Value};
+use xdata_relalg::{AttrRef, NormQuery, Operand, Pred, SelectSpec};
+use xdata_relalg::tree::JoinTree;
+use xdata_sql::{CompareOp, JoinKind};
+
+use crate::agg::aggregate;
+use crate::error::EngineError;
+use crate::result::ResultSet;
+
+/// Column layout: occurrence → base offset into the flat row.
+#[derive(Debug, Clone)]
+pub(crate) struct Layout {
+    pub offsets: Vec<usize>,
+    pub total: usize,
+}
+
+impl Layout {
+    pub(crate) fn new(q: &NormQuery, schema: &Schema) -> Result<Layout, EngineError> {
+        let mut offsets = Vec::with_capacity(q.occurrences.len());
+        let mut total = 0usize;
+        for occ in &q.occurrences {
+            let rel = schema
+                .relation(&occ.base)
+                .ok_or_else(|| EngineError::UnknownRelation(occ.base.clone()))?;
+            offsets.push(total);
+            total += rel.arity();
+        }
+        Ok(Layout { offsets, total })
+    }
+
+    pub(crate) fn pos(&self, a: AttrRef) -> usize {
+        self.offsets[a.occ] + a.col
+    }
+}
+
+type Row = Vec<Value>;
+
+/// Execute the query with its own tree.
+pub fn execute_query(
+    q: &NormQuery,
+    db: &Dataset,
+    schema: &Schema,
+) -> Result<ResultSet, EngineError> {
+    execute_with_tree(q, &q.tree, db, schema)
+}
+
+/// Execute the query with a replacement join tree (join-type mutants).
+pub fn execute_with_tree(
+    q: &NormQuery,
+    tree: &JoinTree,
+    db: &Dataset,
+    schema: &Schema,
+) -> Result<ResultSet, EngineError> {
+    let layout = Layout::new(q, schema)?;
+    let (rows, _) = eval_tree(tree, q, db, schema, &layout)?;
+    project(q, rows, &layout)
+}
+
+fn eval_tree(
+    tree: &JoinTree,
+    q: &NormQuery,
+    db: &Dataset,
+    schema: &Schema,
+    layout: &Layout,
+) -> Result<(Vec<Row>, u64), EngineError> {
+    match tree {
+        JoinTree::Leaf(occ) => {
+            let base = &q.occurrences[*occ].base;
+            let rel = schema
+                .relation(base)
+                .ok_or_else(|| EngineError::UnknownRelation(base.clone()))?;
+            let tuples = db.relation(base).unwrap_or(&[]);
+            let mut rows = Vec::with_capacity(tuples.len());
+            // Selections on this occurrence apply at the leaf (§II:
+            // selections are pushed to the individual relations).
+            let sels: Vec<&Pred> = q
+                .preds
+                .iter()
+                .filter(|p| p.is_selection() && p.occurrences() == vec![*occ])
+                .collect();
+            for t in tuples {
+                if t.len() != rel.arity() {
+                    return Err(EngineError::ArityMismatch {
+                        relation: base.clone(),
+                        expected: rel.arity(),
+                        got: t.len(),
+                    });
+                }
+                let mut row = vec![Value::Null; layout.total];
+                row[layout.offsets[*occ]..layout.offsets[*occ] + t.len()].clone_from_slice(t);
+                if sels.iter().all(|p| eval_pred(p, &row, layout).is_true()) {
+                    rows.push(row);
+                }
+            }
+            Ok((rows, 1u64 << occ))
+        }
+        JoinTree::Node { kind, left, right, conds } => {
+            let (lrows, lmask) = eval_tree(left, q, db, schema, layout)?;
+            let (rrows, rmask) = eval_tree(right, q, db, schema, layout)?;
+            let mut out = Vec::new();
+            let mut rmatched = vec![false; rrows.len()];
+            for l in &lrows {
+                let mut lmatch = false;
+                for (ri, r) in rrows.iter().enumerate() {
+                    let merged = merge(l, r, lmask, rmask, layout);
+                    if conds.iter().all(|c| eval_pred(c, &merged, layout).is_true()) {
+                        out.push(merged);
+                        lmatch = true;
+                        rmatched[ri] = true;
+                    }
+                }
+                if !lmatch && matches!(kind, JoinKind::Left | JoinKind::Full) {
+                    out.push(l.clone()); // right side stays NULL
+                }
+            }
+            if matches!(kind, JoinKind::Right | JoinKind::Full) {
+                for (ri, r) in rrows.iter().enumerate() {
+                    if !rmatched[ri] {
+                        out.push(r.clone()); // left side stays NULL
+                    }
+                }
+            }
+            Ok((out, lmask | rmask))
+        }
+    }
+}
+
+fn merge(l: &Row, r: &Row, lmask: u64, rmask: u64, layout: &Layout) -> Row {
+    debug_assert_eq!(lmask & rmask, 0, "join sides own disjoint occurrences");
+    let mut row = l.clone();
+    let mut m = rmask;
+    while m != 0 {
+        let occ = m.trailing_zeros() as usize;
+        m &= m - 1;
+        let start = layout.offsets[occ];
+        let end = if occ + 1 < layout.offsets.len() { layout.offsets[occ + 1] } else { layout.total };
+        row[start..end].clone_from_slice(&r[start..end]);
+    }
+    row
+}
+
+pub(crate) fn operand_value(o: &Operand, row: &Row, layout: &Layout) -> Value {
+    match o {
+        Operand::Const(v) => v.clone(),
+        Operand::Attr { attr, offset } => {
+            let v = &row[layout.pos(*attr)];
+            if *offset == 0 {
+                v.clone()
+            } else {
+                match v {
+                    Value::Int(i) => Value::Int(i + offset),
+                    Value::Double(d) => Value::Double(d + *offset as f64),
+                    _ => Value::Null,
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn eval_pred(p: &Pred, row: &Row, layout: &Layout) -> Truth {
+    let l = operand_value(&p.lhs, row, layout);
+    let r = operand_value(&p.rhs, row, layout);
+    match l.sql_cmp(&r) {
+        None => Truth::Unknown,
+        Some(ord) => {
+            let b = match p.op {
+                CompareOp::Eq => ord == std::cmp::Ordering::Equal,
+                CompareOp::Ne => ord != std::cmp::Ordering::Equal,
+                CompareOp::Lt => ord == std::cmp::Ordering::Less,
+                CompareOp::Le => ord != std::cmp::Ordering::Greater,
+                CompareOp::Gt => ord == std::cmp::Ordering::Greater,
+                CompareOp::Ge => ord != std::cmp::Ordering::Less,
+            };
+            Truth::from_bool(b)
+        }
+    }
+}
+
+fn project(q: &NormQuery, rows: Vec<Row>, layout: &Layout) -> Result<ResultSet, EngineError> {
+    let result = match &q.select {
+        SelectSpec::Star => ResultSet::new(rows),
+        SelectSpec::Columns(cols) => {
+            let out = rows
+                .into_iter()
+                .map(|r| cols.iter().map(|c| r[layout.pos(*c)].clone()).collect())
+                .collect();
+            ResultSet::new(out)
+        }
+        SelectSpec::Aggregation { group_by, aggs, having } => {
+            aggregate(q, rows, group_by, aggs, having, layout)?
+        }
+    };
+    if q.distinct {
+        // SELECT DISTINCT: set semantics on the projected rows (NULLs
+        // compare equal for duplicate elimination, as in SQL).
+        let mut rows = result.rows().to_vec();
+        rows.dedup(); // rows() is sorted
+        return Ok(ResultSet::new(rows));
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdata_catalog::university;
+    use xdata_relalg::normalize;
+    use xdata_sql::parse_query;
+
+    fn run(sql: &str, db: &Dataset) -> ResultSet {
+        let schema = university::schema();
+        let q = normalize(&parse_query(sql).unwrap(), &schema).unwrap();
+        execute_query(&q, db, &schema).unwrap()
+    }
+
+    fn db() -> Dataset {
+        // Two instructors; only #10 teaches.
+        let mut d = Dataset::new();
+        d.push("instructor", vec![Value::Int(10), Value::Str("Wu".into()), Value::Int(1), Value::Int(60000)]);
+        d.push("instructor", vec![Value::Int(11), Value::Str("Mozart".into()), Value::Int(2), Value::Int(40000)]);
+        d.push("teaches", vec![Value::Int(10), Value::Int(100), Value::Int(1), Value::Int(2009)]);
+        d
+    }
+
+    #[test]
+    fn inner_join_matches_only() {
+        let r = run("SELECT i.name FROM instructor i, teaches t WHERE i.id = t.id", &db());
+        assert_eq!(r.rows(), &[vec![Value::Str("Wu".into())]]);
+    }
+
+    #[test]
+    fn left_outer_join_null_extends() {
+        let r = run(
+            "SELECT i.name, t.course_id FROM instructor i LEFT OUTER JOIN teaches t \
+             ON i.id = t.id",
+            &db(),
+        );
+        assert_eq!(r.len(), 2);
+        assert!(r
+            .rows()
+            .iter()
+            .any(|row| row == &vec![Value::Str("Mozart".into()), Value::Null]));
+    }
+
+    #[test]
+    fn right_outer_join_symmetric() {
+        let mut d = db();
+        // A teaches row with no instructor (FK violated on purpose — the
+        // engine does not enforce constraints, the generator does).
+        d.push("teaches", vec![Value::Int(99), Value::Int(101), Value::Int(1), Value::Int(2009)]);
+        let r = run(
+            "SELECT i.name, t.course_id FROM instructor i RIGHT OUTER JOIN teaches t \
+             ON i.id = t.id",
+            &d,
+        );
+        assert_eq!(r.len(), 2);
+        assert!(r.rows().iter().any(|row| row == &vec![Value::Null, Value::Int(101)]));
+    }
+
+    #[test]
+    fn full_outer_join_extends_both() {
+        let mut d = db();
+        d.push("teaches", vec![Value::Int(99), Value::Int(101), Value::Int(1), Value::Int(2009)]);
+        let r = run(
+            "SELECT i.name, t.course_id FROM instructor i FULL OUTER JOIN teaches t \
+             ON i.id = t.id",
+            &d,
+        );
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn selection_pushed_to_leaf_affects_outer_join() {
+        // σ filters instructor before the outer join: Mozart's row is gone
+        // entirely rather than NULL-extended.
+        let r = run(
+            "SELECT i.name, t.course_id FROM instructor i LEFT OUTER JOIN teaches t \
+             ON i.id = t.id WHERE i.salary > 50000",
+            &db(),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Value::Str("Wu".into()));
+    }
+
+    #[test]
+    fn null_condition_is_not_true() {
+        // teaches row joined against NULL-extended side: condition Unknown.
+        let mut d = Dataset::new();
+        d.push("instructor", vec![Value::Int(1), Value::Str("A".into()), Value::Int(1), Value::Int(1)]);
+        let r = run(
+            "SELECT i.name, t.course_id FROM instructor i LEFT OUTER JOIN teaches t \
+             ON i.id = t.id",
+            &d,
+        );
+        assert_eq!(r.rows(), &[vec![Value::Str("A".into()), Value::Null]]);
+    }
+
+    #[test]
+    fn bag_semantics_preserves_duplicates() {
+        let mut d = db();
+        // Second teaches row for the same instructor — two joined rows.
+        d.push("teaches", vec![Value::Int(10), Value::Int(101), Value::Int(1), Value::Int(2009)]);
+        let r = run("SELECT i.name FROM instructor i, teaches t WHERE i.id = t.id", &d);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0], r.rows()[1]);
+    }
+
+    #[test]
+    fn nonequi_join_with_offset() {
+        let mut d = Dataset::new();
+        d.push("teaches", vec![Value::Int(1), Value::Int(110), Value::Int(1), Value::Int(2009)]);
+        d.push("course", vec![Value::Int(100), Value::Str("X".into()), Value::Int(1), Value::Int(3)]);
+        let r = run(
+            "SELECT t.id FROM teaches t, course c WHERE t.course_id = c.course_id + 10",
+            &d,
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn star_projects_all_columns_in_from_order() {
+        let r = run("SELECT * FROM instructor i, teaches t WHERE i.id = t.id", &db());
+        assert_eq!(r.rows()[0].len(), 8); // 4 + 4 columns
+        assert_eq!(r.rows()[0][0], Value::Int(10));
+        assert_eq!(r.rows()[0][4], Value::Int(10));
+    }
+
+    #[test]
+    fn missing_relation_treated_as_empty() {
+        let d = Dataset::new();
+        let r = run("SELECT i.name FROM instructor i, teaches t WHERE i.id = t.id", &d);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn string_selection() {
+        let r = run("SELECT id FROM instructor WHERE name = 'Mozart'", &db());
+        assert_eq!(r.rows(), &[vec![Value::Int(11)]]);
+    }
+}

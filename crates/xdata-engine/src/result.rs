@@ -1,0 +1,100 @@
+//! Query results as comparable bags.
+
+use std::fmt;
+
+use xdata_catalog::{Tuple, Value};
+
+/// A query result: a bag of rows. Equality is bag equality (order
+/// insensitive, multiplicity sensitive) — exactly the notion under which a
+/// test case kills a mutant (§I: "produces a different result").
+#[derive(Debug, Clone, Default)]
+pub struct ResultSet {
+    rows: Vec<Tuple>,
+}
+
+impl ResultSet {
+    pub fn new(mut rows: Vec<Tuple>) -> Self {
+        rows.sort_by(|a, b| cmp_rows(a, b));
+        ResultSet { rows }
+    }
+
+    /// Rows in canonical (sorted) order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn cmp_rows(a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
+    a.len().cmp(&b.len()).then_with(|| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let o = x.total_cmp(y);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    })
+}
+
+impl PartialEq for ResultSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+    }
+}
+impl Eq for ResultSet {}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rows.is_empty() {
+            return writeln!(f, "(empty result)");
+        }
+        for r in &self.rows {
+            let cells: Vec<String> = r.iter().map(Value::to_string).collect();
+            writeln!(f, "({})", cells.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_equality_is_order_insensitive() {
+        let a = ResultSet::new(vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+        let b = ResultSet::new(vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bag_equality_is_multiplicity_sensitive() {
+        let a = ResultSet::new(vec![vec![Value::Int(1)], vec![Value::Int(1)]]);
+        let b = ResultSet::new(vec![vec![Value::Int(1)]]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nulls_compare_stably() {
+        let a = ResultSet::new(vec![vec![Value::Null, Value::Int(1)]]);
+        let b = ResultSet::new(vec![vec![Value::Null, Value::Int(1)]]);
+        assert_eq!(a, b);
+        let c = ResultSet::new(vec![vec![Value::Null, Value::Int(2)]]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn display_lists_rows() {
+        let r = ResultSet::new(vec![vec![Value::Int(1), Value::Str("x".into())]]);
+        assert_eq!(r.to_string(), "(1, 'x')\n");
+        assert_eq!(ResultSet::default().to_string(), "(empty result)\n");
+    }
+}

@@ -1,0 +1,257 @@
+//! Decorrelation of `IN (SELECT ...)` subqueries into joins (§V-H:
+//! "Simple subqueries which can be decorrelated into joins can be handled
+//! by decorrelating the query and then applying our algorithms").
+//!
+//! The rewrite `outer WHERE x IN (SELECT k FROM r WHERE σ)` →
+//! `outer, r WHERE x = r.k AND σ` is only *bag-semantics-exact* when the
+//! subquery cannot produce duplicate matches for one outer row. We accept
+//! exactly the statically-safe case: the subquery is a single relation
+//! (no joins), without aggregation, selecting a column that is the
+//! relation's single-column primary key. Correlated predicates in the
+//! subquery's WHERE clause are allowed — after merging they resolve
+//! against the combined scope.
+
+use xdata_catalog::Schema;
+use xdata_sql::{ColRef, CompareOp, Condition, Expr, FromItem, Query, SelectItem};
+
+use crate::error::RelAlgError;
+
+/// Rewrite all `IN` conjuncts of `query` into joins. Queries without `IN`
+/// are returned unchanged (cheaply cloned).
+pub fn decorrelate(query: &Query, schema: &Schema) -> Result<Query, RelAlgError> {
+    if query.where_in.is_empty() {
+        return Ok(query.clone());
+    }
+    let mut out = query.clone();
+    out.where_in.clear();
+    // Scope: (binding, base relation) pairs visible to membership
+    // left-hand sides — the original FROM plus every merged subquery
+    // relation so far. Used to qualify unqualified lhs columns *before*
+    // merging makes them ambiguous.
+    let mut scope: Vec<(String, String)> = Vec::new();
+    for item in &query.from {
+        scope.extend(item.bindings());
+    }
+    let mut existing: Vec<String> = scope.iter().map(|(b, _)| b.clone()).collect();
+    let qualify_outer = |scope: &[(String, String)],
+                         schema: &Schema,
+                         e: &Expr|
+     -> Result<Expr, RelAlgError> {
+        let fix = |c: &ColRef| -> Result<ColRef, RelAlgError> {
+            if c.table.is_some() {
+                return Ok(c.clone());
+            }
+            let mut found: Option<&str> = None;
+            for (binding, base) in scope {
+                if let Some(rel) = schema.relation(base) {
+                    if rel.attr_pos(&c.column).is_some() {
+                        if found.is_some() {
+                            return Err(RelAlgError::AmbiguousColumn(c.column.clone()));
+                        }
+                        found = Some(binding);
+                    }
+                }
+            }
+            match found {
+                Some(b) => Ok(ColRef::new(Some(b), &c.column)),
+                None => Err(RelAlgError::UnknownColumn(c.column.clone())),
+            }
+        };
+        Ok(match e {
+            Expr::Column(c) => Expr::Column(fix(c)?),
+            Expr::ColumnPlus(c, k) => Expr::ColumnPlus(fix(c)?, *k),
+            other => other.clone(),
+        })
+    };
+    let mut counter = 0usize;
+    let mut pending = query.where_in.clone();
+    while let Some(inp) = pending.pop() {
+        // Pin the membership lhs to the scope as it stands *before* this
+        // merge (inner-merged relations may carry same-named columns).
+        let lhs = qualify_outer(&scope, schema, &inp.lhs)?;
+        // Nested INs inside the subquery are hoisted to this level after
+        // the subquery merges (each hoist adds another PK-joined relation,
+        // preserving duplicate-safety inductively).
+        let sub = (*inp.subquery).clone();
+
+        // Validate the safe shape.
+        if !sub.group_by.is_empty() || sub.has_aggregates() || !sub.having.is_empty() {
+            return Err(RelAlgError::Unsupported(
+                "IN over an aggregated subquery (not decorrelatable into a join)".into(),
+            ));
+        }
+        let (table, alias) = match sub.from.as_slice() {
+            [FromItem::Table { name, alias }] => (name.clone(), alias.clone()),
+            _ => {
+                return Err(RelAlgError::Unsupported(
+                    "IN subquery must select from exactly one relation".into(),
+                ))
+            }
+        };
+        let rel = schema
+            .relation(&table)
+            .ok_or_else(|| RelAlgError::UnknownRelation(table.clone()))?;
+        let sel_col = match sub.select.as_slice() {
+            [SelectItem::Column(c)] => c.column.clone(),
+            _ => {
+                return Err(RelAlgError::Unsupported(
+                    "IN subquery must select exactly one plain column".into(),
+                ))
+            }
+        };
+        let col_pos = rel
+            .attr_pos(&sel_col)
+            .ok_or_else(|| RelAlgError::UnknownColumn(format!("{table}.{sel_col}")))?;
+        if !rel.is_primary_key(&[col_pos]) {
+            return Err(RelAlgError::Unsupported(format!(
+                "IN subquery column `{table}.{sel_col}` must be the relation's \
+                 single-column primary key (duplicate-safety of the join rewrite)"
+            )));
+        }
+
+        // Fresh binding for the merged relation.
+        let fresh = loop {
+            let candidate = format!("__s{counter}");
+            counter += 1;
+            if !existing.contains(&candidate) {
+                break candidate;
+            }
+        };
+        existing.push(fresh.clone());
+
+        // Qualify the subquery's conditions into the fresh binding.
+        let old_binding = alias.unwrap_or_else(|| table.clone());
+        let requalify = |c: &ColRef| -> ColRef {
+            match &c.table {
+                Some(t) if *t == old_binding => ColRef::new(Some(&fresh), &c.column),
+                Some(_) => c.clone(),
+                None => {
+                    // Unqualified: belongs to the subquery relation when the
+                    // column exists there (inner scope shadows outer).
+                    if rel.attr_pos(&c.column).is_some() {
+                        ColRef::new(Some(&fresh), &c.column)
+                    } else {
+                        c.clone()
+                    }
+                }
+            }
+        };
+        let requalify_expr = |e: &Expr| -> Expr {
+            match e {
+                Expr::Column(c) => Expr::Column(requalify(c)),
+                Expr::ColumnPlus(c, k) => Expr::ColumnPlus(requalify(c), *k),
+                other => other.clone(),
+            }
+        };
+
+        out.from.push(FromItem::Table { name: table.clone(), alias: Some(fresh.clone()) });
+        for c in &sub.where_clause {
+            out.where_clause.push(Condition {
+                lhs: requalify_expr(&c.lhs),
+                op: c.op,
+                rhs: requalify_expr(&c.rhs),
+            });
+        }
+        // The membership link itself.
+        out.where_clause.push(Condition {
+            lhs,
+            op: CompareOp::Eq,
+            rhs: Expr::Column(ColRef::new(Some(&fresh), &sel_col)),
+        });
+        scope.push((fresh.clone(), table.clone()));
+        // Hoist the subquery's own INs with requalified left-hand sides.
+        for nested in &sub.where_in {
+            pending.push(xdata_sql::InPred {
+                lhs: requalify_expr(&nested.lhs),
+                subquery: nested.subquery.clone(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdata_catalog::university;
+    use xdata_sql::parse_query;
+
+    fn decor(sql: &str) -> Result<Query, RelAlgError> {
+        decorrelate(&parse_query(sql).unwrap(), &university::schema())
+    }
+
+    #[test]
+    fn simple_in_becomes_join() {
+        let q = decor(
+            "SELECT name FROM instructor WHERE id IN (SELECT id FROM instructor \
+             WHERE salary > 50000)",
+        )
+        .unwrap();
+        assert!(q.where_in.is_empty());
+        assert_eq!(q.from.len(), 2);
+        // Link + copied selection.
+        assert_eq!(q.where_clause.len(), 2);
+        let s = q.to_string();
+        assert!(s.contains("__s0"), "{s}");
+    }
+
+    #[test]
+    fn correlated_predicate_survives() {
+        // Correlation: the subquery references the outer instructor.
+        let q = decor(
+            "SELECT i.name FROM instructor i WHERE i.id IN \
+             (SELECT sid FROM student WHERE dept_id = 3)",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        let s = q.to_string();
+        assert!(s.contains("__s0.dept_id = 3"), "{s}");
+        assert!(s.contains("i.id = __s0.sid"), "{s}");
+    }
+
+    #[test]
+    fn nested_in_recurses() {
+        let q = decor(
+            "SELECT name FROM instructor WHERE id IN (SELECT sid FROM student \
+             WHERE sid IN (SELECT s_id FROM advisor))",
+        )
+        .unwrap();
+        assert!(q.where_in.is_empty());
+        assert_eq!(q.from.len(), 3);
+    }
+
+    #[test]
+    fn non_pk_column_rejected() {
+        let e = decor(
+            "SELECT name FROM instructor WHERE dept_id IN (SELECT dept_id FROM student)",
+        )
+        .unwrap_err();
+        assert!(matches!(e, RelAlgError::Unsupported(_)), "{e}");
+    }
+
+    #[test]
+    fn aggregated_subquery_rejected() {
+        let e = decor(
+            "SELECT name FROM instructor WHERE id IN \
+             (SELECT sid FROM student GROUP BY sid)",
+        );
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn multi_relation_subquery_rejected() {
+        let e = decor(
+            "SELECT name FROM instructor WHERE id IN \
+             (SELECT sid FROM student, advisor WHERE sid = s_id)",
+        )
+        .unwrap_err();
+        assert!(matches!(e, RelAlgError::Unsupported(_)));
+    }
+
+    #[test]
+    fn queries_without_in_unchanged() {
+        let src = "SELECT * FROM instructor WHERE salary > 10";
+        let q = decor(src).unwrap();
+        assert_eq!(q, parse_query(src).unwrap());
+    }
+}

@@ -1,0 +1,48 @@
+//! Errors raised during query normalization and validation.
+
+use std::fmt;
+
+/// Normalization / validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelAlgError {
+    /// The FROM clause references a relation not in the schema.
+    UnknownRelation(String),
+    /// A column reference could not be resolved.
+    UnknownColumn(String),
+    /// An unqualified column name matches several relation occurrences.
+    AmbiguousColumn(String),
+    /// Two FROM items bind the same name.
+    DuplicateBinding(String),
+    /// A predicate compares incomparable types (e.g. string vs int).
+    TypeMismatch(String),
+    /// Assumption A7/A8 violated: a full outer join whose input contributes
+    /// no column to the select list.
+    FullOuterJoinProjection(String),
+    /// The query uses a feature outside the paper's class (§II / A3–A6).
+    Unsupported(String),
+    /// GROUP BY / aggregate structure is inconsistent.
+    BadAggregation(String),
+}
+
+impl fmt::Display for RelAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelAlgError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            RelAlgError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            RelAlgError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            RelAlgError::DuplicateBinding(b) => {
+                write!(f, "duplicate relation binding `{b}` in FROM clause")
+            }
+            RelAlgError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            RelAlgError::FullOuterJoinProjection(m) => write!(
+                f,
+                "assumption A7/A8 violated (full outer join input must contribute \
+                 a select-list column): {m}"
+            ),
+            RelAlgError::Unsupported(m) => write!(f, "outside the supported query class: {m}"),
+            RelAlgError::BadAggregation(m) => write!(f, "bad aggregation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelAlgError {}

@@ -1,0 +1,34 @@
+//! # xdata-relalg
+//!
+//! Relational-algebra middle layer of the X-Data reproduction: normalizes
+//! parsed queries into the representation the paper's algorithms work on,
+//! and generates the paper's mutation space.
+//!
+//! * [`NormQuery`] — the normalized query: relation occurrences (repeated
+//!   relations get distinct names, §V-A), **equivalence classes** of
+//!   attributes from equi-join conditions (§IV-B, Figure 2), the remaining
+//!   predicates (non-equi joins and selections, pushed to the lowest
+//!   possible level, §II), the join tree, and the aggregation spec.
+//! * [`JoinTree`] — annotated join trees with per-node join kinds and
+//!   conditions; semantic canonicalization modulo inner-join
+//!   commutativity/associativity.
+//! * [`enumerate::enumerate_trees`] — all equivalent join trees derivable
+//!   from the join graph (including edges implied by equivalence classes —
+//!   the Figure 2 motivation).
+//! * [`mutation::MutationSpace`] — join-type, comparison-operator and
+//!   aggregation-operator mutants (§II), deduplicated by canonical form.
+
+pub mod decorrelate;
+pub mod enumerate;
+pub mod error;
+pub mod ir;
+pub mod mutation;
+pub mod normalize;
+pub mod tree;
+
+pub use error::RelAlgError;
+pub use ir::{AggFunc, AttrRef, HavingPred, NormQuery, Occurrence, Operand, Pred, SelectSpec};
+pub use mutation::{AggMutant, CmpMutant, DistinctMutant, JoinMutant, Mutant, MutationSpace};
+pub use decorrelate::decorrelate;
+pub use normalize::normalize;
+pub use tree::JoinTree;

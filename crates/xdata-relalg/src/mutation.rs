@@ -1,0 +1,538 @@
+//! The mutation space of §II.
+//!
+//! * **Join-type mutants** — every (equivalent join tree, node, alternative
+//!   join kind) triple, deduplicated by semantic canonical form
+//!   ([`crate::JoinTree::canonical_key`]). For queries with explicit outer
+//!   joins the tree shape is fixed (outer joins do not commute in general)
+//!   and only node kinds mutate.
+//! * **Comparison mutants** — every comparison operator of every WHERE
+//!   conjunct replaced by each of the five alternatives.
+//! * **Aggregation mutants** — every aggregate replaced by each other
+//!   member of the eight-operator space (`COUNT(*)` does not mutate: the
+//!   other operators need a column argument).
+
+use xdata_sql::{CompareOp, JoinKind};
+
+use crate::enumerate::enumerate_trees;
+use crate::ir::{AggFunc, NormQuery, SelectSpec};
+use crate::tree::JoinTree;
+
+/// A join-type mutant: a concrete tree with exactly one mutated node.
+#[derive(Debug, Clone)]
+pub struct JoinMutant {
+    /// The full annotated tree to execute (kind already mutated).
+    pub tree: JoinTree,
+    /// Preorder index of the mutated node in `tree`.
+    pub node: usize,
+    pub from: JoinKind,
+    pub to: JoinKind,
+    /// Semantic canonical key used for deduplication.
+    pub key: String,
+    /// How many raw `(tree, node, kind)` triples collapsed into this
+    /// canonical mutant. The paper's Table I counts raw triples across all
+    /// join orderings; `multiplicity` recovers that counting.
+    pub multiplicity: usize,
+}
+
+/// A comparison-operator mutant of WHERE conjunct `pred_idx`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmpMutant {
+    pub pred_idx: usize,
+    pub from: CompareOp,
+    pub to: CompareOp,
+}
+
+/// An aggregation-operator mutant of aggregate item `agg_idx`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggMutant {
+    pub agg_idx: usize,
+    pub from: AggFunc,
+    pub to: AggFunc,
+}
+
+/// A comparison-operator mutant of HAVING conjunct `having_idx`
+/// (constrained aggregation — this reproduction's extension).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HavingCmpMutant {
+    pub having_idx: usize,
+    pub from: CompareOp,
+    pub to: CompareOp,
+}
+
+/// An aggregation-operator mutant inside a HAVING conjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HavingAggMutant {
+    pub having_idx: usize,
+    pub from: AggFunc,
+    pub to: AggFunc,
+}
+
+/// The duplicate-count mutant: `SELECT` ⇄ `SELECT DISTINCT` (the paper's
+/// footnote-2 future work).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistinctMutant {
+    /// The mutant's `DISTINCT` flag (negation of the original's).
+    pub to: bool,
+}
+
+/// Any single mutation.
+#[derive(Debug, Clone)]
+pub enum Mutant {
+    Join(JoinMutant),
+    Cmp(CmpMutant),
+    Agg(AggMutant),
+    HavingCmp(HavingCmpMutant),
+    HavingAgg(HavingAggMutant),
+    Distinct(DistinctMutant),
+}
+
+impl Mutant {
+    /// Human-readable description.
+    pub fn describe(&self, q: &NormQuery) -> String {
+        let names: Vec<String> = q.occurrences.iter().map(|o| o.name.clone()).collect();
+        match self {
+            Mutant::Join(m) => format!(
+                "join mutant: node {} {} -> {} in {}",
+                m.node,
+                m.from.sql_name(),
+                m.to.sql_name(),
+                m.tree.display_with(&names)
+            ),
+            Mutant::Cmp(m) => format!(
+                "comparison mutant: predicate #{} `{}` -> `{}`",
+                m.pred_idx,
+                m.from.sql_symbol(),
+                m.to.sql_symbol()
+            ),
+            Mutant::Agg(m) => format!(
+                "aggregate mutant: item #{} {} -> {}",
+                m.agg_idx,
+                m.from.display_name(),
+                m.to.display_name()
+            ),
+            Mutant::HavingCmp(m) => format!(
+                "having comparison mutant: conjunct #{} `{}` -> `{}`",
+                m.having_idx,
+                m.from.sql_symbol(),
+                m.to.sql_symbol()
+            ),
+            Mutant::HavingAgg(m) => format!(
+                "having aggregate mutant: conjunct #{} {} -> {}",
+                m.having_idx,
+                m.from.display_name(),
+                m.to.display_name()
+            ),
+            Mutant::Distinct(m) => {
+                if m.to {
+                    "duplicate mutant: SELECT -> SELECT DISTINCT".to_string()
+                } else {
+                    "duplicate mutant: SELECT DISTINCT -> SELECT".to_string()
+                }
+            }
+        }
+    }
+}
+
+/// Options controlling mutant generation.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationOptions {
+    /// Include mutations *to* full outer join. The paper's experiments
+    /// "ignore the mutation to full outer join" (§VI-C), so benchmarks turn
+    /// this off; the generator still kills them (§V-A: the two datasets per
+    /// condition also kill full-outer mutants).
+    pub include_full: bool,
+    /// Include this reproduction's extension classes (duplicate-count
+    /// SELECT ⇄ SELECT DISTINCT mutants). Benchmarks reproducing the
+    /// paper's tables turn this off to keep the counting comparable.
+    pub include_extensions: bool,
+    /// Cap on the number of enumerated join trees.
+    pub tree_limit: usize,
+}
+
+impl Default for MutationOptions {
+    fn default() -> Self {
+        MutationOptions { include_full: true, include_extensions: true, tree_limit: 200_000 }
+    }
+}
+
+/// The complete single-mutation space of a query.
+#[derive(Debug, Clone, Default)]
+pub struct MutationSpace {
+    pub join: Vec<JoinMutant>,
+    pub cmp: Vec<CmpMutant>,
+    pub agg: Vec<AggMutant>,
+    pub having_cmp: Vec<HavingCmpMutant>,
+    pub having_agg: Vec<HavingAggMutant>,
+    pub dup: Vec<DistinctMutant>,
+}
+
+impl MutationSpace {
+    pub fn len(&self) -> usize {
+        self.join.len()
+            + self.cmp.len()
+            + self.agg.len()
+            + self.having_cmp.len()
+            + self.having_agg.len()
+            + self.dup.len()
+    }
+
+    /// Mutant count under the paper's raw convention: every `(join tree,
+    /// node, kind)` triple across all join orderings counts separately
+    /// (canonically-equal mutants are not merged).
+    pub fn raw_len(&self) -> usize {
+        self.join.iter().map(|m| m.multiplicity).sum::<usize>()
+            + self.cmp.len()
+            + self.agg.len()
+            + self.having_cmp.len()
+            + self.having_agg.len()
+            + self.dup.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Mutant> + '_ {
+        self.join
+            .iter()
+            .cloned()
+            .map(Mutant::Join)
+            .chain(self.cmp.iter().cloned().map(Mutant::Cmp))
+            .chain(self.agg.iter().cloned().map(Mutant::Agg))
+            .chain(self.having_cmp.iter().cloned().map(Mutant::HavingCmp))
+            .chain(self.having_agg.iter().cloned().map(Mutant::HavingAgg))
+            .chain(self.dup.iter().cloned().map(Mutant::Distinct))
+    }
+}
+
+/// Generate the mutation space of `q`.
+pub fn mutation_space(q: &NormQuery, opts: MutationOptions) -> MutationSpace {
+    let (having_cmp, having_agg) = having_mutants(q);
+    MutationSpace {
+        join: join_mutants(q, opts),
+        cmp: cmp_mutants(q),
+        agg: agg_mutants(q),
+        having_cmp,
+        having_agg,
+        dup: if opts.include_extensions { dup_mutants(q) } else { Vec::new() },
+    }
+}
+
+/// The SELECT ⇄ SELECT DISTINCT mutant. Aggregation queries are excluded:
+/// grouped output rows are distinct by key already, making the mutation
+/// equivalent whenever the whole group key is projected.
+fn dup_mutants(q: &NormQuery) -> Vec<DistinctMutant> {
+    match &q.select {
+        SelectSpec::Aggregation { .. } => Vec::new(),
+        _ => vec![DistinctMutant { to: !q.distinct }],
+    }
+}
+
+/// Materialize the duplicate-count mutant.
+pub fn apply_distinct_mutant(q: &NormQuery, m: &DistinctMutant) -> NormQuery {
+    let mut q2 = q.clone();
+    q2.distinct = m.to;
+    q2
+}
+
+fn having_mutants(q: &NormQuery) -> (Vec<HavingCmpMutant>, Vec<HavingAggMutant>) {
+    let SelectSpec::Aggregation { having, .. } = &q.select else {
+        return (Vec::new(), Vec::new());
+    };
+    let mut cmps = Vec::new();
+    let mut aggs = Vec::new();
+    for (idx, h) in having.iter().enumerate() {
+        for to in CompareOp::ALL {
+            if to != h.cmp {
+                cmps.push(HavingCmpMutant { having_idx: idx, from: h.cmp, to });
+            }
+        }
+        if h.arg.is_some() {
+            for to in AggFunc::ALL {
+                if to != h.func {
+                    aggs.push(HavingAggMutant { having_idx: idx, from: h.func, to });
+                }
+            }
+        }
+    }
+    (cmps, aggs)
+}
+
+/// Materialize a HAVING comparison mutant.
+pub fn apply_having_cmp_mutant(q: &NormQuery, m: &HavingCmpMutant) -> NormQuery {
+    let mut q2 = q.clone();
+    if let SelectSpec::Aggregation { having, .. } = &mut q2.select {
+        having[m.having_idx].cmp = m.to;
+    }
+    q2
+}
+
+/// Materialize a HAVING aggregate mutant.
+pub fn apply_having_agg_mutant(q: &NormQuery, m: &HavingAggMutant) -> NormQuery {
+    let mut q2 = q.clone();
+    if let SelectSpec::Aggregation { having, .. } = &mut q2.select {
+        having[m.having_idx].func = m.to;
+    }
+    q2
+}
+
+fn join_mutants(q: &NormQuery, opts: MutationOptions) -> Vec<JoinMutant> {
+    if q.occurrences.len() < 2 {
+        return Vec::new();
+    }
+    let trees: Vec<JoinTree> = if q.has_outer {
+        vec![q.tree.clone()]
+    } else {
+        let ts = enumerate_trees(q, opts.tree_limit);
+        if ts.is_empty() {
+            // Disconnected join graph (explicit cross product): fall back
+            // to the tree as written.
+            vec![q.tree.clone()]
+        } else {
+            ts
+        }
+    };
+    let mut seen = std::collections::HashMap::new();
+    // Never emit a mutant semantically equal to some original-equivalent
+    // tree: for inner-only queries every enumerated all-inner tree is the
+    // original.
+    for t in &trees {
+        seen.insert(t.canonical_key(), usize::MAX);
+    }
+    let mut out: Vec<JoinMutant> = Vec::new();
+    for tree in &trees {
+        for node in 0..tree.node_count() {
+            let from = tree.kind_at(node).expect("node index in range");
+            for to in JoinKind::ALL {
+                if to == from || (!opts.include_full && to == JoinKind::Full) {
+                    continue;
+                }
+                let m = tree.with_kind_at(node, to);
+                let key = m.canonical_key();
+                match seen.get(&key) {
+                    Some(&idx) => {
+                        if idx != usize::MAX {
+                            out[idx].multiplicity += 1;
+                        }
+                    }
+                    None => {
+                        seen.insert(key.clone(), out.len());
+                        out.push(JoinMutant { tree: m, node, from, to, key, multiplicity: 1 });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn cmp_mutants(q: &NormQuery) -> Vec<CmpMutant> {
+    let mut out = Vec::new();
+    for (idx, p) in q.preds.iter().enumerate() {
+        for to in CompareOp::ALL {
+            if to != p.op {
+                out.push(CmpMutant { pred_idx: idx, from: p.op, to });
+            }
+        }
+    }
+    out
+}
+
+fn agg_mutants(q: &NormQuery) -> Vec<AggMutant> {
+    let SelectSpec::Aggregation { aggs, .. } = &q.select else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (idx, a) in aggs.iter().enumerate() {
+        if a.arg.is_none() {
+            continue; // COUNT(*) — no column to aggregate differently
+        }
+        let from = a.func;
+        for to in AggFunc::ALL {
+            if to != from {
+                out.push(AggMutant { agg_idx: idx, from, to });
+            }
+        }
+    }
+    out
+}
+
+/// Materialize a comparison mutant as a modified query (predicates and the
+/// execution tree both updated).
+pub fn apply_cmp_mutant(q: &NormQuery, m: &CmpMutant) -> NormQuery {
+    let mut q2 = q.clone();
+    q2.preds[m.pred_idx].op = m.to;
+    // Re-derive the execution tree so node conditions see the new operator.
+    if q.has_outer {
+        q2.tree = replace_pred_in_tree(&q.tree, &q.preds[m.pred_idx], &q2.preds[m.pred_idx]);
+    } else {
+        q2.tree = strip_conds(&q.tree).annotate(&q2.eq_classes, &q2.preds);
+    }
+    q2
+}
+
+/// Materialize an aggregate mutant as a modified query.
+pub fn apply_agg_mutant(q: &NormQuery, m: &AggMutant) -> NormQuery {
+    let mut q2 = q.clone();
+    if let SelectSpec::Aggregation { aggs, .. } = &mut q2.select {
+        aggs[m.agg_idx].func = m.to;
+    }
+    q2
+}
+
+fn strip_conds(t: &JoinTree) -> JoinTree {
+    match t {
+        JoinTree::Leaf(i) => JoinTree::Leaf(*i),
+        JoinTree::Node { kind, left, right, .. } => {
+            JoinTree::node(*kind, strip_conds(left), strip_conds(right), vec![])
+        }
+    }
+}
+
+fn replace_pred_in_tree(
+    t: &JoinTree,
+    old: &crate::ir::Pred,
+    new: &crate::ir::Pred,
+) -> JoinTree {
+    match t {
+        JoinTree::Leaf(i) => JoinTree::Leaf(*i),
+        JoinTree::Node { kind, left, right, conds } => JoinTree::Node {
+            kind: *kind,
+            left: Box::new(replace_pred_in_tree(left, old, new)),
+            right: Box::new(replace_pred_in_tree(right, old, new)),
+            conds: conds.iter().map(|c| if c == old { new.clone() } else { c.clone() }).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use xdata_catalog::university;
+    use xdata_sql::parse_query;
+
+    fn norm(sql: &str) -> NormQuery {
+        normalize(&parse_query(sql).unwrap(), &university::schema()).unwrap()
+    }
+
+    #[test]
+    fn single_join_space() {
+        let q = norm("SELECT * FROM instructor i, teaches t WHERE i.id = t.id");
+        let ms = mutation_space(&q, MutationOptions::default());
+        // One tree, one node, three alternative kinds; Right(i,t) ≡
+        // Left(t,i) is still distinct from Left(i,t), Full is symmetric.
+        assert_eq!(ms.join.len(), 3);
+        assert!(ms.cmp.is_empty(), "equijoin pooled into eq class");
+        assert!(ms.agg.is_empty());
+    }
+
+    #[test]
+    fn exclude_full_matches_paper_eval() {
+        let q = norm("SELECT * FROM instructor i, teaches t WHERE i.id = t.id");
+        let ms = mutation_space(&q, MutationOptions { include_full: false, tree_limit: 1000, ..Default::default() });
+        assert_eq!(ms.join.len(), 2);
+    }
+
+    #[test]
+    fn chain_of_three_join_mutants() {
+        let q = norm(
+            "SELECT * FROM instructor i, teaches t, course c \
+             WHERE i.id = t.id AND t.course_id = c.course_id",
+        );
+        let ms = mutation_space(&q, MutationOptions::default());
+        // 2 trees × 2 nodes × 3 kinds = 12, minus canonical duplicates.
+        assert!(ms.join.len() >= 10, "got {}", ms.join.len());
+        // All keys unique.
+        let mut keys: Vec<&String> = ms.join.iter().map(|m| &m.key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), ms.join.len());
+    }
+
+    #[test]
+    fn mutant_growth_is_superlinear() {
+        let q3 = norm(
+            "SELECT * FROM instructor i, teaches t, course c \
+             WHERE i.id = t.id AND t.course_id = c.course_id",
+        );
+        let q4 = norm(
+            "SELECT * FROM instructor i, teaches t, course c, takes k \
+             WHERE i.id = t.id AND t.course_id = c.course_id AND c.course_id = k.course_id",
+        );
+        let m3 = mutation_space(&q3, MutationOptions::default()).join.len();
+        let m4 = mutation_space(&q4, MutationOptions::default()).join.len();
+        assert!(m4 > 2 * m3, "expected exponential-ish growth: {m3} -> {m4}");
+    }
+
+    #[test]
+    fn outer_query_tree_is_fixed() {
+        let q = norm(
+            "SELECT i.name, t.course_id FROM instructor i LEFT OUTER JOIN teaches t \
+             ON i.id = t.id",
+        );
+        let ms = mutation_space(&q, MutationOptions::default());
+        // Fixed tree, 1 node, 3 mutants (to Inner, Right, Full).
+        assert_eq!(ms.join.len(), 3);
+        assert!(ms.join.iter().any(|m| m.to == JoinKind::Inner));
+    }
+
+    #[test]
+    fn cmp_mutants_cover_all_alternatives() {
+        let q = norm("SELECT * FROM instructor WHERE salary > 50000");
+        let ms = mutation_space(&q, MutationOptions::default());
+        assert_eq!(ms.cmp.len(), 5);
+        assert!(ms.cmp.iter().all(|m| m.from == CompareOp::Gt && m.to != CompareOp::Gt));
+    }
+
+    #[test]
+    fn agg_mutants_cover_space() {
+        let q = norm("SELECT dept_id, SUM(salary) FROM instructor GROUP BY dept_id");
+        let ms = mutation_space(&q, MutationOptions::default());
+        assert_eq!(ms.agg.len(), 7);
+        let q2 = norm("SELECT COUNT(*) FROM teaches");
+        let ms2 = mutation_space(&q2, MutationOptions::default());
+        assert!(ms2.agg.is_empty(), "COUNT(*) does not mutate");
+    }
+
+    #[test]
+    fn apply_cmp_mutant_updates_tree() {
+        let q = norm("SELECT * FROM teaches b, course c WHERE b.course_id = c.course_id + 10");
+        let ms = mutation_space(&q, MutationOptions::default());
+        let m = &ms.cmp[0];
+        let q2 = apply_cmp_mutant(&q, m);
+        assert_eq!(q2.preds[m.pred_idx].op, m.to);
+        // The tree's node condition was re-derived with the new op.
+        fn ops_in(t: &JoinTree, out: &mut Vec<CompareOp>) {
+            if let JoinTree::Node { conds, left, right, .. } = t {
+                out.extend(conds.iter().map(|c| c.op));
+                ops_in(left, out);
+                ops_in(right, out);
+            }
+        }
+        let mut ops = Vec::new();
+        ops_in(&q2.tree, &mut ops);
+        assert!(ops.contains(&m.to));
+        assert!(!ops.contains(&m.from));
+    }
+
+    #[test]
+    fn apply_agg_mutant_updates_select() {
+        let q = norm("SELECT dept_id, SUM(salary) FROM instructor GROUP BY dept_id");
+        let ms = mutation_space(&q, MutationOptions::default());
+        let m = ms.agg.iter().find(|m| m.to.distinct).unwrap();
+        let q2 = apply_agg_mutant(&q, m);
+        match &q2.select {
+            SelectSpec::Aggregation { aggs, .. } => assert_eq!(aggs[0].func, m.to),
+            x => panic!("unexpected {x:?}"),
+        }
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let q = norm("SELECT * FROM instructor i, teaches t WHERE i.id = t.id");
+        let ms = mutation_space(&q, MutationOptions::default());
+        let d = Mutant::Join(ms.join[0].clone()).describe(&q);
+        assert!(d.contains("JOIN"), "{d}");
+    }
+}

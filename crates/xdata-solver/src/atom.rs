@@ -1,0 +1,329 @@
+//! Terms, relational operators and atoms of the constraint language.
+
+use std::fmt;
+
+use crate::ids::{ArrayId, QVarId, VarId, VarTable};
+
+/// A comparison operator — the paper's mutation space for selection
+/// predicates is exactly this set (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RelOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl RelOp {
+    pub const ALL: [RelOp; 6] = [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge];
+
+    /// The operator with operands swapped: `a op b  ⇔  b op.flip() a`.
+    pub fn flip(self) -> RelOp {
+        match self {
+            RelOp::Eq => RelOp::Eq,
+            RelOp::Ne => RelOp::Ne,
+            RelOp::Lt => RelOp::Gt,
+            RelOp::Le => RelOp::Ge,
+            RelOp::Gt => RelOp::Lt,
+            RelOp::Ge => RelOp::Le,
+        }
+    }
+
+    /// The logical negation: `¬(a op b)  ⇔  a op.negate() b`.
+    pub fn negate(self) -> RelOp {
+        match self {
+            RelOp::Eq => RelOp::Ne,
+            RelOp::Ne => RelOp::Eq,
+            RelOp::Lt => RelOp::Ge,
+            RelOp::Le => RelOp::Gt,
+            RelOp::Gt => RelOp::Le,
+            RelOp::Ge => RelOp::Lt,
+        }
+    }
+
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            RelOp::Eq => a == b,
+            RelOp::Ne => a != b,
+            RelOp::Lt => a < b,
+            RelOp::Le => a <= b,
+            RelOp::Gt => a > b,
+            RelOp::Ge => a >= b,
+        }
+    }
+
+    pub fn sql_symbol(self) -> &'static str {
+        match self {
+            RelOp::Eq => "=",
+            RelOp::Ne => "<>",
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_symbol())
+    }
+}
+
+/// Index into a tuple array: either a concrete slot or a quantified index
+/// variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Index {
+    Const(u32),
+    Quant(QVarId),
+}
+
+/// A term: `array[index].field + offset`, or a constant.
+///
+/// Assumption A4/A5 restricts queries to simple arithmetic, and every
+/// constraint the X-Data algorithms emit is expressible as attribute ±
+/// constant (difference-logic form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    Field { array: ArrayId, index: Index, field: u32, offset: i64 },
+    Const(i64),
+}
+
+impl Term {
+    pub fn field(array: ArrayId, index: u32, field: u32) -> Term {
+        Term::Field { array, index: Index::Const(index), field, offset: 0 }
+    }
+
+    pub fn qfield(array: ArrayId, qv: QVarId, field: u32) -> Term {
+        Term::Field { array, index: Index::Quant(qv), field, offset: 0 }
+    }
+
+    /// `self + k`.
+    pub fn plus(self, k: i64) -> Term {
+        match self {
+            Term::Field { array, index, field, offset } => {
+                Term::Field { array, index, field, offset: offset + k }
+            }
+            Term::Const(c) => Term::Const(c + k),
+        }
+    }
+
+    /// Whether the term contains no quantified index.
+    pub fn is_ground(&self) -> bool {
+        !matches!(self, Term::Field { index: Index::Quant(_), .. })
+    }
+
+    /// Substitute quantified variable `qv` with concrete slot `i`.
+    pub fn subst(self, qv: QVarId, i: u32) -> Term {
+        match self {
+            Term::Field { array, index: Index::Quant(q), field, offset } if q == qv => {
+                Term::Field { array, index: Index::Const(i), field, offset }
+            }
+            t => t,
+        }
+    }
+}
+
+/// An atomic constraint `lhs ⋈ rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Atom {
+    pub lhs: Term,
+    pub op: RelOp,
+    pub rhs: Term,
+}
+
+impl Atom {
+    pub fn new(lhs: Term, op: RelOp, rhs: Term) -> Atom {
+        Atom { lhs, op, rhs }
+    }
+
+    pub fn is_ground(&self) -> bool {
+        self.lhs.is_ground() && self.rhs.is_ground()
+    }
+
+    pub fn subst(self, qv: QVarId, i: u32) -> Atom {
+        Atom { lhs: self.lhs.subst(qv, i), op: self.op, rhs: self.rhs.subst(qv, i) }
+    }
+
+    /// Negated atom.
+    pub fn negate(self) -> Atom {
+        Atom { lhs: self.lhs, op: self.op.negate(), rhs: self.rhs }
+    }
+
+    /// Canonicalize a ground atom into difference form. Returns:
+    ///
+    /// * `Diff::TwoVar { x, y, op, k }` meaning `x - y  op  k`
+    /// * `Diff::OneVar { x, op, k }` meaning `x  op  k`
+    /// * `Diff::Ground(bool)` when both sides are constants.
+    ///
+    /// Panics if the atom is not ground (quantifiers must be eliminated or
+    /// instantiated first).
+    pub fn to_diff(&self, vars: &VarTable) -> Diff {
+        let lhs = self.lhs;
+        let rhs = self.rhs;
+        match (lhs, rhs) {
+            (Term::Const(a), Term::Const(b)) => Diff::Ground(self.op.eval(a, b)),
+            (Term::Field { array, index, field, offset }, Term::Const(c)) => {
+                let x = ground_var(vars, array, index, field);
+                Diff::OneVar { x, op: self.op, k: c - offset }
+            }
+            (Term::Const(c), Term::Field { array, index, field, offset }) => {
+                let x = ground_var(vars, array, index, field);
+                // c op (x + offset)  ⇔  x op.flip() (c - offset)
+                Diff::OneVar { x, op: self.op.flip(), k: c - offset }
+            }
+            (
+                Term::Field { array: a1, index: i1, field: f1, offset: o1 },
+                Term::Field { array: a2, index: i2, field: f2, offset: o2 },
+            ) => {
+                let x = ground_var(vars, a1, i1, f1);
+                let y = ground_var(vars, a2, i2, f2);
+                if x == y {
+                    // (x + o1) op (x + o2) is ground.
+                    return Diff::Ground(self.op.eval(o1, o2));
+                }
+                // (x + o1) op (y + o2)  ⇔  x - y  op  (o2 - o1)
+                Diff::TwoVar { x, y, op: self.op, k: o2 - o1 }
+            }
+        }
+    }
+}
+
+fn ground_var(vars: &VarTable, array: ArrayId, index: Index, field: u32) -> VarId {
+    match index {
+        Index::Const(i) => vars.var(array, i, field),
+        Index::Quant(q) => panic!("atom with unbound quantified index {q} reached ground solver"),
+    }
+}
+
+/// Canonical difference form of a ground atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diff {
+    TwoVar { x: VarId, y: VarId, op: RelOp, k: i64 },
+    OneVar { x: VarId, op: RelOp, k: i64 },
+    Ground(bool),
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn term(t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match t {
+                Term::Const(c) => write!(f, "{c}"),
+                Term::Field { array, index, field, offset } => {
+                    match index {
+                        Index::Const(i) => write!(f, "{array}[{i}].{field}")?,
+                        Index::Quant(q) => write!(f, "{array}[{q}].{field}")?,
+                    }
+                    if *offset != 0 {
+                        write!(f, "{:+}", offset)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        term(&self.lhs, f)?;
+        write!(f, " {} ", self.op)?;
+        term(&self.rhs, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ArraySpec;
+
+    fn vars() -> VarTable {
+        VarTable::new(&[ArraySpec { name: "r".into(), len: 2, fields: 2 }])
+    }
+
+    #[test]
+    fn relop_negate_is_involution() {
+        for op in RelOp::ALL {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn relop_flip_consistent_with_eval() {
+        for op in RelOp::ALL {
+            for a in -2..=2 {
+                for b in -2..=2 {
+                    assert_eq!(op.eval(a, b), op.flip().eval(b, a), "{op} {a} {b}");
+                    assert_eq!(op.eval(a, b), !op.negate().eval(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_const_atom_folds() {
+        let v = vars();
+        let a = Atom::new(Term::Const(3), RelOp::Lt, Term::Const(5));
+        assert_eq!(a.to_diff(&v), Diff::Ground(true));
+    }
+
+    #[test]
+    fn const_on_left_flips() {
+        let v = vars();
+        // 5 < r[0].1  ⇔  r[0].1 > 5
+        let a = Atom::new(Term::Const(5), RelOp::Lt, Term::field(ArrayId(0), 0, 1));
+        match a.to_diff(&v) {
+            Diff::OneVar { op, k, .. } => {
+                assert_eq!(op, RelOp::Gt);
+                assert_eq!(k, 5);
+            }
+            d => panic!("unexpected {d:?}"),
+        }
+    }
+
+    #[test]
+    fn offsets_fold_into_constant() {
+        let v = vars();
+        // (r[0].0 + 3) <= (r[1].0 + 10)  ⇔  x - y <= 7
+        let a = Atom::new(
+            Term::field(ArrayId(0), 0, 0).plus(3),
+            RelOp::Le,
+            Term::field(ArrayId(0), 1, 0).plus(10),
+        );
+        match a.to_diff(&v) {
+            Diff::TwoVar { op, k, .. } => {
+                assert_eq!(op, RelOp::Le);
+                assert_eq!(k, 7);
+            }
+            d => panic!("unexpected {d:?}"),
+        }
+    }
+
+    #[test]
+    fn same_var_both_sides_folds() {
+        let v = vars();
+        let t = Term::field(ArrayId(0), 0, 0);
+        let a = Atom::new(t, RelOp::Lt, t.plus(1));
+        assert_eq!(a.to_diff(&v), Diff::Ground(true));
+        let b = Atom::new(t, RelOp::Eq, t.plus(1));
+        assert_eq!(b.to_diff(&v), Diff::Ground(false));
+    }
+
+    #[test]
+    fn subst_replaces_only_matching_qvar() {
+        let q = QVarId(0);
+        let t = Term::qfield(ArrayId(0), q, 1);
+        assert!(!t.is_ground());
+        let g = t.subst(q, 1);
+        assert!(g.is_ground());
+        let other = t.subst(QVarId(1), 0);
+        assert!(!other.is_ground());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Atom::new(
+            Term::field(ArrayId(0), 0, 1).plus(10),
+            RelOp::Eq,
+            Term::Const(42),
+        );
+        assert_eq!(a.to_string(), "A0[0].1+10 = 42");
+    }
+}

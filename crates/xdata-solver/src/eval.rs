@@ -1,0 +1,125 @@
+//! Ground evaluation of formulas under a candidate model.
+//!
+//! Used by the lazy-instantiation mode (to find violated quantifier
+//! instances), by the public API to double-check emitted models, and
+//! extensively by the test suite as an oracle.
+
+use crate::atom::{Atom, Index, Term};
+use crate::formula::Formula;
+use crate::ids::{QVarId, VarTable};
+
+/// Evaluate `f` under `model` (indexed by `VarId.0`). Quantifiers are
+/// evaluated by enumeration over the array lengths in `vars`.
+pub fn eval(f: &Formula, model: &[i64], vars: &VarTable) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(a) => eval_atom(a, model, vars),
+        Formula::And(xs) => xs.iter().all(|x| eval(x, model, vars)),
+        Formula::Or(xs) => xs.iter().any(|x| eval(x, model, vars)),
+        Formula::Not(x) => !eval(x, model, vars),
+        Formula::Forall { qv, array, body } => {
+            (0..vars.spec(*array).len).all(|i| eval(&body.subst(*qv, i), model, vars))
+        }
+        Formula::Exists { qv, array, body } => {
+            (0..vars.spec(*array).len).any(|i| eval(&body.subst(*qv, i), model, vars))
+        }
+    }
+}
+
+/// Find a witness index for which a `Forall` body fails under `model`, or
+/// for which an `Exists` body holds. Returns `None` when `f` is satisfied /
+/// has no witness.
+pub fn forall_violation(
+    qv: QVarId,
+    array: crate::ids::ArrayId,
+    body: &Formula,
+    model: &[i64],
+    vars: &VarTable,
+) -> Option<u32> {
+    (0..vars.spec(array).len).find(|i| !eval(&body.subst(qv, *i), model, vars))
+}
+
+fn eval_atom(a: &Atom, model: &[i64], vars: &VarTable) -> bool {
+    let lhs = eval_term(&a.lhs, model, vars);
+    let rhs = eval_term(&a.rhs, model, vars);
+    a.op.eval(lhs, rhs)
+}
+
+fn eval_term(t: &Term, model: &[i64], vars: &VarTable) -> i64 {
+    match t {
+        Term::Const(c) => *c,
+        Term::Field { array, index, field, offset } => {
+            let i = match index {
+                Index::Const(i) => *i,
+                Index::Quant(q) => panic!("unbound quantified index {q} in ground evaluation"),
+            };
+            model[vars.var(*array, i, *field).0 as usize] + offset
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::RelOp;
+    use crate::ids::{ArrayId, ArraySpec};
+
+    fn vars() -> VarTable {
+        VarTable::new(&[ArraySpec { name: "r".into(), len: 3, fields: 2 }])
+    }
+
+    #[test]
+    fn atom_evaluation_with_offset() {
+        let v = vars();
+        let model = vec![10, 0, 20, 0, 30, 0];
+        // r[1].0 + 10 = r[2].0  →  20 + 10 = 30
+        let f = Formula::atom(
+            Term::field(ArrayId(0), 1, 0).plus(10),
+            RelOp::Eq,
+            Term::field(ArrayId(0), 2, 0),
+        );
+        assert!(eval(&f, &model, &v));
+    }
+
+    #[test]
+    fn exists_finds_witness() {
+        let v = vars();
+        let model = vec![10, 0, 20, 0, 30, 0];
+        let q = QVarId(0);
+        let f = Formula::exists(
+            q,
+            ArrayId(0),
+            Formula::atom(Term::qfield(ArrayId(0), q, 0), RelOp::Eq, Term::Const(20)),
+        );
+        assert!(eval(&f, &model, &v));
+        let g = Formula::exists(
+            q,
+            ArrayId(0),
+            Formula::atom(Term::qfield(ArrayId(0), q, 0), RelOp::Eq, Term::Const(99)),
+        );
+        assert!(!eval(&g, &model, &v));
+    }
+
+    #[test]
+    fn forall_violation_reports_first_bad_index() {
+        let v = vars();
+        let model = vec![10, 0, 20, 0, 30, 0];
+        let q = QVarId(0);
+        let body = Formula::atom(Term::qfield(ArrayId(0), q, 0), RelOp::Lt, Term::Const(25));
+        assert_eq!(forall_violation(q, ArrayId(0), &body, &model, &v), Some(2));
+        let ok = Formula::atom(Term::qfield(ArrayId(0), q, 0), RelOp::Lt, Term::Const(99));
+        assert_eq!(forall_violation(q, ArrayId(0), &ok, &model, &v), None);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let v = vars();
+        let model = vec![1, 0, 0, 0, 0, 0];
+        let t = Formula::atom(Term::field(ArrayId(0), 0, 0), RelOp::Eq, Term::Const(1));
+        let f = Formula::atom(Term::field(ArrayId(0), 0, 0), RelOp::Eq, Term::Const(2));
+        assert!(eval(&Formula::and([t.clone(), Formula::not(f.clone())]), &model, &v));
+        assert!(eval(&Formula::or([f.clone(), t.clone()]), &model, &v));
+        assert!(!eval(&Formula::and([t, f]), &model, &v));
+    }
+}

@@ -1,0 +1,233 @@
+//! Constraint formulas with boolean structure and bounded quantifiers.
+
+use std::fmt;
+
+use crate::atom::{Atom, RelOp, Term};
+use crate::ids::{ArrayId, QVarId};
+
+/// A constraint formula.
+///
+/// Quantifiers range over the tuple indices `0..len` of one array, mirroring
+/// the paper's CVC3 constraints like
+/// `ASSERT NOT EXISTS (i : B_INT) : (B[i].0 = C[1].0 + 10)` (§V-D).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    True,
+    False,
+    Atom(Atom),
+    And(Vec<Formula>),
+    Or(Vec<Formula>),
+    Not(Box<Formula>),
+    Forall { qv: QVarId, array: ArrayId, body: Box<Formula> },
+    Exists { qv: QVarId, array: ArrayId, body: Box<Formula> },
+}
+
+impl Formula {
+    pub fn atom(lhs: Term, op: RelOp, rhs: Term) -> Formula {
+        Formula::Atom(Atom::new(lhs, op, rhs))
+    }
+
+    /// Conjunction that flattens nested `And`s and short-circuits constants.
+    pub fn and(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(xs) => out.extend(xs),
+                x => out.push(x),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction that flattens nested `Or`s and short-circuits constants.
+    pub fn or(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(xs) => out.extend(xs),
+                x => out.push(x),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            x => Formula::Not(Box::new(x)),
+        }
+    }
+
+    pub fn forall(qv: QVarId, array: ArrayId, body: Formula) -> Formula {
+        Formula::Forall { qv, array, body: Box::new(body) }
+    }
+
+    pub fn exists(qv: QVarId, array: ArrayId, body: Formula) -> Formula {
+        Formula::Exists { qv, array, body: Box::new(body) }
+    }
+
+    /// `NOT EXISTS i: body` — the nullification constraint of §V.
+    pub fn not_exists(qv: QVarId, array: ArrayId, body: Formula) -> Formula {
+        Formula::not(Formula::exists(qv, array, body))
+    }
+
+    /// Substitute quantified index `qv` with concrete slot `i` (capture is
+    /// impossible because every quantifier carries a globally fresh
+    /// [`QVarId`]).
+    pub fn subst(&self, qv: QVarId, i: u32) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => Formula::Atom(a.subst(qv, i)),
+            Formula::And(xs) => Formula::And(xs.iter().map(|x| x.subst(qv, i)).collect()),
+            Formula::Or(xs) => Formula::Or(xs.iter().map(|x| x.subst(qv, i)).collect()),
+            Formula::Not(x) => Formula::Not(Box::new(x.subst(qv, i))),
+            Formula::Forall { qv: q, array, body } => Formula::Forall {
+                qv: *q,
+                array: *array,
+                body: Box::new(body.subst(qv, i)),
+            },
+            Formula::Exists { qv: q, array, body } => Formula::Exists {
+                qv: *q,
+                array: *array,
+                body: Box::new(body.subst(qv, i)),
+            },
+        }
+    }
+
+    /// Whether the formula contains any quantifier.
+    pub fn has_quantifier(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => false,
+            Formula::And(xs) | Formula::Or(xs) => xs.iter().any(Formula::has_quantifier),
+            Formula::Not(x) => x.has_quantifier(),
+            Formula::Forall { .. } | Formula::Exists { .. } => true,
+        }
+    }
+
+    /// Number of atoms (diagnostic / stats).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 0,
+            Formula::Atom(_) => 1,
+            Formula::And(xs) | Formula::Or(xs) => xs.iter().map(Formula::atom_count).sum(),
+            Formula::Not(x) => x.atom_count(),
+            Formula::Forall { body, .. } | Formula::Exists { body, .. } => body.atom_count(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => f.write_str("TRUE"),
+            Formula::False => f.write_str("FALSE"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::And(xs) => {
+                f.write_str("(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" AND ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Or(xs) => {
+                f.write_str("(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" OR ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Not(x) => write!(f, "NOT {x}"),
+            Formula::Forall { qv, array, body } => {
+                write!(f, "FORALL ({qv} : {array}) : {body}")
+            }
+            Formula::Exists { qv, array, body } => {
+                write!(f, "EXISTS ({qv} : {array}) : {body}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(k: i64) -> Formula {
+        Formula::atom(Term::field(ArrayId(0), 0, 0), RelOp::Eq, Term::Const(k))
+    }
+
+    #[test]
+    fn and_flattens_and_short_circuits() {
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(Formula::and([Formula::True, Formula::True]), Formula::True);
+        assert_eq!(Formula::and([atom(1), Formula::False]), Formula::False);
+        let f = Formula::and([Formula::and([atom(1), atom(2)]), atom(3)]);
+        match f {
+            Formula::And(xs) => assert_eq!(xs.len(), 3),
+            x => panic!("expected flat And, got {x}"),
+        }
+    }
+
+    #[test]
+    fn or_flattens_and_short_circuits() {
+        assert_eq!(Formula::or([]), Formula::False);
+        assert_eq!(Formula::or([atom(1), Formula::True]), Formula::True);
+        let f = Formula::or([Formula::or([atom(1), atom(2)]), atom(3)]);
+        match f {
+            Formula::Or(xs) => assert_eq!(xs.len(), 3),
+            x => panic!("expected flat Or, got {x}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let f = Formula::not(Formula::not(atom(1)));
+        assert_eq!(f, atom(1));
+    }
+
+    #[test]
+    fn subst_grounds_quantified_atom() {
+        let q = QVarId(7);
+        let body = Formula::atom(
+            Term::qfield(ArrayId(0), q, 0),
+            RelOp::Eq,
+            Term::Const(5),
+        );
+        let f = Formula::exists(q, ArrayId(0), body);
+        assert!(f.has_quantifier());
+        if let Formula::Exists { body, .. } = &f {
+            let g = body.subst(q, 1);
+            assert!(!g.has_quantifier());
+            match g {
+                Formula::Atom(a) => assert!(a.is_ground()),
+                x => panic!("unexpected {x}"),
+            }
+        }
+    }
+
+    #[test]
+    fn atom_count_counts_leaves() {
+        let f = Formula::and([atom(1), Formula::or([atom(2), atom(3)])]);
+        assert_eq!(f.atom_count(), 3);
+    }
+}

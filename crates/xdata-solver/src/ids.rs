@@ -1,0 +1,150 @@
+//! Identifiers for tuple arrays, quantified index variables and ground
+//! solver variables.
+//!
+//! The paper maps each relation occurrence to an index in "an array of
+//! tuples corresponding to the base relation" (§V-A); we mirror that: an
+//! [`ArraySpec`] declares one array per base relation, with `len` tuple
+//! slots and `fields` attributes per tuple. Ground variables are the dense
+//! flattening `(array, tuple index, field)` → [`VarId`] computed by
+//! [`VarTable`].
+
+use std::fmt;
+
+/// A tuple array (one per base relation in the query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub u32);
+
+/// A bound index variable introduced by `FORALL`/`EXISTS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QVarId(pub u32);
+
+/// A ground solver variable (one attribute of one tuple slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+impl fmt::Display for QVarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Declaration of one tuple array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArraySpec {
+    /// Human-readable name (base relation name), used in diagnostics.
+    pub name: String,
+    /// Number of tuple slots.
+    pub len: u32,
+    /// Number of attributes per tuple.
+    pub fields: u32,
+}
+
+/// Dense mapping `(array, index, field)` → [`VarId`].
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    /// Per-array base offset into the flat variable space.
+    offsets: Vec<u32>,
+    specs: Vec<ArraySpec>,
+    total: u32,
+}
+
+impl VarTable {
+    pub fn new(specs: &[ArraySpec]) -> Self {
+        let mut offsets = Vec::with_capacity(specs.len());
+        let mut total = 0u32;
+        for s in specs {
+            offsets.push(total);
+            total += s.len * s.fields;
+        }
+        VarTable { offsets, specs: specs.to_vec(), total }
+    }
+
+    /// Total number of ground variables.
+    pub fn num_vars(&self) -> u32 {
+        self.total
+    }
+
+    /// The variable for `array[index].field`. Panics on out-of-range
+    /// coordinates — callers construct coordinates from the same specs.
+    pub fn var(&self, array: ArrayId, index: u32, field: u32) -> VarId {
+        let spec = &self.specs[array.0 as usize];
+        assert!(index < spec.len, "tuple index {index} out of range for array `{}`", spec.name);
+        assert!(field < spec.fields, "field {field} out of range for array `{}`", spec.name);
+        VarId(self.offsets[array.0 as usize] + index * spec.fields + field)
+    }
+
+    /// Inverse of [`VarTable::var`].
+    pub fn coords(&self, v: VarId) -> (ArrayId, u32, u32) {
+        let mut a = 0usize;
+        while a + 1 < self.offsets.len() && self.offsets[a + 1] <= v.0 {
+            a += 1;
+        }
+        let spec = &self.specs[a];
+        let rel = v.0 - self.offsets[a];
+        (ArrayId(a as u32), rel / spec.fields, rel % spec.fields)
+    }
+
+    pub fn spec(&self, array: ArrayId) -> &ArraySpec {
+        &self.specs[array.0 as usize]
+    }
+
+    pub fn arrays(&self) -> impl Iterator<Item = (ArrayId, &ArraySpec)> {
+        self.specs.iter().enumerate().map(|(i, s)| (ArrayId(i as u32), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> VarTable {
+        VarTable::new(&[
+            ArraySpec { name: "r".into(), len: 2, fields: 3 },
+            ArraySpec { name: "s".into(), len: 1, fields: 2 },
+        ])
+    }
+
+    #[test]
+    fn dense_mapping_is_injective() {
+        let t = table();
+        let mut seen = std::collections::BTreeSet::new();
+        for (aid, spec) in t.arrays() {
+            for i in 0..spec.len {
+                for f in 0..spec.fields {
+                    assert!(seen.insert(t.var(aid, i, f)));
+                }
+            }
+        }
+        assert_eq!(seen.len() as u32, t.num_vars());
+        assert_eq!(t.num_vars(), 8);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = table();
+        for (aid, spec) in t.arrays().collect::<Vec<_>>() {
+            for i in 0..spec.len {
+                for f in 0..spec.fields {
+                    let v = t.var(aid, i, f);
+                    assert_eq!(t.coords(v), (aid, i, f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        table().var(ArrayId(0), 5, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! # xdata-solver
+//!
+//! A from-scratch constraint solver playing the role CVC3 plays in the
+//! X-Data paper (*Generating Test Data for Killing SQL Mutants*, Shah et
+//! al.): given constraints over the attributes of tuples-to-be-generated,
+//! produce a model (an assignment of values) or report that the constraints
+//! are inconsistent — which, in X-Data, signals an *equivalent mutant*.
+//!
+//! ## Constraint language
+//!
+//! Exactly what X-Data's constraint generation emits (§V):
+//!
+//! * **Tuple arrays** — each base relation maps to an array of constraint
+//!   tuples; each attribute of each tuple is an integer variable
+//!   ([`Problem::add_array`]). String attributes are integer-coded by the
+//!   caller (see `xdata-catalog::DomainCatalog`).
+//! * **Atoms** — `term ⋈ term` where `⋈ ∈ {=, ≠, <, ≤, >, ≥}` and terms are
+//!   `attribute + constant` or constants: integer difference logic, which
+//!   covers equi-joins, selections against constants, and non-equi joins
+//!   like `B.x = C.x + 10` (§V-D).
+//! * **Boolean structure** — `AND`, `OR`, `NOT`.
+//! * **Bounded quantifiers** — `FORALL`/`EXISTS` over the indices of a tuple
+//!   array, used for foreign keys (`∀i ∃j R[i].fk = S[j].pk`), primary-key
+//!   functional dependencies, and the `NOT EXISTS` constraints that nullify
+//!   a relation on a join condition.
+//!
+//! ## Solving modes (§VI-B)
+//!
+//! * [`Mode::Unfold`] — bounded quantifiers are expanded into finite
+//!   conjunctions/disjunctions up-front, then a DPLL search over the ground
+//!   formula with an integer-difference-logic theory (negative-cycle
+//!   detection) decides satisfiability. This is the paper's "with
+//!   unfolding" configuration.
+//! * [`Mode::Lazy`] — quantifiers stay symbolic; the solver finds a model of
+//!   the ground part, checks the quantified constraints against it, and on
+//!   violation instantiates just the violated instance and re-solves
+//!   (model-based quantifier instantiation). This is the "without
+//!   unfolding" configuration: complete for bounded quantifiers, but
+//!   repeatedly pays the ground-solving cost, reproducing the paper's
+//!   observed slowdown.
+//!
+//! Both modes are sound and complete for this language, so `Unsat` really
+//! means "no such dataset exists" — the completeness guarantee of §V-G
+//! rests on this.
+
+pub mod atom;
+pub mod eval;
+pub mod formula;
+pub mod ids;
+pub mod nnf;
+pub mod problem;
+pub mod search;
+pub mod theory;
+pub mod unfold;
+
+pub use atom::{Atom, RelOp, Term};
+pub use formula::Formula;
+pub use ids::{ArrayId, ArraySpec, QVarId, VarId, VarTable};
+pub use problem::{Mode, Model, Problem, SolveOutcome, SolverStats};
+pub use search::DEFAULT_DECISION_LIMIT;

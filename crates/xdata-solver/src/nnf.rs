@@ -1,0 +1,174 @@
+//! Negation normal form and disequality elimination.
+//!
+//! The DPLL search asserts atoms *positively* into the difference-logic
+//! theory, so after NNF we additionally rewrite every `≠` atom (and every
+//! negated `=` as produced by NNF) into `< ∨ >` — integer disequality is
+//! exactly that disjunction, and `<`, `>`, `≤`, `≥`, `=` all map directly to
+//! difference edges. After [`to_nnf`]:
+//!
+//! * `Not` appears nowhere,
+//! * no atom uses [`RelOp::Ne`],
+//! * quantifiers may remain (they commute with NNF: `¬∀ ⇒ ∃¬`, `¬∃ ⇒ ∀¬`).
+
+use crate::atom::{Atom, RelOp};
+use crate::formula::Formula;
+
+/// Rewrite `f` into negation normal form without `≠` atoms.
+pub fn to_nnf(f: &Formula) -> Formula {
+    nnf(f, false)
+}
+
+fn nnf(f: &Formula, neg: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if neg {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if neg {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Atom(a) => {
+            let a = if neg { a.negate() } else { *a };
+            split_ne(a)
+        }
+        Formula::And(xs) => {
+            let parts = xs.iter().map(|x| nnf(x, neg));
+            if neg {
+                Formula::or(parts)
+            } else {
+                Formula::and(parts)
+            }
+        }
+        Formula::Or(xs) => {
+            let parts = xs.iter().map(|x| nnf(x, neg));
+            if neg {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            }
+        }
+        Formula::Not(x) => nnf(x, !neg),
+        Formula::Forall { qv, array, body } => {
+            let b = nnf(body, neg);
+            if neg {
+                Formula::exists(*qv, *array, b)
+            } else {
+                Formula::forall(*qv, *array, b)
+            }
+        }
+        Formula::Exists { qv, array, body } => {
+            let b = nnf(body, neg);
+            if neg {
+                Formula::forall(*qv, *array, b)
+            } else {
+                Formula::exists(*qv, *array, b)
+            }
+        }
+    }
+}
+
+/// `a ≠ b  ⇒  a < b ∨ a > b`; all other operators pass through.
+fn split_ne(a: Atom) -> Formula {
+    if a.op == RelOp::Ne {
+        Formula::or([
+            Formula::Atom(Atom::new(a.lhs, RelOp::Lt, a.rhs)),
+            Formula::Atom(Atom::new(a.lhs, RelOp::Gt, a.rhs)),
+        ])
+    } else {
+        Formula::Atom(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Term;
+    use crate::ids::{ArrayId, QVarId};
+
+    fn x() -> Term {
+        Term::field(ArrayId(0), 0, 0)
+    }
+
+    fn contains_not(f: &Formula) -> bool {
+        match f {
+            Formula::Not(_) => true,
+            Formula::And(xs) | Formula::Or(xs) => xs.iter().any(contains_not),
+            Formula::Forall { body, .. } | Formula::Exists { body, .. } => contains_not(body),
+            _ => false,
+        }
+    }
+
+    fn contains_ne(f: &Formula) -> bool {
+        match f {
+            Formula::Atom(a) => a.op == RelOp::Ne,
+            Formula::And(xs) | Formula::Or(xs) => xs.iter().any(contains_ne),
+            Formula::Not(x) => contains_ne(x),
+            Formula::Forall { body, .. } | Formula::Exists { body, .. } => contains_ne(body),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn negation_pushed_to_atoms() {
+        let f = Formula::not(Formula::and([
+            Formula::atom(x(), RelOp::Lt, Term::Const(5)),
+            Formula::atom(x(), RelOp::Ge, Term::Const(1)),
+        ]));
+        let g = to_nnf(&f);
+        assert!(!contains_not(&g));
+        // ¬(x<5 ∧ x≥1) = (x≥5 ∨ x<1)
+        match g {
+            Formula::Or(xs) => assert_eq!(xs.len(), 2),
+            x => panic!("unexpected {x}"),
+        }
+    }
+
+    #[test]
+    fn ne_split_into_lt_gt() {
+        let f = Formula::atom(x(), RelOp::Ne, Term::Const(3));
+        let g = to_nnf(&f);
+        assert!(!contains_ne(&g));
+        match g {
+            Formula::Or(xs) => {
+                assert_eq!(xs.len(), 2);
+            }
+            x => panic!("unexpected {x}"),
+        }
+    }
+
+    #[test]
+    fn negated_eq_becomes_lt_or_gt() {
+        let f = Formula::not(Formula::atom(x(), RelOp::Eq, Term::Const(3)));
+        let g = to_nnf(&f);
+        assert!(!contains_ne(&g));
+        assert!(!contains_not(&g));
+    }
+
+    #[test]
+    fn not_exists_becomes_forall_negated_body() {
+        let q = QVarId(0);
+        let body = Formula::atom(Term::qfield(ArrayId(0), q, 0), RelOp::Eq, Term::Const(5));
+        let f = Formula::not_exists(q, ArrayId(0), body);
+        let g = to_nnf(&f);
+        match &g {
+            Formula::Forall { body, .. } => {
+                // ¬(x = 5) → (x < 5 ∨ x > 5)
+                assert!(matches!(**body, Formula::Or(_)));
+            }
+            x => panic!("unexpected {x}"),
+        }
+    }
+
+    #[test]
+    fn nnf_of_constants() {
+        assert_eq!(to_nnf(&Formula::not(Formula::True)), Formula::False);
+        assert_eq!(to_nnf(&Formula::not(Formula::False)), Formula::True);
+    }
+}

@@ -1,0 +1,444 @@
+//! DPLL search over ground formulas with the difference-logic theory.
+//!
+//! The search walks the formula under the current partial assignment of
+//! (canonicalized) atoms; when the formula is neither decided true nor
+//! false it picks an undecided atom — preferring *unit* picks, i.e. atoms
+//! inside a disjunction whose other children are already false — and
+//! branches on it, asserting the matching difference bounds into the theory.
+//! `=` decided false branches twice (`<` then `>`), which together with the
+//! NNF-time `≠` elimination keeps every theory assertion a plain bound.
+//!
+//! Chronological backtracking over an exhaustive branch set makes the search
+//! complete; the theory is decidable; hence `Unsat` is a proof that no model
+//! exists — the property X-Data's completeness guarantee (§V-G) relies on
+//! to equate "no dataset" with "equivalent mutant".
+
+use std::collections::HashMap;
+
+use crate::atom::{Diff, RelOp};
+use crate::formula::Formula;
+use crate::ids::VarTable;
+use crate::theory::{bounds_for, Bound, DiffLogic};
+
+/// Canonical form of a decision atom. Strict operators are absorbed into
+/// constants (`x < k ⇔ x ≤ k−1`), two-variable atoms order their variables,
+/// so syntactically different but semantically identical atoms share one
+/// assignment slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    /// `x ⋈ k` with `⋈ ∈ {Eq, Le, Ge}`.
+    One { x: u32, op: CanonOp, k: i64 },
+    /// `x − y ⋈ k` with `x < y` and `⋈ ∈ {Eq, Le, Ge}`.
+    Two { x: u32, y: u32, op: CanonOp, k: i64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CanonOp {
+    Eq,
+    Le,
+    Ge,
+}
+
+fn canon_op(op: RelOp, k: i64) -> (CanonOp, i64) {
+    match op {
+        RelOp::Eq => (CanonOp::Eq, k),
+        RelOp::Le => (CanonOp::Le, k),
+        RelOp::Lt => (CanonOp::Le, k - 1),
+        RelOp::Ge => (CanonOp::Ge, k),
+        RelOp::Gt => (CanonOp::Ge, k + 1),
+        RelOp::Ne => unreachable!("Ne eliminated during NNF"),
+    }
+}
+
+fn canon(diff: Diff) -> Result<Key, bool> {
+    match diff {
+        Diff::Ground(b) => Err(b),
+        Diff::OneVar { x, op, k } => {
+            let (op, k) = canon_op(op, k);
+            Ok(Key::One { x: x.0, op, k })
+        }
+        Diff::TwoVar { x, y, op, k } => {
+            let (x, y, op, k) =
+                if x.0 < y.0 { (x.0, y.0, op, k) } else { (y.0, x.0, op.flip(), -k) };
+            let (op, k) = canon_op(op, k);
+            Ok(Key::Two { x, y, op, k })
+        }
+    }
+}
+
+impl Key {
+    /// The branches to try when deciding this atom: `(assigned value,
+    /// difference bounds to assert)`. Exhaustive over the atom's semantics.
+    fn branches(self, zero: u32) -> Vec<(bool, Vec<Bound>)> {
+        let diff = |op: RelOp, k: i64| match self {
+            Key::One { x, .. } => Diff::OneVar { x: crate::ids::VarId(x), op, k },
+            Key::Two { x, y, .. } => {
+                Diff::TwoVar { x: crate::ids::VarId(x), y: crate::ids::VarId(y), op, k }
+            }
+        };
+        let (op, k) = match self {
+            Key::One { op, k, .. } | Key::Two { op, k, .. } => (op, k),
+        };
+        match op {
+            CanonOp::Le => vec![
+                (true, bounds_for(diff(RelOp::Le, k), true, zero).expect("Le is a bound")),
+                (false, bounds_for(diff(RelOp::Ge, k + 1), true, zero).expect("Ge is a bound")),
+            ],
+            CanonOp::Ge => vec![
+                (true, bounds_for(diff(RelOp::Ge, k), true, zero).expect("Ge is a bound")),
+                (false, bounds_for(diff(RelOp::Le, k - 1), true, zero).expect("Le is a bound")),
+            ],
+            CanonOp::Eq => vec![
+                (true, bounds_for(diff(RelOp::Eq, k), true, zero).expect("Eq is bounds")),
+                (false, bounds_for(diff(RelOp::Le, k - 1), true, zero).expect("Le is a bound")),
+                (false, bounds_for(diff(RelOp::Ge, k + 1), true, zero).expect("Ge is a bound")),
+            ],
+        }
+    }
+}
+
+/// Search statistics for one `solve_ground` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    pub decisions: u64,
+    pub conflicts: u64,
+    pub theory_relaxations: u64,
+}
+
+/// Result of the ground search.
+pub enum GroundResult {
+    Sat(Vec<i64>),
+    Unsat,
+    /// Decision limit exceeded — never observed on X-Data workloads, but
+    /// surfaced rather than looping forever on adversarial inputs.
+    Unknown,
+}
+
+struct Searcher<'a> {
+    vars: &'a VarTable,
+    th: DiffLogic,
+    assign: HashMap<Key, bool>,
+    stats: SearchStats,
+    decision_limit: u64,
+}
+
+enum Ev {
+    True,
+    False,
+    /// Undecided; `score` is the branching breadth of the tightest
+    /// disjunction the pick was found in: 1 means the atom is *forced true*
+    /// under the current assignment (unit), larger means a genuine choice
+    /// point. The search prefers small scores (fail-first).
+    Undef { pick: Key, score: u32 },
+}
+
+impl<'a> Searcher<'a> {
+    fn eval_pick(&self, f: &Formula) -> Ev {
+        match f {
+            Formula::True => Ev::True,
+            Formula::False => Ev::False,
+            Formula::Atom(a) => match canon(a.to_diff(self.vars)) {
+                Err(b) => {
+                    if b {
+                        Ev::True
+                    } else {
+                        Ev::False
+                    }
+                }
+                Ok(key) => match self.assign.get(&key) {
+                    Some(true) => Ev::True,
+                    Some(false) => Ev::False,
+                    None => Ev::Undef { pick: key, score: 1 },
+                },
+            },
+            Formula::And(xs) => {
+                let mut best: Option<(Key, u32)> = None;
+                for x in xs {
+                    match self.eval_pick(x) {
+                        Ev::False => return Ev::False,
+                        Ev::True => {}
+                        Ev::Undef { pick, score } => {
+                            if best.map(|(_, s)| score < s).unwrap_or(true) {
+                                best = Some((pick, score));
+                                if score == 1 {
+                                    // Cannot do better than a unit pick.
+                                    return Ev::Undef { pick, score };
+                                }
+                            }
+                        }
+                    }
+                }
+                match best {
+                    None => Ev::True,
+                    Some((pick, score)) => Ev::Undef { pick, score },
+                }
+            }
+            Formula::Or(xs) => {
+                let mut undef: Vec<(Key, u32)> = Vec::new();
+                for x in xs {
+                    match self.eval_pick(x) {
+                        Ev::True => return Ev::True,
+                        Ev::False => {}
+                        Ev::Undef { pick, score } => undef.push((pick, score)),
+                    }
+                }
+                match undef.len() {
+                    0 => Ev::False,
+                    // Exactly one live child: the Or forces that branch, so
+                    // the child's own score stands (possibly unit).
+                    1 => Ev::Undef { pick: undef[0].0, score: undef[0].1 },
+                    // A real choice point: breadth = number of live
+                    // children (at least), picking the child with the
+                    // smallest inner score.
+                    k => {
+                        let (pick, inner) =
+                            *undef.iter().min_by_key(|(_, s)| *s).expect("non-empty");
+                        Ev::Undef { pick, score: inner.max(k as u32) }
+                    }
+                }
+            }
+            Formula::Not(x) => match self.eval_pick(x) {
+                Ev::True => Ev::False,
+                Ev::False => Ev::True,
+                // Under negation "forced true" flips meaning; NNF input
+                // never has Not, but stay sound for raw callers.
+                Ev::Undef { pick, score } => Ev::Undef { pick, score: score.max(2) },
+            },
+            Formula::Forall { .. } | Formula::Exists { .. } => {
+                panic!("quantifier reached ground search; unfold or instantiate first")
+            }
+        }
+    }
+
+    fn dpll(&mut self, root: &Formula) -> Option<GroundResult> {
+        match self.eval_pick(root) {
+            Ev::True => Some(GroundResult::Sat(self.th.model())),
+            Ev::False => None,
+            Ev::Undef { pick, score } => {
+                if self.stats.decisions >= self.decision_limit {
+                    return Some(GroundResult::Unknown);
+                }
+                let mut branches = pick.branches(self.th.zero());
+                if score == 1 {
+                    // The atom sits under conjunctions and forced (single
+                    // live child) disjunctions only: it must be true here,
+                    // so never explore its false branches. This is unit
+                    // propagation, crucial on the root-level domain/equality
+                    // conjuncts and on nearly-exhausted FK disjunctions.
+                    branches.retain(|(v, _)| *v);
+                }
+                for (val, bounds) in branches {
+                    self.stats.decisions += 1;
+                    self.th.push_level();
+                    if self.th.assert_all(&bounds) {
+                        self.assign.insert(pick, val);
+                        match self.dpll(root) {
+                            Some(r) => return Some(r),
+                            None => {
+                                self.assign.remove(&pick);
+                            }
+                        }
+                    }
+                    self.stats.conflicts += 1;
+                    self.th.pop_level();
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Default decision budget: far above anything X-Data workloads need, a
+/// backstop against adversarial inputs.
+pub const DEFAULT_DECISION_LIMIT: u64 = 50_000_000;
+
+/// Decide a ground NNF formula (no quantifiers, no `Ne` atoms). Returns the
+/// model as a flat `VarId`-indexed vector when satisfiable.
+pub fn solve_ground(f: &Formula, vars: &VarTable) -> (GroundResult, SearchStats) {
+    solve_ground_with_limit(f, vars, DEFAULT_DECISION_LIMIT)
+}
+
+/// [`solve_ground`] with an explicit decision budget; exceeding it returns
+/// [`GroundResult::Unknown`].
+pub fn solve_ground_with_limit(
+    f: &Formula,
+    vars: &VarTable,
+    decision_limit: u64,
+) -> (GroundResult, SearchStats) {
+    let mut s = Searcher {
+        vars,
+        th: DiffLogic::new(vars.num_vars()),
+        assign: HashMap::new(),
+        stats: SearchStats::default(),
+        decision_limit,
+    };
+    let result = match s.dpll(f) {
+        Some(r) => r,
+        None => GroundResult::Unsat,
+    };
+    s.stats.theory_relaxations = s.th.relaxations;
+    (result, s.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Term;
+    use crate::eval::eval;
+    use crate::ids::{ArrayId, ArraySpec};
+    use crate::nnf::to_nnf;
+
+    fn vars(len: u32) -> VarTable {
+        VarTable::new(&[ArraySpec { name: "r".into(), len, fields: 2 }])
+    }
+
+    fn fld(i: u32, f: u32) -> Term {
+        Term::field(ArrayId(0), i, f)
+    }
+
+    fn check_sat(f: &Formula, vt: &VarTable) -> Vec<i64> {
+        let nf = to_nnf(f);
+        match solve_ground(&nf, vt).0 {
+            GroundResult::Sat(m) => {
+                assert!(eval(f, &m, vt), "model does not satisfy formula: {f} / {m:?}");
+                m
+            }
+            GroundResult::Unsat => panic!("expected sat: {f}"),
+            GroundResult::Unknown => panic!("unknown: {f}"),
+        }
+    }
+
+    fn check_unsat(f: &Formula, vt: &VarTable) {
+        let nf = to_nnf(f);
+        assert!(
+            matches!(solve_ground(&nf, vt).0, GroundResult::Unsat),
+            "expected unsat: {f}"
+        );
+    }
+
+    #[test]
+    fn simple_conjunction() {
+        let vt = vars(1);
+        let f = Formula::and([
+            Formula::atom(fld(0, 0), RelOp::Ge, Term::Const(3)),
+            Formula::atom(fld(0, 0), RelOp::Le, Term::Const(5)),
+            Formula::atom(fld(0, 1), RelOp::Eq, fld(0, 0).plus(1)),
+        ]);
+        let m = check_sat(&f, &vt);
+        assert!(m[0] >= 3 && m[0] <= 5);
+        assert_eq!(m[1], m[0] + 1);
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let vt = vars(1);
+        let f = Formula::and([
+            Formula::atom(fld(0, 0), RelOp::Lt, Term::Const(3)),
+            Formula::atom(fld(0, 0), RelOp::Gt, Term::Const(3)),
+        ]);
+        check_unsat(&f, &vt);
+    }
+
+    #[test]
+    fn disjunction_explored() {
+        let vt = vars(1);
+        // (x = 1 ∨ x = 7) ∧ x > 3  ⇒  x = 7
+        let f = Formula::and([
+            Formula::or([
+                Formula::atom(fld(0, 0), RelOp::Eq, Term::Const(1)),
+                Formula::atom(fld(0, 0), RelOp::Eq, Term::Const(7)),
+            ]),
+            Formula::atom(fld(0, 0), RelOp::Gt, Term::Const(3)),
+        ]);
+        let m = check_sat(&f, &vt);
+        assert_eq!(m[0], 7);
+    }
+
+    #[test]
+    fn disequality_via_ne() {
+        let vt = vars(2);
+        // r[0].0 = r[1].0 ∧ r[0].0 ≠ r[1].0 is unsat.
+        let f = Formula::and([
+            Formula::atom(fld(0, 0), RelOp::Eq, fld(1, 0)),
+            Formula::atom(fld(0, 0), RelOp::Ne, fld(1, 0)),
+        ]);
+        check_unsat(&f, &vt);
+        // alone, ≠ is satisfiable.
+        let g = Formula::atom(fld(0, 0), RelOp::Ne, fld(1, 0));
+        let m = check_sat(&g, &vt);
+        assert_ne!(m[0], m[2]);
+    }
+
+    #[test]
+    fn negated_conjunction() {
+        let vt = vars(1);
+        // ¬(x ≥ 0 ∧ x ≤ 10) ∧ x ≥ −5 ⇒ x ∈ [−5, −1] (or > 10).
+        let f = Formula::and([
+            Formula::not(Formula::and([
+                Formula::atom(fld(0, 0), RelOp::Ge, Term::Const(0)),
+                Formula::atom(fld(0, 0), RelOp::Le, Term::Const(10)),
+            ])),
+            Formula::atom(fld(0, 0), RelOp::Ge, Term::Const(-5)),
+        ]);
+        let m = check_sat(&f, &vt);
+        assert!(m[0] < 0 || m[0] > 10);
+    }
+
+    #[test]
+    fn integer_tightness() {
+        let vt = vars(2);
+        // x < y ∧ y < x + 2  ⇒  y = x + 1 over the integers.
+        let f = Formula::and([
+            Formula::atom(fld(0, 0), RelOp::Lt, fld(1, 0)),
+            Formula::atom(fld(1, 0), RelOp::Lt, fld(0, 0).plus(2)),
+        ]);
+        let m = check_sat(&f, &vt);
+        assert_eq!(m[2], m[0] + 1);
+        // x < y ∧ y < x + 1 is unsat over the integers.
+        let g = Formula::and([
+            Formula::atom(fld(0, 0), RelOp::Lt, fld(1, 0)),
+            Formula::atom(fld(1, 0), RelOp::Lt, fld(0, 0).plus(1)),
+        ]);
+        check_unsat(&g, &vt);
+    }
+
+    #[test]
+    fn eq_false_branches_explore_both_sides() {
+        let vt = vars(2);
+        // ¬(x = y) ∧ x ≤ y  ⇒  x < y.
+        let f = Formula::and([
+            Formula::not(Formula::atom(fld(0, 0), RelOp::Eq, fld(1, 0))),
+            Formula::atom(fld(0, 0), RelOp::Le, fld(1, 0)),
+        ]);
+        let m = check_sat(&f, &vt);
+        assert!(m[0] < m[2]);
+    }
+
+    #[test]
+    fn shared_atom_consistency() {
+        let vt = vars(1);
+        // The same semantic atom written two ways must share a decision:
+        // (x < 4 ∨ x > 9) ∧ x ≤ 3 — "x < 4" and "x ≤ 3" are one key.
+        let f = Formula::and([
+            Formula::or([
+                Formula::atom(fld(0, 0), RelOp::Lt, Term::Const(4)),
+                Formula::atom(fld(0, 0), RelOp::Gt, Term::Const(9)),
+            ]),
+            Formula::atom(fld(0, 0), RelOp::Le, Term::Const(3)),
+        ]);
+        let m = check_sat(&f, &vt);
+        assert!(m[0] <= 3);
+    }
+
+    #[test]
+    fn canonical_key_orders_variables() {
+        // x - y ≤ 3 and y - x ≥ -3 are the same key.
+        let vt = vars(2);
+        let a = Formula::atom(fld(0, 0), RelOp::Le, fld(1, 0).plus(3));
+        let b = Formula::atom(fld(1, 0).plus(3), RelOp::Ge, fld(0, 0));
+        // They are mutually consistent and collapse into one decision.
+        let f = Formula::and([a, b]);
+        let (_, stats) = solve_ground(&to_nnf(&f), &vt);
+        assert!(stats.decisions <= 2, "shared key should mean ≤2 decisions, got {stats:?}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Incremental integer difference-logic theory.
+//!
+//! Every atom the X-Data constraint generators emit normalizes to
+//! `x − y ⋈ k` (see [`crate::atom::Atom::to_diff`]); over the integers these
+//! become difference bounds:
+//!
+//! ```text
+//! x − y ≤ k            (Le)
+//! x − y ≤ k − 1        (Lt)
+//! y − x ≤ −k           (Ge)
+//! y − x ≤ −k − 1       (Gt)
+//! both of Le and Ge    (Eq)
+//! ```
+//!
+//! A conjunction of such bounds is satisfiable iff the corresponding
+//! constraint graph has no negative cycle. The solver maintains a feasible
+//! *potential function* incrementally (Cotton–Maler style): asserting an
+//! edge relaxes potentials along outgoing edges; if relaxation would lower
+//! the potential of the new edge's source, a negative cycle through the new
+//! edge exists and the assertion fails. All mutations are recorded on a
+//! trail so the DPLL search can backtrack cheaply.
+//!
+//! One-variable bounds (`x ⋈ k`) use a designated *zero node*; extracted
+//! models are shifted so the zero node's value is 0.
+
+use std::collections::VecDeque;
+
+use crate::atom::{Diff, RelOp};
+use crate::ids::VarId;
+
+/// An assertable theory literal: one or two difference edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bound {
+    /// Constraint `x_v − x_u ≤ w`.
+    pub u: u32,
+    pub v: u32,
+    pub w: i64,
+}
+
+/// Convert a canonical difference atom (with a given truth value) into the
+/// difference bounds it asserts. `zero` is the zero-node id.
+///
+/// `Ne`-true and `Eq`-false are *not* single bounds (they are disjunctions);
+/// the search handles them by branching, so this returns `None` for those.
+pub fn bounds_for(diff: Diff, value: bool, zero: u32) -> Option<Vec<Bound>> {
+    let (x, y, op, k) = match diff {
+        Diff::TwoVar { x, y, op, k } => (x.0, y.0, op, k),
+        Diff::OneVar { x, op, k } => (x.0, zero, op, k),
+        Diff::Ground(_) => return Some(vec![]),
+    };
+    let op = if value { op } else { op.negate() };
+    // Constraint: x − y op k.
+    let bounds = match op {
+        RelOp::Le => vec![Bound { u: y, v: x, w: k }],
+        RelOp::Lt => vec![Bound { u: y, v: x, w: k - 1 }],
+        RelOp::Ge => vec![Bound { u: x, v: y, w: -k }],
+        RelOp::Gt => vec![Bound { u: x, v: y, w: -k - 1 }],
+        RelOp::Eq => vec![Bound { u: y, v: x, w: k }, Bound { u: x, v: y, w: -k }],
+        RelOp::Ne => return None,
+    };
+    Some(bounds)
+}
+
+#[derive(Debug)]
+enum TrailEntry {
+    /// Potential of node changed from `old`.
+    Pot { node: u32, old: i64 },
+    /// An edge was appended to `adj[node]`.
+    Edge { node: u32 },
+}
+
+/// Incremental difference-logic solver with push/pop levels.
+#[derive(Debug)]
+pub struct DiffLogic {
+    /// Number of graph nodes (ground vars + 1 zero node).
+    n: usize,
+    /// Feasible potentials: for every edge `u → (v, w)`, `pot[v] ≤ pot[u] + w`.
+    pot: Vec<i64>,
+    /// Outgoing adjacency: `adj[u]` holds `(v, w)` meaning `x_v − x_u ≤ w`.
+    adj: Vec<Vec<(u32, i64)>>,
+    trail: Vec<TrailEntry>,
+    levels: Vec<usize>,
+    /// Statistics: total relaxations performed.
+    pub relaxations: u64,
+}
+
+impl DiffLogic {
+    /// Create a solver for `num_vars` ground variables (plus the implicit
+    /// zero node).
+    pub fn new(num_vars: u32) -> Self {
+        let n = num_vars as usize + 1;
+        DiffLogic { n, pot: vec![0; n], adj: vec![Vec::new(); n], trail: Vec::new(), levels: Vec::new(), relaxations: 0 }
+    }
+
+    /// Node id of the zero variable.
+    pub fn zero(&self) -> u32 {
+        (self.n - 1) as u32
+    }
+
+    pub fn push_level(&mut self) {
+        self.levels.push(self.trail.len());
+    }
+
+    pub fn pop_level(&mut self) {
+        let mark = self.levels.pop().expect("pop without matching push");
+        self.undo_to(mark);
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            match self.trail.pop().expect("len checked") {
+                TrailEntry::Pot { node, old } => self.pot[node as usize] = old,
+                TrailEntry::Edge { node } => {
+                    self.adj[node as usize].pop();
+                }
+            }
+        }
+    }
+
+    /// Assert `x_v − x_u ≤ w`. Returns `false` (and leaves state unchanged)
+    /// if this contradicts the current constraint set.
+    pub fn assert_bound(&mut self, b: Bound) -> bool {
+        let Bound { u, v, w } = b;
+        if u == v {
+            return w >= 0;
+        }
+        let (u, v) = (u as usize, v as usize);
+        if self.pot[v] <= self.pot[u] + w {
+            // Already satisfied; just record the edge.
+            self.adj[u].push((v as u32, w));
+            self.trail.push(TrailEntry::Edge { node: u as u32 });
+            return true;
+        }
+        // Tentatively relax. Record a local mark so a detected negative
+        // cycle can roll back the partial relaxation immediately.
+        let mark = self.trail.len();
+        self.trail.push(TrailEntry::Pot { node: v as u32, old: self.pot[v] });
+        self.pot[v] = self.pot[u] + w;
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        queue.push_back(v as u32);
+        while let Some(x) = queue.pop_front() {
+            let px = self.pot[x as usize];
+            // Iterate over a snapshot length: edges never change during
+            // relaxation, only potentials.
+            for i in 0..self.adj[x as usize].len() {
+                let (y, wy) = self.adj[x as usize][i];
+                let cand = px + wy;
+                if cand < self.pot[y as usize] {
+                    if y as usize == u {
+                        // Lowering the new edge's source ⇒ negative cycle.
+                        self.undo_to(mark);
+                        return false;
+                    }
+                    self.relaxations += 1;
+                    self.trail.push(TrailEntry::Pot { node: y, old: self.pot[y as usize] });
+                    self.pot[y as usize] = cand;
+                    queue.push_back(y);
+                }
+            }
+        }
+        self.adj[u].push((v as u32, w));
+        self.trail.push(TrailEntry::Edge { node: u as u32 });
+        true
+    }
+
+    /// Assert all bounds of a literal; on failure the partial assertion is
+    /// rolled back (caller still owns its push/pop level).
+    pub fn assert_all(&mut self, bounds: &[Bound]) -> bool {
+        let mark = self.trail.len();
+        for b in bounds {
+            if !self.assert_bound(*b) {
+                self.undo_to(mark);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Extract a model: values for every ground variable, shifted so the
+    /// zero node maps to 0. Valid while the current assertion set is
+    /// consistent (which the potential invariant guarantees).
+    pub fn model(&self) -> Vec<i64> {
+        let z = self.pot[self.n - 1];
+        self.pot[..self.n - 1].iter().map(|p| p - z).collect()
+    }
+
+    /// Value of one variable in the current model.
+    pub fn value(&self, v: VarId) -> i64 {
+        self.pot[v.0 as usize] - self.pot[self.n - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(u: u32, v: u32, w: i64) -> Bound {
+        // x_v - x_u <= w
+        Bound { u, v, w }
+    }
+
+    #[test]
+    fn consistent_chain_has_model() {
+        let mut t = DiffLogic::new(3);
+        // x0 - x1 <= -1 (x0 < x1), x1 - x2 <= -1
+        assert!(t.assert_bound(le(1, 0, -1)));
+        assert!(t.assert_bound(le(2, 1, -1)));
+        let m = t.model();
+        assert!(m[0] < m[1] && m[1] < m[2], "{m:?}");
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        let mut t = DiffLogic::new(2);
+        assert!(t.assert_bound(le(1, 0, -1))); // x0 < x1
+        assert!(!t.assert_bound(le(0, 1, -1))); // x1 < x0 — cycle
+        // State unchanged: can still extract a model satisfying first bound.
+        let m = t.model();
+        assert!(m[0] < m[1]);
+    }
+
+    #[test]
+    fn zero_cycle_of_equalities_ok() {
+        let mut t = DiffLogic::new(2);
+        // x0 = x1 via both directions.
+        assert!(t.assert_bound(le(0, 1, 0)));
+        assert!(t.assert_bound(le(1, 0, 0)));
+        let m = t.model();
+        assert_eq!(m[0], m[1]);
+    }
+
+    #[test]
+    fn one_var_bounds_via_zero_node() {
+        let mut t = DiffLogic::new(1);
+        let z = t.zero();
+        // x0 <= 5 and x0 >= 3
+        assert!(t.assert_bound(Bound { u: z, v: 0, w: 5 }));
+        assert!(t.assert_bound(Bound { u: 0, v: z, w: -3 }));
+        let v = t.value(VarId(0));
+        assert!((3..=5).contains(&v), "{v}");
+        // x0 <= 2 now contradicts x0 >= 3.
+        assert!(!t.assert_bound(Bound { u: z, v: 0, w: 2 }));
+    }
+
+    #[test]
+    fn push_pop_restores_state() {
+        let mut t = DiffLogic::new(2);
+        assert!(t.assert_bound(le(1, 0, -5)));
+        let before = t.model();
+        t.push_level();
+        // x1 - x0 <= 5 tightens the gap to exactly 5.
+        assert!(t.assert_bound(le(0, 1, 5)));
+        assert_eq!(t.model()[1] - t.model()[0], 5);
+        t.pop_level();
+        assert_eq!(t.model(), before);
+        // The popped bound is really gone: a tighter-than-5 gap that would
+        // have conflicted with it is now assertable.
+        assert!(t.assert_bound(le(1, 0, -20)));
+    }
+
+    #[test]
+    fn self_loop_bounds() {
+        let mut t = DiffLogic::new(1);
+        assert!(t.assert_bound(le(0, 0, 0)));
+        assert!(!t.assert_bound(le(0, 0, -1)));
+    }
+
+    #[test]
+    fn bounds_for_le_true() {
+        let d = Diff::TwoVar { x: VarId(0), y: VarId(1), op: RelOp::Le, k: 3 };
+        let b = bounds_for(d, true, 9).unwrap();
+        assert_eq!(b, vec![Bound { u: 1, v: 0, w: 3 }]);
+    }
+
+    #[test]
+    fn bounds_for_eq_false_is_none() {
+        let d = Diff::TwoVar { x: VarId(0), y: VarId(1), op: RelOp::Eq, k: 0 };
+        assert!(bounds_for(d, false, 9).is_none());
+        assert_eq!(bounds_for(d, true, 9).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bounds_for_strict_ops_tighten_by_one() {
+        let d = Diff::OneVar { x: VarId(0), op: RelOp::Lt, k: 5 };
+        let b = bounds_for(d, true, 7).unwrap();
+        assert_eq!(b, vec![Bound { u: 7, v: 0, w: 4 }]);
+        // x < 5 false ⇒ x >= 5 ⇒ zero - x <= -5
+        let nb = bounds_for(d, false, 7).unwrap();
+        assert_eq!(nb, vec![Bound { u: 0, v: 7, w: -5 }]);
+    }
+
+    #[test]
+    fn long_inconsistent_cycle() {
+        let mut t = DiffLogic::new(4);
+        assert!(t.assert_bound(le(0, 1, 1)));
+        assert!(t.assert_bound(le(1, 2, 1)));
+        assert!(t.assert_bound(le(2, 3, 1)));
+        // Close the cycle with total weight -1: x0 - x3 <= -4.
+        assert!(!t.assert_bound(le(3, 0, -4)));
+        // Weight exactly 0 around the cycle is fine.
+        assert!(t.assert_bound(le(3, 0, -3)));
+        let m = t.model();
+        assert_eq!(m[3] - m[0], 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Quantifier unfolding (§VI-B of the paper).
+//!
+//! Bounded quantifiers range over tuple-array indices, so they can be
+//! "unfolded ... by replacing a quantified expression by a conjunction or
+//! disjunction of expressions on each array index value". The paper reports
+//! this speeds CVC3 up by a factor of 6–85; our benchmarks reproduce the
+//! same contrast against the lazy-instantiation mode.
+
+use crate::formula::Formula;
+use crate::ids::VarTable;
+
+/// Replace every quantifier in `f` by its finite expansion over the array
+/// lengths recorded in `vars`. The result is ground (quantifier-free).
+pub fn unfold(f: &Formula, vars: &VarTable) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom(a) => Formula::Atom(*a),
+        Formula::And(xs) => Formula::and(xs.iter().map(|x| unfold(x, vars))),
+        Formula::Or(xs) => Formula::or(xs.iter().map(|x| unfold(x, vars))),
+        Formula::Not(x) => Formula::not(unfold(x, vars)),
+        Formula::Forall { qv, array, body } => {
+            let len = vars.spec(*array).len;
+            Formula::and((0..len).map(|i| unfold(&body.subst(*qv, i), vars)))
+        }
+        Formula::Exists { qv, array, body } => {
+            let len = vars.spec(*array).len;
+            Formula::or((0..len).map(|i| unfold(&body.subst(*qv, i), vars)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{RelOp, Term};
+    use crate::ids::{ArrayId, ArraySpec, QVarId};
+
+    fn vars() -> VarTable {
+        VarTable::new(&[
+            ArraySpec { name: "r".into(), len: 3, fields: 1 },
+            ArraySpec { name: "s".into(), len: 2, fields: 1 },
+        ])
+    }
+
+    #[test]
+    fn exists_unfolds_to_or_over_len() {
+        let q = QVarId(0);
+        let f = Formula::exists(
+            q,
+            ArrayId(0),
+            Formula::atom(Term::qfield(ArrayId(0), q, 0), RelOp::Eq, Term::Const(5)),
+        );
+        let g = unfold(&f, &vars());
+        match g {
+            Formula::Or(xs) => assert_eq!(xs.len(), 3),
+            x => panic!("unexpected {x}"),
+        }
+        assert!(!unfold(&f, &vars()).has_quantifier());
+    }
+
+    #[test]
+    fn forall_unfolds_to_and_over_len() {
+        let q = QVarId(0);
+        let f = Formula::forall(
+            q,
+            ArrayId(1),
+            Formula::atom(Term::qfield(ArrayId(1), q, 0), RelOp::Ge, Term::Const(0)),
+        );
+        match unfold(&f, &vars()) {
+            Formula::And(xs) => assert_eq!(xs.len(), 2),
+            x => panic!("unexpected {x}"),
+        }
+    }
+
+    #[test]
+    fn nested_forall_exists_unfolds_fully() {
+        // ∀i∈r ∃j∈s : r[i].0 = s[j].0 — the foreign-key shape of §V-B.
+        let qi = QVarId(0);
+        let qj = QVarId(1);
+        let f = Formula::forall(
+            qi,
+            ArrayId(0),
+            Formula::exists(
+                qj,
+                ArrayId(1),
+                Formula::atom(
+                    Term::qfield(ArrayId(0), qi, 0),
+                    RelOp::Eq,
+                    Term::qfield(ArrayId(1), qj, 0),
+                ),
+            ),
+        );
+        let g = unfold(&f, &vars());
+        assert!(!g.has_quantifier());
+        // 3 conjuncts, each a disjunction of 2 equalities.
+        match g {
+            Formula::And(xs) => {
+                assert_eq!(xs.len(), 3);
+                for x in xs {
+                    match x {
+                        Formula::Or(ys) => assert_eq!(ys.len(), 2),
+                        y => panic!("unexpected {y}"),
+                    }
+                }
+            }
+            x => panic!("unexpected {x}"),
+        }
+    }
+
+    #[test]
+    fn exists_over_empty_array_is_false() {
+        let vt = VarTable::new(&[ArraySpec { name: "r".into(), len: 0, fields: 1 }]);
+        let q = QVarId(0);
+        let f = Formula::exists(
+            q,
+            ArrayId(0),
+            Formula::atom(Term::qfield(ArrayId(0), q, 0), RelOp::Eq, Term::Const(5)),
+        );
+        assert_eq!(unfold(&f, &vt), Formula::False);
+        let g = Formula::forall(
+            q,
+            ArrayId(0),
+            Formula::atom(Term::qfield(ArrayId(0), q, 0), RelOp::Eq, Term::Const(5)),
+        );
+        assert_eq!(unfold(&g, &vt), Formula::True);
+    }
+}

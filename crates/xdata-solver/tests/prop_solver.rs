@@ -1,0 +1,159 @@
+//! Property-based tests: the DPLL(T) solver against a brute-force oracle.
+//!
+//! Strategy: generate random formulas over a small variable set, conjoin
+//! tight domain bounds (`0 ≤ v ≤ 3`), and compare the solver's verdict with
+//! exhaustive enumeration of all assignments. This checks *both* soundness
+//! (SAT models really satisfy the formula — also asserted directly) and
+//! completeness (UNSAT only when no assignment exists — the property the
+//! paper's "equivalent mutant" detection rests on).
+
+use proptest::prelude::*;
+use xdata_solver::atom::Term;
+use xdata_solver::eval::eval;
+use xdata_solver::formula::Formula;
+use xdata_solver::ids::ArrayId;
+use xdata_solver::{Mode, Problem, RelOp, SolveOutcome};
+
+const NVARS: u32 = 4;
+const DOM: i64 = 3; // values 0..=3
+
+fn term(var: u32, offset: i64) -> Term {
+    Term::field(ArrayId(0), 0, var).plus(offset)
+}
+
+fn arb_relop() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Eq),
+        Just(RelOp::Ne),
+        Just(RelOp::Lt),
+        Just(RelOp::Le),
+        Just(RelOp::Gt),
+        Just(RelOp::Ge),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Formula> {
+    (0..NVARS, arb_relop(), 0..NVARS, -2i64..=2, prop::bool::ANY, 0..=DOM).prop_map(
+        |(a, op, b, off, vs_const, c)| {
+            if vs_const {
+                Formula::atom(term(a, 0), op, Term::Const(c))
+            } else {
+                Formula::atom(term(a, 0), op, term(b, off))
+            }
+        },
+    )
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    arb_atom().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::and),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::or),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+/// Build the problem: one array of 1 tuple with NVARS fields, domain bounds
+/// plus the random formula.
+fn problem_for(f: &Formula) -> Problem {
+    let mut p = Problem::new();
+    let a = p.add_array("r", 1, NVARS);
+    for v in 0..NVARS {
+        p.assert(Formula::atom(Term::field(a, 0, v), RelOp::Ge, Term::Const(0)));
+        p.assert(Formula::atom(Term::field(a, 0, v), RelOp::Le, Term::Const(DOM)));
+    }
+    p.assert(f.clone());
+    p
+}
+
+/// Exhaustive oracle over the bounded domain.
+fn brute_force_sat(f: &Formula, vars: &xdata_solver::VarTable) -> bool {
+    let n = NVARS as usize;
+    let mut model = vec![0i64; n];
+    loop {
+        if eval(f, &model, vars) {
+            return true;
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return false;
+            }
+            model[i] += 1;
+            if model[i] <= DOM {
+                break;
+            }
+            model[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_matches_brute_force(f in arb_formula()) {
+        let p = problem_for(&f);
+        let vars = p.var_table();
+        let (out, _) = p.solve(Mode::Unfold);
+        let oracle = brute_force_sat(&f, &vars);
+        match out {
+            SolveOutcome::Sat(m) => {
+                prop_assert!(oracle, "solver SAT but oracle UNSAT for {f}");
+                prop_assert!(eval(&f, m.values(), &vars), "model does not satisfy {f}");
+                // Domain bounds respected too.
+                for v in 0..NVARS as usize {
+                    prop_assert!((0..=DOM).contains(&m.values()[v]));
+                }
+            }
+            SolveOutcome::Unsat => prop_assert!(!oracle, "solver UNSAT but oracle SAT for {f}"),
+            SolveOutcome::Unknown => prop_assert!(false, "unexpected Unknown"),
+        }
+    }
+
+    #[test]
+    fn lazy_and_unfold_agree(f in arb_formula()) {
+        let p = problem_for(&f);
+        let (a, _) = p.solve(Mode::Unfold);
+        let (b, _) = p.solve(Mode::Lazy);
+        prop_assert_eq!(a.is_sat(), b.is_sat(), "modes disagree on {}", f);
+    }
+}
+
+// Quantified round-trip: random per-slot target values; constraints force
+// each slot to its target via a FORALL over bounds plus per-slot pins;
+// both modes must find it.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantified_pin_down(targets in prop::collection::vec(0..=DOM, 1..4)) {
+        let mut p = Problem::new();
+        let len = targets.len() as u32;
+        let a = p.add_array("r", len, 1);
+        // ∀i: r[i].0 ≥ 0 ∧ r[i].0 ≤ DOM
+        let q = p.fresh_qvar();
+        p.assert(Formula::forall(q, a, Formula::and([
+            Formula::atom(Term::qfield(a, q, 0), RelOp::Ge, Term::Const(0)),
+            Formula::atom(Term::qfield(a, q, 0), RelOp::Le, Term::Const(DOM)),
+        ])));
+        // Pin each slot.
+        for (i, t) in targets.iter().enumerate() {
+            p.assert(Formula::atom(Term::field(a, i as u32, 0), RelOp::Eq, Term::Const(*t)));
+        }
+        for mode in [Mode::Unfold, Mode::Lazy] {
+            let (out, _) = p.solve(mode);
+            match out {
+                SolveOutcome::Sat(m) => {
+                    for (i, t) in targets.iter().enumerate() {
+                        prop_assert_eq!(m.get(a, i as u32, 0), *t);
+                    }
+                }
+                o => prop_assert!(false, "mode {:?}: unexpected {:?}", mode, o),
+            }
+        }
+    }
+}

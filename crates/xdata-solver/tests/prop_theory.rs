@@ -1,0 +1,99 @@
+//! Property tests for the incremental difference-logic theory: push/pop
+//! discipline and consistency verdicts against a brute-force oracle.
+
+use proptest::prelude::*;
+use xdata_solver::theory::{Bound, DiffLogic};
+
+const NVARS: u32 = 4;
+const DOM: i64 = 4;
+
+/// Oracle: is the conjunction of bounds satisfiable over 0..=DOM per var?
+/// (Difference systems over a bounded box; sufficient for w ∈ [-3, 3] and
+/// ≤4 variables since any satisfiable system has a solution in a window of
+/// width ≤ Σ|w| ≤ 12 ≥... we simply test satisfiability over a wide box
+/// [-16, 16] which is safe for these sizes.)
+fn brute_sat(bounds: &[(u32, u32, i64)]) -> bool {
+    const LO: i64 = -16;
+    const HI: i64 = 16;
+    let n = NVARS as usize;
+    let mut vals = vec![LO; n];
+    loop {
+        if bounds.iter().all(|(u, v, w)| vals[*v as usize] - vals[*u as usize] <= *w) {
+            return true;
+        }
+        let mut i = 0;
+        loop {
+            if i == n {
+                return false;
+            }
+            vals[i] += 1;
+            if vals[i] <= HI {
+                break;
+            }
+            vals[i] = LO;
+            i += 1;
+        }
+    }
+}
+
+fn arb_bound() -> impl Strategy<Value = (u32, u32, i64)> {
+    (0..NVARS, 0..NVARS, -3i64..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Asserting a sequence of bounds reports UNSAT exactly when the
+    /// accepted prefix plus the new bound is infeasible, and the final
+    /// model satisfies every accepted bound.
+    #[test]
+    fn incremental_consistency_matches_oracle(bounds in prop::collection::vec(arb_bound(), 1..10)) {
+        let mut th = DiffLogic::new(NVARS);
+        let mut accepted: Vec<(u32, u32, i64)> = Vec::new();
+        for (u, v, w) in bounds {
+            let ok = th.assert_bound(Bound { u, v, w });
+            let mut candidate = accepted.clone();
+            candidate.push((u, v, w));
+            let feasible = brute_sat(&candidate);
+            prop_assert_eq!(ok, feasible, "bound ({},{},{}) after {:?}", u, v, w, accepted);
+            if ok {
+                accepted = candidate;
+            }
+        }
+        let m = th.model();
+        for (u, v, w) in &accepted {
+            prop_assert!(
+                m[*v as usize] - m[*u as usize] <= *w,
+                "model violates accepted bound: {m:?} vs ({u},{v},{w})"
+            );
+        }
+    }
+
+    /// push/pop restores exactly the pre-push state: post-pop models
+    /// satisfy the outer bounds, and bounds rejected inside the frame do
+    /// not constrain afterwards.
+    #[test]
+    fn push_pop_is_transparent(
+        outer in prop::collection::vec(arb_bound(), 0..5),
+        inner in prop::collection::vec(arb_bound(), 0..5),
+    ) {
+        let mut th = DiffLogic::new(NVARS);
+        let mut kept = Vec::new();
+        for (u, v, w) in outer {
+            if th.assert_bound(Bound { u, v, w }) {
+                kept.push((u, v, w));
+            }
+        }
+        let before = th.model();
+        th.push_level();
+        for (u, v, w) in inner {
+            let _ = th.assert_bound(Bound { u, v, w });
+        }
+        th.pop_level();
+        prop_assert_eq!(th.model(), before, "pop must restore the model");
+        for (u, v, w) in &kept {
+            let m = th.model();
+            prop_assert!(m[*v as usize] - m[*u as usize] <= *w);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Full mutation-analysis report for a multi-join query: the evaluation
+//! loop of §VI-C as a library call.
+//!
+//! ```sh
+//! cargo run --example mutation_report
+//! ```
+//!
+//! Shows the exponential mutant space vs. the linear test suite, the effect
+//! of foreign keys on equivalent mutants (Table I's trend), and per-dataset
+//! kill attribution.
+
+use xdata::catalog::university;
+use xdata::relalg::mutation::MutationOptions;
+use xdata::XData;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sql = "SELECT * FROM instructor i, teaches t, course c \
+               WHERE i.id = t.id AND t.course_id = c.course_id";
+    println!("query: {sql}\n");
+    println!(
+        "{:>4} | {:>9} | {:>8} | {:>7} | {:>8}",
+        "#FK", "#mutants", "#killed", "#equiv", "#datasets"
+    );
+    println!("{}", "-".repeat(52));
+
+    for fks in [0usize, 1, 2] {
+        let schema = university::schema_with_fk_count(fks);
+        let xdata = XData::new(schema);
+        let mopts = MutationOptions { include_full: false, ..MutationOptions::default() };
+        let (run, space, report) = xdata.evaluate(sql, mopts)?;
+        println!(
+            "{fks:>4} | {:>9} | {:>8} | {:>7} | {:>8}",
+            space.len(),
+            report.killed_count(),
+            space.len() - report.killed_count(),
+            run.suite.datasets.len(),
+        );
+    }
+
+    println!("\nDetailed attribution with all foreign keys of the chain (2):\n");
+    let schema = university::schema_with_fk_count(2);
+    let xdata = XData::new(schema);
+    let (run, space, report) =
+        xdata.evaluate(sql, MutationOptions { include_full: false, ..Default::default() })?;
+    for (i, d) in run.suite.datasets.iter().enumerate() {
+        let kills = report.killed_by.iter().filter(|k| **k == Some(i)).count();
+        println!("dataset {i} ({}) first-kills {kills} mutants", d.label);
+    }
+    println!();
+    for (mi, m) in space.iter().enumerate() {
+        if report.killed_by[mi].is_none() {
+            println!("equivalent mutant: {}", m.describe(&run.query));
+        }
+    }
+    println!(
+        "\nAs in Table I of the paper: more foreign keys => more equivalent \
+         mutants => fewer kills and fewer datasets."
+    );
+    Ok(())
+}

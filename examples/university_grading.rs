@@ -1,0 +1,82 @@
+//! Grading student SQL: the scenario that motivated X-Data (it later became
+//! a deployed grading tool at IIT Bombay).
+//!
+//! ```sh
+//! cargo run --example university_grading
+//! ```
+//!
+//! The instructor writes the correct query; each student submission is a
+//! candidate. We generate the test suite from the *correct* query, run both
+//! queries on every dataset, and flag submissions that differ anywhere —
+//! without hand-writing a single test case.
+
+use xdata::catalog::university;
+use xdata::engine::execute_query;
+use xdata::relalg::normalize;
+use xdata::sql::parse_query;
+use xdata::XData;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = university::schema();
+    let xdata = XData::new(schema.clone());
+
+    // The assignment: "list names of instructors together with the course
+    // ids of all courses they teach".
+    let correct = "SELECT i.name, t.course_id FROM instructor i, teaches t WHERE i.id = t.id";
+
+    // Student submissions, some right, some subtly wrong.
+    let submissions = [
+        (
+            "alice",
+            "SELECT i.name, t.course_id FROM teaches t, instructor i WHERE t.id = i.id",
+        ),
+        (
+            "bob",
+            "SELECT i.name, t.course_id FROM instructor i LEFT OUTER JOIN teaches t \
+             ON i.id = t.id",
+        ),
+        (
+            "carol",
+            "SELECT i.name, t.course_id FROM instructor i JOIN teaches t ON i.id = t.id",
+        ),
+        (
+            "dave",
+            "SELECT i.name, t.course_id FROM instructor i, teaches t WHERE i.id <> t.id",
+        ),
+    ];
+
+    println!("reference query:\n  {correct}\n");
+    let run = xdata.generate_for(correct)?;
+    println!(
+        "generated {} datasets ({} equivalent-mutant groups skipped)\n",
+        run.suite.datasets.len(),
+        run.suite.skipped.len()
+    );
+
+    for (student, sql) in submissions {
+        let sub_ast = parse_query(sql)?;
+        let sub = normalize(&sub_ast, &schema)?;
+        let mut verdict = "PASS".to_string();
+        for (di, d) in run.suite.datasets.iter().enumerate() {
+            let expected = execute_query(&run.query, &d.dataset, &schema)?;
+            let got = execute_query(&sub, &d.dataset, &schema)?;
+            if expected != got {
+                verdict = format!(
+                    "FAIL on dataset {di} ({}): expected {} rows, got {} rows",
+                    d.label,
+                    expected.len(),
+                    got.len()
+                );
+                break;
+            }
+        }
+        println!("{student:8} {verdict}");
+    }
+
+    println!(
+        "\n(bob's LEFT OUTER JOIN and dave's <> differ from the reference on the \
+         nullification datasets; alice's commuted join and carol's explicit JOIN \
+         are equivalent rewrites and pass.)"
+    );
+    Ok(())
+}

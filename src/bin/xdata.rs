@@ -1,0 +1,170 @@
+//! `xdata` — command-line front end for the X-Data test-data generator.
+//!
+//! ```text
+//! xdata generate --schema schema.sql --query "SELECT ..." [options]
+//! xdata evaluate --schema schema.sql --query "SELECT ..." [options]
+//! xdata mutants  --schema schema.sql --query "SELECT ..." [options]
+//! xdata grade    --schema schema.sql --query "<reference>" --candidate "<submission>" 
+//!
+//! options:
+//!   --schema FILE     SQL script: CREATE TABLE (+ optional INSERT INTO
+//!                     statements forming the input database of §VI-A)
+//!   --query SQL       the query under test (or --query-file FILE)
+//!   --mode MODE       unfold (default) | lazy     (§VI-B)
+//!   --use-input-db    restrict generated tuples to the script's INSERTs
+//!   --minimize        prune datasets that add no kills (greedy set cover)
+//!   --no-full-outer   exclude mutations to FULL OUTER JOIN (paper's eval)
+//! ```
+
+use std::process::ExitCode;
+
+use xdata::catalog::DomainCatalog;
+use xdata::core::minimize_suite;
+use xdata::relalg::mutation::MutationOptions;
+use xdata::relalg::Mutant;
+use xdata::solver::Mode;
+use xdata::XData;
+
+struct Args {
+    command: String,
+    schema_path: Option<String>,
+    query: Option<String>,
+    candidate: Option<String>,
+    mode: Mode,
+    use_input_db: bool,
+    minimize: bool,
+    include_full: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        schema_path: None,
+        query: None,
+        candidate: None,
+        mode: Mode::Unfold,
+        use_input_db: false,
+        minimize: false,
+        include_full: true,
+    };
+    let mut it = std::env::args().skip(1);
+    args.command = it.next().ok_or("missing command (generate|evaluate|mutants)")?;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--schema" => args.schema_path = Some(it.next().ok_or("--schema needs a file")?),
+            "--query" => args.query = Some(it.next().ok_or("--query needs SQL text")?),
+            "--query-file" => {
+                let p = it.next().ok_or("--query-file needs a file")?;
+                let text =
+                    std::fs::read_to_string(&p).map_err(|e| format!("reading {p}: {e}"))?;
+                args.query = Some(text);
+            }
+            "--mode" => {
+                args.mode = match it.next().as_deref() {
+                    Some("unfold") => Mode::Unfold,
+                    Some("lazy") => Mode::Lazy,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--candidate" => args.candidate = Some(it.next().ok_or("--candidate needs SQL")?),
+            "--use-input-db" => args.use_input_db = true,
+            "--minimize" => args.minimize = true,
+            "--no-full-outer" => args.include_full = false,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let schema_path = args.schema_path.as_deref().ok_or("--schema is required")?;
+    let script = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("reading {schema_path}: {e}"))?;
+    let (schema, data) =
+        xdata::sql::parse_script(&script).map_err(|e| e.render(&script))?;
+    let sql = args.query.as_deref().ok_or("--query is required")?;
+
+    let mut xd = XData::new(schema.clone()).with_mode(args.mode);
+    if args.use_input_db {
+        if data.is_empty() {
+            return Err("--use-input-db: the schema script has no INSERT statements".into());
+        }
+        xd = xd.with_input_db(data.clone());
+    } else if !data.is_empty() {
+        // Use the data's values as domains (the paper's default, §VI-C).
+        xd = xd.with_domains(DomainCatalog::from_dataset(&schema, &data));
+    }
+
+    let mopts = MutationOptions { include_full: args.include_full, tree_limit: 20_000, ..Default::default() };
+
+    match args.command.as_str() {
+        "generate" => {
+            let run = xd.generate_for(sql).map_err(|e| e.to_string())?;
+            let suite = if args.minimize {
+                let space = run.mutants(mopts);
+                minimize_suite(&run.query, &run.suite, &space, &schema)
+                    .map_err(|e| e.to_string())?
+            } else {
+                run.suite.clone()
+            };
+            print!("{suite}");
+            Ok(())
+        }
+        "evaluate" => {
+            let (run, space, report) =
+                xd.evaluate(sql, mopts).map_err(|e| e.to_string())?;
+            println!(
+                "{} datasets, {} mutants ({} raw), {} killed, {} surviving",
+                run.suite.datasets.len(),
+                space.len(),
+                space.raw_len(),
+                report.killed_count(),
+                space.len() - report.killed_count()
+            );
+            let mutants: Vec<Mutant> = space.iter().collect();
+            for (mi, killer) in report.killed_by.iter().enumerate() {
+                match killer {
+                    Some(d) => println!("  killed by #{d}: {}", mutants[mi].describe(&run.query)),
+                    None => println!("  SURVIVES (equivalent): {}", mutants[mi].describe(&run.query)),
+                }
+            }
+            Ok(())
+        }
+        "mutants" => {
+            let run = xd.generate_for(sql).map_err(|e| e.to_string())?;
+            let space = run.mutants(mopts);
+            println!("{} mutants ({} raw):", space.len(), space.raw_len());
+            for m in space.iter() {
+                println!("  {}", m.describe(&run.query));
+            }
+            Ok(())
+        }
+        "grade" => {
+            let candidate = args.candidate.as_deref().ok_or("--candidate is required")?;
+            match xd.grade(sql, candidate).map_err(|e| e.to_string())? {
+                xdata::Grade::AgreesOnSuite { datasets } => {
+                    println!("PASS: candidate agrees with the reference on all {datasets} datasets");
+                }
+                xdata::Grade::Different { dataset_index, dataset, expected, got } => {
+                    println!("FAIL: differs on dataset {dataset_index}:");
+                    print!("{dataset}");
+                    println!("expected result:\n{expected}");
+                    println!("candidate result:\n{got}");
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (generate|evaluate|mutants|grade)")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xdata: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! # X-Data: test-data generation for killing SQL mutants
+//!
+//! A Rust reproduction of *"Generating Test Data for Killing SQL Mutants: A
+//! Constraint-based Approach"* (Shah, Sudarshan, Kajbaje, Patidar, Gupta,
+//! Vira — the extended version of the ICDE 2010 X-Data paper).
+//!
+//! Given a schema and a query, X-Data generates a small *test suite* —
+//! a handful of tiny datasets — such that every non-equivalent mutant of
+//! the query (wrong join type in any equivalent join tree, wrong comparison
+//! operator, wrong aggregate function) produces a different result from the
+//! original query on at least one dataset.
+//!
+//! ```
+//! use xdata::XData;
+//!
+//! let schema = xdata::catalog::university::schema();
+//! let xdata = XData::new(schema);
+//! let run = xdata
+//!     .generate_for("SELECT * FROM instructor i, teaches t WHERE i.id = t.id")
+//!     .expect("query in the supported class");
+//! assert!(!run.suite.datasets.is_empty());
+//! for ds in &run.suite.datasets {
+//!     println!("{}", ds.dataset);
+//! }
+//! ```
+//!
+//! The heavy lifting lives in the member crates, re-exported here:
+//!
+//! * [`catalog`] — schemata, values, constraints, domains;
+//! * [`sql`] — the SQL parser for the paper's query class;
+//! * [`relalg`] — normalization, equivalence classes, the mutation space;
+//! * [`solver`] — the constraint solver (the paper used CVC3);
+//! * [`engine`] — the executor used to check which mutants a dataset kills;
+//! * [`core`] — the generation algorithms themselves.
+
+use std::fmt;
+
+pub use xdata_catalog as catalog;
+pub use xdata_core as core;
+pub use xdata_engine as engine;
+pub use xdata_relalg as relalg;
+pub use xdata_solver as solver;
+pub use xdata_sql as sql;
+
+use xdata_catalog::{Dataset, DomainCatalog, Schema};
+use xdata_core::{generate, GenOptions, TestSuite};
+use xdata_engine::kill::{kill_report, KillReport};
+use xdata_relalg::mutation::{mutation_space, MutationOptions};
+use xdata_relalg::{normalize, MutationSpace, NormQuery};
+
+/// Everything produced for one query.
+#[derive(Debug, Clone)]
+pub struct Run {
+    pub query: NormQuery,
+    pub suite: TestSuite,
+}
+
+impl Run {
+    /// Enumerate the mutation space of the query.
+    pub fn mutants(&self, opts: MutationOptions) -> MutationSpace {
+        mutation_space(&self.query, opts)
+    }
+}
+
+/// Top-level error.
+#[derive(Debug)]
+pub enum XDataError {
+    Parse(xdata_sql::ParseError),
+    RelAlg(xdata_relalg::RelAlgError),
+    Gen(xdata_core::GenError),
+    Engine(xdata_engine::EngineError),
+}
+
+impl fmt::Display for XDataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XDataError::Parse(e) => write!(f, "{e}"),
+            XDataError::RelAlg(e) => write!(f, "{e}"),
+            XDataError::Gen(e) => write!(f, "{e}"),
+            XDataError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+impl std::error::Error for XDataError {}
+
+impl From<xdata_sql::ParseError> for XDataError {
+    fn from(e: xdata_sql::ParseError) -> Self {
+        XDataError::Parse(e)
+    }
+}
+impl From<xdata_relalg::RelAlgError> for XDataError {
+    fn from(e: xdata_relalg::RelAlgError) -> Self {
+        XDataError::RelAlg(e)
+    }
+}
+impl From<xdata_core::GenError> for XDataError {
+    fn from(e: xdata_core::GenError) -> Self {
+        XDataError::Gen(e)
+    }
+}
+impl From<xdata_engine::EngineError> for XDataError {
+    fn from(e: xdata_engine::EngineError) -> Self {
+        XDataError::Engine(e)
+    }
+}
+
+/// The main entry point: a schema plus generation options.
+#[derive(Debug, Clone)]
+pub struct XData {
+    schema: Schema,
+    domains: DomainCatalog,
+    options: GenOptions,
+}
+
+impl XData {
+    /// Create a generator for `schema` with default domains and options.
+    pub fn new(schema: Schema) -> Self {
+        let domains = DomainCatalog::defaults(&schema);
+        XData { schema, domains, options: GenOptions::default() }
+    }
+
+    /// Parse a schema from `CREATE TABLE` statements.
+    pub fn from_sql_schema(ddl: &str) -> Result<Self, XDataError> {
+        Ok(Self::new(xdata_sql::parse_schema(ddl)?))
+    }
+
+    /// Draw generated values (and, where consistent, whole tuples) from an
+    /// existing database (§VI-A).
+    pub fn with_input_db(mut self, input: Dataset) -> Self {
+        self.domains = DomainCatalog::from_dataset(&self.schema, &input);
+        self.options.input_db = Some(input);
+        self
+    }
+
+    /// Select the quantifier-handling mode (§VI-B).
+    pub fn with_mode(mut self, mode: xdata_solver::Mode) -> Self {
+        self.options.mode = mode;
+        self
+    }
+
+    /// Override attribute domains.
+    pub fn with_domains(mut self, domains: DomainCatalog) -> Self {
+        self.domains = domains;
+        self
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn options(&self) -> &GenOptions {
+        &self.options
+    }
+
+    /// Parse, normalize and generate the test suite for `sql`.
+    pub fn generate_for(&self, sql: &str) -> Result<Run, XDataError> {
+        let ast = xdata_sql::parse_query(sql)?;
+        let query = normalize(&ast, &self.schema)?;
+        let suite = generate(&query, &self.schema, &self.domains, &self.options)?;
+        Ok(Run { query, suite })
+    }
+
+    /// Run the full evaluation loop of §VI-C: generate the suite, enumerate
+    /// the mutation space, and report which datasets kill which mutants.
+    pub fn evaluate(
+        &self,
+        sql: &str,
+        mopts: MutationOptions,
+    ) -> Result<(Run, MutationSpace, KillReport), XDataError> {
+        let run = self.generate_for(sql)?;
+        let space = run.mutants(mopts);
+        let report = kill_report(&run.query, &space, &run.suite.data(), &self.schema)?;
+        Ok((run, space, report))
+    }
+
+    /// Grade a candidate query against a reference query — the workflow of
+    /// the XData grading tool this paper led to: generate the test suite
+    /// from the *reference* query, run both queries on every dataset, and
+    /// report the first dataset where they differ.
+    pub fn grade(&self, reference_sql: &str, candidate_sql: &str) -> Result<Grade, XDataError> {
+        let run = self.generate_for(reference_sql)?;
+        let candidate_ast = xdata_sql::parse_query(candidate_sql)?;
+        let candidate = normalize(&candidate_ast, &self.schema)?;
+        for (i, d) in run.suite.datasets.iter().enumerate() {
+            let expected = xdata_engine::execute_query(&run.query, &d.dataset, &self.schema)?;
+            let got = xdata_engine::execute_query(&candidate, &d.dataset, &self.schema)?;
+            if expected != got {
+                return Ok(Grade::Different {
+                    dataset_index: i,
+                    dataset: d.dataset.clone(),
+                    expected,
+                    got,
+                });
+            }
+        }
+        Ok(Grade::AgreesOnSuite { datasets: run.suite.datasets.len() })
+    }
+}
+
+/// Result of [`XData::grade`].
+#[derive(Debug, Clone)]
+pub enum Grade {
+    /// The candidate agreed with the reference on every generated dataset.
+    /// Within the paper's mutation space this means the candidate is either
+    /// correct or differs in a way no single mutation models.
+    AgreesOnSuite { datasets: usize },
+    /// A witness dataset on which the two queries disagree — show it to the
+    /// student.
+    Different {
+        dataset_index: usize,
+        dataset: Dataset,
+        expected: xdata_engine::ResultSet,
+        got: xdata_engine::ResultSet,
+    },
+}
+
+impl Grade {
+    pub fn passed(&self) -> bool {
+        matches!(self, Grade::AgreesOnSuite { .. })
+    }
+}

@@ -1,0 +1,113 @@
+//! SELECT DISTINCT and the duplicate-count mutation class (the paper's
+//! footnote 2 defers these to future work; implemented here).
+
+use xdata::catalog::{university, Dataset, Value};
+use xdata::engine::execute_query;
+use xdata::relalg::mutation::MutationOptions;
+use xdata::relalg::{normalize, Mutant};
+use xdata::sql::parse_query;
+use xdata::XData;
+
+#[test]
+fn engine_distinct_deduplicates() {
+    let schema = university::schema_with_fk_count(0);
+    let mut d = Dataset::new();
+    for (id, dept) in [(1, 7), (2, 7), (3, 8)] {
+        d.push(
+            "instructor",
+            vec![Value::Int(id), Value::Str("x".into()), Value::Int(dept), Value::Int(1)],
+        );
+    }
+    let plain = normalize(
+        &parse_query("SELECT dept_id FROM instructor").unwrap(),
+        &schema,
+    )
+    .unwrap();
+    let distinct = normalize(
+        &parse_query("SELECT DISTINCT dept_id FROM instructor").unwrap(),
+        &schema,
+    )
+    .unwrap();
+    assert_eq!(execute_query(&plain, &d, &schema).unwrap().len(), 3);
+    assert_eq!(execute_query(&distinct, &d, &schema).unwrap().len(), 2);
+}
+
+#[test]
+fn duplicate_mutant_killed_for_projection() {
+    // SELECT i.dept_id over a join: two instructors in one department give
+    // duplicate projected rows; the generator must build that dataset.
+    let schema = university::schema_with_fk_count(0);
+    let xdata = XData::new(schema.clone());
+    let (run, space, report) = xdata
+        .evaluate(
+            "SELECT i.dept_id FROM instructor i, teaches t WHERE i.id = t.id",
+            MutationOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(space.dup.len(), 1);
+    let mutants: Vec<Mutant> = space.iter().collect();
+    let dup_idx = mutants
+        .iter()
+        .position(|m| matches!(m, Mutant::Distinct(_)))
+        .expect("distinct mutant in space");
+    assert!(
+        report.killed_by[dup_idx].is_some(),
+        "duplicate mutant survived:\n{}",
+        run.suite
+    );
+    // The killing dataset really contains a duplicate projected row.
+    let di = report.killed_by[dup_idx].unwrap();
+    let ds = &run.suite.datasets[di];
+    let r = execute_query(&run.query, &ds.dataset, &schema).unwrap();
+    let mut rows = r.rows().to_vec();
+    let before = rows.len();
+    rows.dedup();
+    assert!(rows.len() < before, "no duplicate row in:\n{}", ds.dataset);
+}
+
+#[test]
+fn star_select_with_keys_has_equivalent_duplicate_mutant() {
+    // SELECT * with primary keys everywhere: duplicate rows are impossible,
+    // the mutant must survive as equivalent.
+    let schema = university::schema_with_fk_count(0);
+    let xdata = XData::new(schema.clone());
+    let (_, space, report) = xdata
+        .evaluate(
+            "SELECT * FROM instructor i, teaches t WHERE i.id = t.id",
+            MutationOptions::default(),
+        )
+        .unwrap();
+    let dup_idx = space.len() - 1; // distinct mutant is last in iteration order
+    assert!(report.killed_by[dup_idx].is_none());
+}
+
+#[test]
+fn distinct_query_mutates_to_plain_select() {
+    // The original uses DISTINCT; the mutant drops it — killed by the same
+    // duplicate-bearing dataset.
+    let schema = university::schema_with_fk_count(0);
+    let xdata = XData::new(schema.clone());
+    let (run, space, report) = xdata
+        .evaluate(
+            "SELECT DISTINCT dept_id FROM instructor",
+            MutationOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(space.dup.len(), 1);
+    assert!(!space.dup[0].to, "mutant drops DISTINCT");
+    let mutants: Vec<Mutant> = space.iter().collect();
+    let dup_idx =
+        mutants.iter().position(|m| matches!(m, Mutant::Distinct(_))).expect("present");
+    assert!(report.killed_by[dup_idx].is_some(), "{}", run.suite);
+}
+
+#[test]
+fn aggregation_has_no_duplicate_mutant() {
+    let schema = university::schema_with_fk_count(0);
+    let xdata = XData::new(schema);
+    let run = xdata
+        .generate_for("SELECT dept_id, COUNT(*) FROM instructor GROUP BY dept_id")
+        .unwrap();
+    let space = run.mutants(MutationOptions::default());
+    assert!(space.dup.is_empty());
+}

@@ -1,0 +1,88 @@
+//! Tests for the grading workflow (`XData::grade`) — the use case the
+//! X-Data system was deployed for at IIT Bombay.
+
+use xdata::catalog::university;
+use xdata::{Grade, XData};
+
+fn xd(fks: usize) -> XData {
+    XData::new(university::schema_with_fk_count(fks))
+}
+
+const REFERENCE: &str =
+    "SELECT i.name, t.course_id FROM instructor i, teaches t WHERE i.id = t.id";
+
+#[test]
+fn correct_rewrites_pass() {
+    let x = xd(1);
+    for candidate in [
+        REFERENCE,
+        // Commuted FROM order.
+        "SELECT i.name, t.course_id FROM teaches t, instructor i WHERE t.id = i.id",
+        // Explicit JOIN syntax.
+        "SELECT i.name, t.course_id FROM instructor i JOIN teaches t ON i.id = t.id",
+        // Right outer join that the FK makes equivalent.
+        "SELECT i.name, t.course_id FROM instructor i RIGHT OUTER JOIN teaches t \
+         ON i.id = t.id",
+    ] {
+        let g = x.grade(REFERENCE, candidate).unwrap();
+        assert!(g.passed(), "should pass: {candidate}");
+    }
+}
+
+#[test]
+fn wrong_join_type_fails_with_witness() {
+    let x = xd(1);
+    let g = x
+        .grade(
+            REFERENCE,
+            "SELECT i.name, t.course_id FROM instructor i LEFT OUTER JOIN teaches t \
+             ON i.id = t.id",
+        )
+        .unwrap();
+    match g {
+        Grade::Different { dataset, expected, got, .. } => {
+            assert_ne!(expected, got);
+            // The witness contains the non-teaching instructor.
+            let instructors = dataset.relation("instructor").unwrap();
+            let teaches = dataset.relation("teaches").unwrap_or(&[]);
+            assert!(instructors.iter().any(|i| !teaches.iter().any(|t| t[0] == i[0])));
+        }
+        g => panic!("expected Different, got {g:?}"),
+    }
+}
+
+#[test]
+fn wrong_comparison_fails() {
+    let x = xd(0);
+    let reference = "SELECT id FROM instructor WHERE salary >= 50000";
+    let g = x.grade(reference, "SELECT id FROM instructor WHERE salary > 50000").unwrap();
+    assert!(!g.passed(), "boundary dataset must separate >= from >");
+}
+
+#[test]
+fn wrong_aggregate_fails() {
+    let x = xd(0);
+    let reference = "SELECT dept_id, COUNT(salary) FROM instructor GROUP BY dept_id";
+    let g = x
+        .grade(reference, "SELECT dept_id, COUNT(DISTINCT salary) FROM instructor GROUP BY dept_id")
+        .unwrap();
+    assert!(!g.passed(), "duplicate-bearing dataset must separate COUNT from COUNT DISTINCT");
+}
+
+#[test]
+fn different_arity_fails_on_original_dataset() {
+    // The non-empty original-query dataset exposes any projection-arity
+    // difference immediately. (Same-arity projection swaps are not in the
+    // paper's mutation space and may evade the suite when values coincide.)
+    let x = xd(1);
+    let g = x
+        .grade(REFERENCE, "SELECT i.name FROM instructor i, teaches t WHERE i.id = t.id")
+        .unwrap();
+    assert!(!g.passed());
+}
+
+#[test]
+fn unparsable_candidate_is_an_error() {
+    let x = xd(1);
+    assert!(x.grade(REFERENCE, "SELECT FROM WHERE").is_err());
+}

@@ -1,0 +1,151 @@
+//! Additional completeness spot-checks over query shapes not covered by
+//! `end_to_end.rs`: repeated relations (self joins), selections on both
+//! sides of a join, ON-clause outer joins mixed with WHERE selections, and
+//! decorrelated IN queries.
+
+use xdata::catalog::{university, Dataset, Value};
+use xdata::engine::execute_query;
+use xdata::engine::kill::execute_mutant;
+use xdata::relalg::mutation::MutationOptions;
+use xdata::relalg::Mutant;
+use xdata::XData;
+
+/// A light killability probe: try a panel of hand-crafted instances and
+/// confirm none distinguishes the surviving mutants (weaker than the
+/// exhaustive search in end_to_end.rs, but fast and broad).
+fn probe_survivors(sql: &str, fks: usize, probes: &[Dataset]) {
+    let schema = university::schema_with_fk_count(fks);
+    let xdata = XData::new(schema.clone());
+    let (run, space, report) =
+        xdata.evaluate(sql, MutationOptions::default()).unwrap();
+    let mutants: Vec<Mutant> = space.iter().collect();
+    for mi in report.surviving() {
+        for db in probes {
+            if !db.integrity_violations(&schema).is_empty() {
+                continue;
+            }
+            let a = execute_query(&run.query, db, &schema).unwrap();
+            let b = execute_mutant(&run.query, &mutants[mi], db, &schema).unwrap();
+            assert_eq!(
+                a,
+                b,
+                "survivor is killable: {} (query {sql})\non:\n{db}",
+                mutants[mi].describe(&run.query)
+            );
+        }
+    }
+}
+
+fn instructor(id: i64, dept: i64, sal: i64) -> Vec<Value> {
+    vec![Value::Int(id), Value::Str(format!("n{id}")), Value::Int(dept), Value::Int(sal)]
+}
+
+fn teaches(id: i64, cid: i64) -> Vec<Value> {
+    vec![Value::Int(id), Value::Int(cid), Value::Int(1), Value::Int(2009)]
+}
+
+fn probes() -> Vec<Dataset> {
+    let mut out = Vec::new();
+    for spec in 0..8u32 {
+        let mut d = Dataset::new();
+        if spec & 1 != 0 {
+            d.push("instructor", instructor(1, 1, 10));
+        }
+        if spec & 2 != 0 {
+            d.push("instructor", instructor(2, 2, 20));
+        }
+        if spec & 4 != 0 {
+            d.push("teaches", teaches(1, 100));
+        }
+        out.push(d);
+    }
+    // A denser instance.
+    let mut d = Dataset::new();
+    d.push("instructor", instructor(1, 1, 10));
+    d.push("instructor", instructor(2, 1, 10));
+    d.push("teaches", teaches(1, 100));
+    d.push("teaches", teaches(2, 101));
+    out.push(d);
+    out
+}
+
+#[test]
+fn self_join_survivors_unkillable() {
+    probe_survivors(
+        "SELECT a.id FROM instructor a, instructor b \
+         WHERE a.dept_id = b.dept_id AND a.salary > b.salary",
+        0,
+        &probes(),
+    );
+}
+
+#[test]
+fn outer_join_with_selection_survivors_unkillable() {
+    probe_survivors(
+        "SELECT i.name, t.course_id FROM instructor i LEFT OUTER JOIN teaches t \
+         ON i.id = t.id WHERE i.salary > 5",
+        0,
+        &probes(),
+    );
+}
+
+#[test]
+fn self_join_generates_and_kills() {
+    // Repeated relation occurrences share one solver array (§V-A); the
+    // suite must still kill the non-equivalent outer-join mutants.
+    let schema = university::schema_with_fk_count(0);
+    let xdata = XData::new(schema.clone());
+    let (run, space, report) = xdata
+        .evaluate(
+            "SELECT a.id FROM instructor a, instructor b WHERE a.dept_id = b.dept_id",
+            MutationOptions::default(),
+        )
+        .unwrap();
+    assert!(report.killed_count() > 0, "{}", run.suite);
+    assert!(space.join.len() >= 2);
+    for d in &run.suite.datasets {
+        assert!(d.dataset.integrity_violations(&schema).is_empty());
+    }
+}
+
+#[test]
+fn in_query_suite_kills_comparison_mutants() {
+    let schema = university::schema_with_fk_count(0);
+    let xdata = XData::new(schema.clone());
+    let (run, space, report) = xdata
+        .evaluate(
+            "SELECT name FROM instructor WHERE id IN \
+             (SELECT s_id FROM advisor WHERE i_id > 3)",
+            MutationOptions::default(),
+        )
+        .unwrap();
+    let mutants: Vec<Mutant> = space.iter().collect();
+    let surviving_cmp: Vec<String> = report
+        .surviving()
+        .map(|i| &mutants[i])
+        .filter(|m| matches!(m, Mutant::Cmp(_)))
+        .map(|m| m.describe(&run.query))
+        .collect();
+    assert!(surviving_cmp.is_empty(), "surviving: {surviving_cmp:?}\n{}", run.suite);
+}
+
+#[test]
+fn mixed_inner_outer_tree_mutants() {
+    // (i ⋈ t) ⟕ c written explicitly: the fixed tree mutates node kinds.
+    let schema = university::schema_with_fk_count(0);
+    let xdata = XData::new(schema.clone());
+    let (run, space, report) = xdata
+        .evaluate(
+            "SELECT i.name, t.course_id, c.title FROM instructor i \
+             JOIN teaches t ON i.id = t.id \
+             LEFT OUTER JOIN course c ON t.course_id = c.course_id",
+            MutationOptions::default(),
+        )
+        .unwrap();
+    // Fixed tree: 2 nodes × 3 kinds = 6 join mutants.
+    assert_eq!(space.join.len(), 6);
+    // The left-outer-to-inner mutant at the top is killable (a teaches row
+    // with no course) and must die.
+    let killed = report.killed_count();
+    assert!(killed >= 3, "killed {killed}:\n{}", run.suite);
+}

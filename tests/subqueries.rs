@@ -1,0 +1,123 @@
+//! §V-H subquery decorrelation, end to end: `IN (SELECT ...)` queries are
+//! rewritten into joins and then go through the full generate/mutate/kill
+//! pipeline.
+
+use xdata::catalog::{university, Dataset, Value};
+use xdata::engine::execute_query;
+use xdata::relalg::mutation::MutationOptions;
+use xdata::relalg::normalize;
+use xdata::sql::parse_query;
+use xdata::XData;
+
+fn db() -> Dataset {
+    let mut d = Dataset::new();
+    for (id, name, dept, sal) in
+        [(1, "A", 1, 100), (2, "B", 1, 50), (3, "C", 2, 100)]
+    {
+        d.push(
+            "instructor",
+            vec![Value::Int(id), Value::Str(name.into()), Value::Int(dept), Value::Int(sal)],
+        );
+    }
+    d.push("advisor", vec![Value::Int(10), Value::Int(1)]);
+    d.push("advisor", vec![Value::Int(11), Value::Int(3)]);
+    d
+}
+
+/// The decorrelated IN computes the same result as the hand-written join.
+#[test]
+fn in_query_equals_manual_join_semantics() {
+    let schema = university::schema_with_fk_count(0);
+    let q_in = normalize(
+        &parse_query(
+            "SELECT name FROM instructor WHERE id IN \
+             (SELECT i_id FROM advisor WHERE s_id > 10)",
+        )
+        .unwrap(),
+        &schema,
+    );
+    // advisor.i_id is not a PK: must be rejected (duplicate-unsafe).
+    assert!(q_in.is_err());
+
+    // advisor.s_id IS the PK; membership over it is safe.
+    let q_in = normalize(
+        &parse_query(
+            "SELECT name FROM instructor WHERE id IN \
+             (SELECT s_id FROM advisor WHERE i_id > 0)",
+        )
+        .unwrap(),
+        &schema,
+    )
+    .unwrap();
+    let mut d = Dataset::new();
+    d.push("instructor", vec![Value::Int(10), Value::Str("A".into()), Value::Int(1), Value::Int(1)]);
+    d.push("instructor", vec![Value::Int(99), Value::Str("B".into()), Value::Int(1), Value::Int(1)]);
+    d.push("advisor", vec![Value::Int(10), Value::Int(7)]);
+    let r = execute_query(&q_in, &d, &schema).unwrap();
+    assert_eq!(r.rows(), &[vec![Value::Str("A".into())]]);
+}
+
+/// Membership semantics: one outer row appears at most once even when the
+/// subquery has selections.
+#[test]
+fn in_is_duplicate_safe() {
+    let schema = university::schema_with_fk_count(0);
+    let q = normalize(
+        &parse_query(
+            "SELECT name FROM instructor WHERE dept_id IN \
+             (SELECT dept_id FROM department WHERE budget > 0)",
+        )
+        .unwrap(),
+        &schema,
+    )
+    .unwrap();
+    let mut d = db();
+    d.push("department", vec![Value::Int(1), Value::Str("CS".into()), Value::Str("T".into()), Value::Int(5)]);
+    let r = execute_query(&q, &d, &schema).unwrap();
+    // Exactly the two dept-1 instructors, once each.
+    assert_eq!(r.len(), 2);
+}
+
+/// Full pipeline: generation + kill checking on an IN query.
+#[test]
+fn in_query_generates_killing_suite() {
+    let schema = university::schema_with_fk_count(0);
+    let xdata = XData::new(schema.clone());
+    let (run, space, report) = xdata
+        .evaluate(
+            "SELECT name FROM instructor WHERE id IN \
+             (SELECT s_id FROM advisor WHERE i_id > 2)",
+            MutationOptions::default(),
+        )
+        .unwrap();
+    assert!(!run.suite.datasets.is_empty());
+    assert!(space.len() > 0);
+    assert!(report.killed_count() > 0, "IN-query mutants must be killable:\n{}", run.suite);
+    for d in &run.suite.datasets {
+        assert!(d.dataset.integrity_violations(&schema).is_empty());
+    }
+}
+
+/// The membership column of the rewrite participates in equivalence
+/// classes, so join-type mutants of the implicit semijoin exist and die.
+#[test]
+fn in_rewrite_exposes_join_mutants() {
+    let schema = university::schema_with_fk_count(0);
+    let xdata = XData::new(schema.clone());
+    let (run, space, report) = xdata
+        .evaluate(
+            "SELECT name FROM instructor WHERE id IN (SELECT s_id FROM advisor)",
+            MutationOptions::default(),
+        )
+        .unwrap();
+    assert!(!space.join.is_empty(), "semijoin rewrite must expose join mutants");
+    // Both nullification directions are possible without FKs, so the
+    // left/right outer mutants of the rewrite die.
+    let killed_join = space
+        .join
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| report.killed_by[*i].is_some())
+        .count();
+    assert!(killed_join >= 2, "{}", run.suite);
+}
