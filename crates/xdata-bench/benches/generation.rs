@@ -1,9 +1,10 @@
-//! Criterion benches for end-to-end suite generation — the ablations called
-//! out in DESIGN.md: unfolding on/off across join counts, FK-count effect,
-//! aggregate-dataset cost, and mutant-space enumeration cost.
+//! End-to-end suite-generation benches — the ablations called out in
+//! DESIGN.md: unfolding on/off across join counts, FK-count effect,
+//! aggregate-dataset cost, and mutant-space enumeration cost. Plain
+//! `harness = false` timing binary over `median_time` (Instant-based,
+//! warmup + median-of-N).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use xdata_bench::{chain_schema, chain_sql};
+use xdata_bench::{chain_schema, chain_sql, median_time};
 use xdata_catalog::DomainCatalog;
 use xdata_core::{generate, GenOptions};
 use xdata_relalg::mutation::{mutation_space, MutationOptions};
@@ -11,49 +12,41 @@ use xdata_relalg::normalize;
 use xdata_solver::Mode;
 use xdata_sql::parse_query;
 
-fn bench_generation_by_joins(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate_by_joins");
-    group.sample_size(10);
+fn print_row(name: &str, param: impl std::fmt::Display, d: std::time::Duration) {
+    println!("{name:<28} {param:>6}  {:>12.3} ms", d.as_secs_f64() * 1e3);
+}
+
+fn bench_generation_by_joins() {
     for joins in [1usize, 2, 3, 4] {
         let k = joins + 1;
         let schema = chain_schema(k, 0);
         let q = normalize(&parse_query(&chain_sql(k)).unwrap(), &schema).unwrap();
         let domains = DomainCatalog::defaults(&schema);
         for (name, mode) in [("unfold", Mode::Unfold), ("lazy", Mode::Lazy)] {
-            group.bench_with_input(
-                BenchmarkId::new(name, joins),
-                &(&q, &schema, &domains),
-                |b, (q, schema, domains)| {
-                    let opts = GenOptions { mode, ..GenOptions::default() };
-                    b.iter(|| generate(q, schema, domains, &opts).unwrap())
-                },
-            );
+            let opts = GenOptions { mode, ..GenOptions::default() };
+            let t = median_time(1, 5, || {
+                generate(&q, &schema, &domains, &opts).unwrap();
+            });
+            print_row(&format!("generate_by_joins/{name}"), joins, t);
         }
     }
-    group.finish();
 }
 
-fn bench_fk_effect(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate_fk_sweep_3joins");
-    group.sample_size(10);
+fn bench_fk_effect() {
     let k = 4;
     for fks in [0usize, 1, 2, 3] {
         let schema = chain_schema(k, fks);
         let q = normalize(&parse_query(&chain_sql(k)).unwrap(), &schema).unwrap();
         let domains = DomainCatalog::defaults(&schema);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(fks),
-            &(&q, &schema, &domains),
-            |b, (q, schema, domains)| {
-                let opts = GenOptions::default();
-                b.iter(|| generate(q, schema, domains, &opts).unwrap())
-            },
-        );
+        let opts = GenOptions::default();
+        let t = median_time(1, 5, || {
+            generate(&q, &schema, &domains, &opts).unwrap();
+        });
+        print_row("generate_fk_sweep_3joins", fks, t);
     }
-    group.finish();
 }
 
-fn bench_aggregate_dataset(c: &mut Criterion) {
+fn bench_aggregate_dataset() {
     let schema = chain_schema(3, 1);
     let q = normalize(
         &parse_query(
@@ -65,26 +58,29 @@ fn bench_aggregate_dataset(c: &mut Criterion) {
     )
     .unwrap();
     let domains = DomainCatalog::defaults(&schema);
-    c.bench_function("generate_aggregate_query", |b| {
-        let opts = GenOptions::default();
-        b.iter(|| generate(&q, &schema, &domains, &opts).unwrap())
+    let opts = GenOptions::default();
+    let t = median_time(1, 5, || {
+        generate(&q, &schema, &domains, &opts).unwrap();
     });
+    print_row("generate_aggregate_query", "-", t);
 }
 
-fn bench_mutation_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mutation_space");
+fn bench_mutation_enumeration() {
     for joins in [2usize, 3, 4, 5] {
         let k = joins + 1;
         let schema = chain_schema(k, 0);
         let q = normalize(&parse_query(&chain_sql(k)).unwrap(), &schema).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(joins), &q, |b, q| {
-            b.iter(|| mutation_space(q, MutationOptions { include_full: false, include_extensions: false, tree_limit: 20_000 }))
+        let t = median_time(1, 5, || {
+            mutation_space(
+                &q,
+                MutationOptions { include_full: false, include_extensions: false, tree_limit: 20_000 },
+            );
         });
+        print_row("mutation_space", joins, t);
     }
-    group.finish();
 }
 
-fn bench_suite_minimization(c: &mut Criterion) {
+fn bench_suite_minimization() {
     // The §VII future-work feature: greedy set cover over the kill matrix.
     let schema = chain_schema(4, 2);
     let q = normalize(&parse_query(&chain_sql(4)).unwrap(), &schema).unwrap();
@@ -94,12 +90,13 @@ fn bench_suite_minimization(c: &mut Criterion) {
         &q,
         MutationOptions { include_full: false, include_extensions: false, tree_limit: 20_000 },
     );
-    c.bench_function("minimize_suite_3joins", |b| {
-        b.iter(|| xdata_core::minimize_suite(&q, &suite, &space, &schema).unwrap())
+    let t = median_time(1, 5, || {
+        xdata_core::minimize_suite(&q, &suite, &space, &schema).unwrap();
     });
+    print_row("minimize_suite_3joins", "-", t);
 }
 
-fn bench_having_generation(c: &mut Criterion) {
+fn bench_having_generation() {
     // Constrained aggregation: group construction with COUNT/SUM conjuncts.
     let schema = chain_schema(2, 0);
     let q = normalize(
@@ -112,19 +109,19 @@ fn bench_having_generation(c: &mut Criterion) {
     )
     .unwrap();
     let domains = DomainCatalog::defaults(&schema);
-    c.bench_function("generate_having_query", |b| {
-        let opts = GenOptions::default();
-        b.iter(|| generate(&q, &schema, &domains, &opts).unwrap())
+    let opts = GenOptions::default();
+    let t = median_time(1, 5, || {
+        generate(&q, &schema, &domains, &opts).unwrap();
     });
+    print_row("generate_having_query", "-", t);
 }
 
-criterion_group!(
-    benches,
-    bench_generation_by_joins,
-    bench_fk_effect,
-    bench_aggregate_dataset,
-    bench_mutation_enumeration,
-    bench_suite_minimization,
-    bench_having_generation
-);
-criterion_main!(benches);
+fn main() {
+    println!("generation benches (median of 5, 1 warmup)");
+    bench_generation_by_joins();
+    bench_fk_effect();
+    bench_aggregate_dataset();
+    bench_mutation_enumeration();
+    bench_suite_minimization();
+    bench_having_generation();
+}

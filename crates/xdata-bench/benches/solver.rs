@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks for the constraint solver: the §VI-B
-//! unfolding ablation at the solver level, plus DPLL/difference-logic
-//! scaling.
+//! Micro-benchmarks for the constraint solver: the §VI-B unfolding
+//! ablation at the solver level, plus DPLL/difference-logic scaling.
+//! Plain `harness = false` timing binary (run with `cargo bench`); each
+//! figure is the median of several `std::time::Instant` samples after a
+//! warmup, printed as a table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xdata_bench::median_time;
 use xdata_solver::{Atom, Formula, Mode, Problem, RelOp, Term};
 
 /// An FK-shaped problem: `n` referencing tuples, `n+2` referenced tuples,
@@ -49,29 +51,28 @@ fn fk_problem(n: u32) -> Problem {
     p
 }
 
-fn bench_unfold_vs_lazy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quantifier_handling");
+fn print_row(name: &str, param: impl std::fmt::Display, d: std::time::Duration) {
+    println!("{name:<28} {param:>6}  {:>12.6} ms", d.as_secs_f64() * 1e3);
+}
+
+fn bench_unfold_vs_lazy() {
     for n in [2u32, 4, 8] {
         let p = fk_problem(n);
-        group.bench_with_input(BenchmarkId::new("unfold", n), &p, |b, p| {
-            b.iter(|| {
-                let (out, _) = p.solve(Mode::Unfold);
-                assert!(out.is_sat());
-            })
+        let t = median_time(2, 7, || {
+            let (out, _) = p.solve(Mode::Unfold);
+            assert!(out.is_sat());
         });
-        group.bench_with_input(BenchmarkId::new("lazy", n), &p, |b, p| {
-            b.iter(|| {
-                let (out, _) = p.solve(Mode::Lazy);
-                assert!(out.is_sat());
-            })
+        print_row("quantifier_handling/unfold", n, t);
+        let t = median_time(2, 7, || {
+            let (out, _) = p.solve(Mode::Lazy);
+            assert!(out.is_sat());
         });
+        print_row("quantifier_handling/lazy", n, t);
     }
-    group.finish();
 }
 
 /// Difference-logic chains: x0 < x1 < ... < xn with tight bounds.
-fn bench_diff_logic_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("diff_logic_chain");
+fn bench_diff_logic_chain() {
     for n in [16u32, 64, 256] {
         let mut p = Problem::new();
         let a = p.add_array("r", n, 1);
@@ -88,19 +89,17 @@ fn bench_diff_logic_chain(c: &mut Criterion) {
             RelOp::Le,
             Term::Const(n as i64),
         ));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            b.iter(|| {
-                let (out, _) = p.solve(Mode::Unfold);
-                assert!(out.is_sat());
-            })
+        let t = median_time(2, 7, || {
+            let (out, _) = p.solve(Mode::Unfold);
+            assert!(out.is_sat());
         });
+        print_row("diff_logic_chain", n, t);
     }
-    group.finish();
 }
 
 /// Unsatisfiable nullification-vs-FK conflict: the "equivalent mutant"
 /// detection path (§V-A) must also be fast.
-fn bench_unsat_detection(c: &mut Criterion) {
+fn bench_unsat_detection() {
     let mut p = fk_problem(4);
     // Nullify every s-key against r[0]'s key: contradicts the FK.
     let (r, s) = (xdata_solver::ArrayId(0), xdata_solver::ArrayId(1));
@@ -110,13 +109,16 @@ fn bench_unsat_detection(c: &mut Criterion) {
         s,
         Formula::atom(Term::qfield(s, q, 0), RelOp::Eq, Term::field(r, 0, 0)),
     ));
-    c.bench_function("unsat_equivalent_mutant", |b| {
-        b.iter(|| {
-            let (out, _) = p.solve(Mode::Unfold);
-            assert!(matches!(out, xdata_solver::SolveOutcome::Unsat));
-        })
+    let t = median_time(2, 7, || {
+        let (out, _) = p.solve(Mode::Unfold);
+        assert!(matches!(out, xdata_solver::SolveOutcome::Unsat));
     });
+    print_row("unsat_equivalent_mutant", "-", t);
 }
 
-criterion_group!(benches, bench_unfold_vs_lazy, bench_diff_logic_chain, bench_unsat_detection);
-criterion_main!(benches);
+fn main() {
+    println!("solver micro-benches (median of 7, 2 warmup)");
+    bench_unfold_vs_lazy();
+    bench_diff_logic_chain();
+    bench_unsat_detection();
+}

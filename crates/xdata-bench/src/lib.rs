@@ -9,7 +9,10 @@
 //! * `baseline_cmp` — the §VI-C.1 comparison against reference \[14\]'s
 //!   approach.
 //!
-//! Criterion micro/ablation benches live in `benches/`.
+//! Micro/ablation benches live in `benches/` as `harness = false` timing
+//! binaries over [`median_time`] (warmup + median-of-N on
+//! `std::time::Instant`) — no external bench framework, so everything
+//! builds offline.
 
 use std::time::{Duration, Instant};
 
@@ -103,7 +106,27 @@ pub struct EvalRow {
 
 /// Generation options for benches (synthetic domains, no input DB).
 pub fn bench_opts(mode: Mode) -> GenOptions {
-    GenOptions { mode, input_db: None, compare_attr_pairs: true }
+    GenOptions { mode, input_db: None, compare_attr_pairs: true, jobs: 1 }
+}
+
+/// Median-of-`samples` wall time of `f`, after `warmup` unmeasured runs.
+/// The median is robust against one-off scheduler hiccups, which matters
+/// more than mean/stddev niceties for the coarse comparisons the tables
+/// make.
+pub fn median_time<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> Duration {
+    assert!(samples > 0);
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
 }
 
 /// Run the full §VI-C loop for one query: time both solver modes, then

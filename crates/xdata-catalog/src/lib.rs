@@ -22,6 +22,7 @@
 pub mod dataset;
 pub mod domain;
 pub mod error;
+pub mod rng;
 pub mod schema;
 pub mod types;
 pub mod university;
@@ -30,6 +31,7 @@ pub mod value;
 pub use dataset::{Dataset, Tuple};
 pub use domain::{Domain, DomainCatalog};
 pub use error::CatalogError;
+pub use rng::SplitMix64;
 pub use schema::{Attribute, ForeignKey, Relation, Schema};
 pub use types::SqlType;
 pub use value::{Truth, Value};

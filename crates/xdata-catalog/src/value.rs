@@ -52,14 +52,6 @@ impl Truth {
         }
     }
 
-    pub fn not(self) -> Truth {
-        match self {
-            Truth::True => Truth::False,
-            Truth::False => Truth::True,
-            Truth::Unknown => Truth::Unknown,
-        }
-    }
-
     /// SQL WHERE-clause semantics: a row qualifies only when the predicate
     /// is definitely true.
     pub fn is_true(self) -> bool {
@@ -78,6 +70,19 @@ impl Truth {
 impl From<bool> for Truth {
     fn from(b: bool) -> Self {
         Truth::from_bool(b)
+    }
+}
+
+/// Kleene negation: `Unknown` stays `Unknown`.
+impl std::ops::Not for Truth {
+    type Output = Truth;
+
+    fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
     }
 }
 
@@ -183,7 +188,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 impl Ord for Value {
@@ -268,7 +273,7 @@ mod tests {
         assert_eq!(Unknown.and(True), Unknown);
         assert_eq!(Unknown.or(True), True);
         assert_eq!(Unknown.or(False), Unknown);
-        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(!Unknown, Unknown);
     }
 
     #[test]
@@ -296,7 +301,7 @@ mod tests {
 
     #[test]
     fn total_order_null_first() {
-        let mut vals = vec![Value::Str("a".into()), Value::Int(3), Value::Null];
+        let mut vals = [Value::Str("a".into()), Value::Int(3), Value::Null];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(3));

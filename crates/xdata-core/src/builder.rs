@@ -41,6 +41,10 @@ pub const REPAIR_LADDER: [u32; 3] = [1, 3, MAX_REPAIR_SLOTS];
 /// accident; materialization decodes it back to [`Value::Null`].
 pub const NULL_SENTINEL: i64 = -1_000_000;
 
+/// Cloneable so a fully-built base skeleton (arrays + database
+/// constraints) can be cached per `(copies, repair_cap)` and cloned out to
+/// each solve target instead of being rebuilt from scratch per target.
+#[derive(Clone)]
 pub struct ConstraintBuilder<'a> {
     pub schema: &'a Schema,
     pub query: &'a NormQuery,

@@ -1,9 +1,32 @@
-//! Algorithm 1 and its sub-procedures (§V of the paper).
+//! Algorithm 1 and its sub-procedures (§V of the paper), restructured as a
+//! two-phase **plan → solve** pipeline.
+//!
+//! The sequential presentation of Algorithm 1 interleaves target
+//! *enumeration* (which datasets to attempt) with target *solving* (the
+//! expensive constraint solves). Here a cheap planning pass first
+//! enumerates every solve target — the original-query dataset, one
+//! nullification per equivalence-class element, one per retained
+//! predicate×relation, three comparison datasets per conjunct, aggregate
+//! and HAVING group constructions, the duplicate-row dataset — as inert
+//! [`PlanItem`] values. The solve phase then runs the targets through
+//! [`xdata_par::try_par_map`]: every target is an independent constraint
+//! problem, so they solve concurrently on `GenOptions::jobs` threads while
+//! the order-preserving collection keeps the resulting [`TestSuite`]
+//! **byte-identical to the sequential output for every thread count**.
+//!
+//! Targets share one *constraint skeleton* per `(copies, repair_cap)`
+//! shape: the schema PK/FK closure, tuple arrays, symmetry breaking and
+//! domain constraints of [`ConstraintBuilder`] are built — and, in unfold
+//! mode, quantifier-expanded — once, cached, and cloned per target instead
+//! of being rebuilt for every target at every repair-ladder rung.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use xdata_catalog::{DomainCatalog, Schema, Value};
 use xdata_relalg::{AttrRef, NormQuery, Operand, SelectSpec};
 use xdata_sql::CompareOp;
-use xdata_solver::{Atom, Formula, RelOp, SolveOutcome, SolverStats, Term};
+use xdata_solver::{Atom, Formula, Mode, RelOp, SolveOutcome, SolverStats, Term};
 
 use crate::builder::ConstraintBuilder;
 use crate::error::GenError;
@@ -14,6 +37,9 @@ use crate::suite::{GenOptions, GeneratedDataset, SkipReason, SkippedTarget, Test
 /// a dataset for the original query, then datasets killing equivalence-class
 /// mutants, other-predicate mutants, comparison mutants and aggregation
 /// mutants. The number of datasets is linear in the query size.
+///
+/// With `opts.jobs > 1` (or `0` for one thread per core) the solve targets
+/// run concurrently; the suite is identical to the `jobs = 1` output.
 pub fn generate(
     query: &NormQuery,
     schema: &Schema,
@@ -23,15 +49,18 @@ pub fn generate(
     // Preprocessing beyond what normalization did: make sure every string
     // literal in the query is dictionary-coded.
     let domains = prepare_domains(query, schema, domains);
-    let gen = Gen { query, schema, domains: &domains, opts };
+    let gen = Gen { query, schema, domains: &domains, opts, skeletons: Mutex::new(BTreeMap::new()) };
+    let plan = gen.plan();
+    let outcomes = xdata_par::try_par_map(opts.jobs, &plan, |_, item| gen.run_item(item))?;
     let mut suite = TestSuite::default();
-    gen.original_query_dataset(&mut suite)?;
-    gen.kill_equivalence_classes(&mut suite)?;
-    gen.kill_other_predicates(&mut suite)?;
-    gen.kill_comparison_operators(&mut suite)?;
-    gen.kill_aggregates(&mut suite)?;
-    gen.kill_having_comparisons(&mut suite)?;
-    gen.kill_duplicates(&mut suite)?;
+    for (item, outcome) in plan.into_iter().zip(outcomes) {
+        match outcome {
+            ItemOutcome::Dataset(d) => suite.datasets.push(d),
+            ItemOutcome::Skipped(reason) => {
+                suite.skipped.push(SkippedTarget { label: item.label, reason })
+            }
+        }
+    }
     Ok(suite)
 }
 
@@ -49,7 +78,7 @@ fn prepare_domains(query: &NormQuery, schema: &Schema, domains: &DomainCatalog) 
         let base = &query.occurrences[a.occ].base;
         schema.relation(base).map(|r| r.attr(a.col).ty)
     };
-    let mut merge = |d: &mut DomainCatalog, x: &AttrRef, y: &AttrRef| {
+    let merge = |d: &mut DomainCatalog, x: &AttrRef, y: &AttrRef| {
         if attr_ty(x) == Some(xdata_catalog::SqlType::Varchar)
             && attr_ty(y) == Some(xdata_catalog::SqlType::Varchar)
         {
@@ -98,11 +127,72 @@ fn prepare_domains(query: &NormQuery, schema: &Schema, domains: &DomainCatalog) 
     d
 }
 
+/// One unit of the generation plan: either a target to solve or a
+/// plan-time-known skip (recorded so the suite's skip list matches the
+/// sequential algorithm exactly).
+struct PlanItem {
+    label: String,
+    work: Work,
+}
+
+enum Work {
+    /// Known unsolvable at plan time (e.g. Algorithm 2's empty-`P` case).
+    Skip(SkipReason),
+    Solve(TargetSpec),
+}
+
+/// A solve target, fully described by data — no closures — so the plan can
+/// cross thread boundaries.
+enum TargetSpec {
+    /// §V-B: non-empty result for the original query.
+    Original,
+    /// §V-B with a HAVING clause: a whole qualifying group of size `k`.
+    OriginalHaving { k: u32 },
+    /// Algorithm 2: nullify `s` against the rest (`p`) of eq-class `ci`.
+    EqClass { ci: usize, s: Vec<AttrRef>, p: Vec<AttrRef> },
+    /// Algorithm 3: no tuple of occurrence `r` satisfies predicate `pi`.
+    OtherPredicate { pi: usize, r: usize },
+    /// §V-E: predicate `pi` forced to `op`.
+    Comparison { pi: usize, op: CompareOp },
+    /// Algorithm 4 for aggregate over `a`; the optional-constraint
+    /// relaxation ladder runs inside the solve.
+    Aggregate { a: AttrRef, copies: u32 },
+    /// HAVING conjunct `hi` forced to `op` with group size `k`.
+    HavingCmp { hi: usize, op: CompareOp, k: u32 },
+    /// Footnote 2: a duplicate result row (SELECT vs SELECT DISTINCT).
+    Duplicate { star: bool, projected: Vec<AttrRef> },
+}
+
+impl TargetSpec {
+    /// Tuple-set copies the target's constraint problem needs.
+    fn copies(&self) -> u32 {
+        match self {
+            TargetSpec::Original
+            | TargetSpec::EqClass { .. }
+            | TargetSpec::OtherPredicate { .. }
+            | TargetSpec::Comparison { .. } => 1,
+            TargetSpec::OriginalHaving { k } | TargetSpec::HavingCmp { k, .. } => *k,
+            TargetSpec::Aggregate { copies, .. } => *copies,
+            TargetSpec::Duplicate { .. } => 2,
+        }
+    }
+}
+
+/// What one plan item produced.
+enum ItemOutcome {
+    Dataset(GeneratedDataset),
+    Skipped(SkipReason),
+}
+
 struct Gen<'a> {
     query: &'a NormQuery,
     schema: &'a Schema,
     domains: &'a DomainCatalog,
     opts: &'a GenOptions,
+    /// Base constraint skeletons keyed by `(copies, repair_cap)`: arrays +
+    /// database constraints built (and unfolded, in unfold mode) once, then
+    /// cloned per target.
+    skeletons: Mutex<BTreeMap<(u32, u32), ConstraintBuilder<'a>>>,
 }
 
 /// Outcome of one targeted constraint set.
@@ -112,6 +202,413 @@ enum Target {
 }
 
 impl<'a> Gen<'a> {
+    // ----- Phase 1: planning --------------------------------------------
+
+    /// Enumerate every solve target in the order the sequential algorithm
+    /// attempts them; order is what makes parallel assembly reproduce the
+    /// sequential suite.
+    fn plan(&self) -> Vec<PlanItem> {
+        let mut plan = Vec::new();
+        self.plan_original(&mut plan);
+        self.plan_equivalence_classes(&mut plan);
+        self.plan_other_predicates(&mut plan);
+        self.plan_comparison_operators(&mut plan);
+        self.plan_aggregates(&mut plan);
+        self.plan_having_comparisons(&mut plan);
+        self.plan_duplicates(&mut plan);
+        plan
+    }
+
+    fn plan_original(&self, plan: &mut Vec<PlanItem>) {
+        let label = "original query (non-empty result)".to_string();
+        let having: &[xdata_relalg::HavingPred] = match &self.query.select {
+            SelectSpec::Aggregation { having, .. } => having,
+            _ => &[],
+        };
+        let work = if having.is_empty() {
+            Work::Solve(TargetSpec::Original)
+        } else {
+            match crate::having::group_size_for(having) {
+                None => Work::Skip(SkipReason::Equivalent),
+                Some(k) => Work::Solve(TargetSpec::OriginalHaving { k }),
+            }
+        };
+        plan.push(PlanItem { label, work });
+    }
+
+    /// Algorithm 2 planning: for each element of each equivalence class,
+    /// compute the jointly-nullified set `S` (the element plus every
+    /// non-nullable FK referencing it, §V-H) and the retained set `P`.
+    fn plan_equivalence_classes(&self, plan: &mut Vec<PlanItem>) {
+        for (ci, ec) in self.query.eq_classes.iter().enumerate() {
+            for &e in ec {
+                let e_col = self.column_ref(e);
+                let s: Vec<AttrRef> = ec
+                    .iter()
+                    .copied()
+                    .filter(|&m| {
+                        m == e || self.schema.references_strict(&self.column_ref(m), &e_col)
+                    })
+                    .collect();
+                let p: Vec<AttrRef> = ec.iter().copied().filter(|m| !s.contains(m)).collect();
+                let label = format!(
+                    "eq-class {ci}: nullify {} against {}",
+                    self.names(&s),
+                    self.names(&p)
+                );
+                let work = if p.is_empty() {
+                    Work::Skip(SkipReason::EmptyP)
+                } else {
+                    Work::Solve(TargetSpec::EqClass { ci, s, p })
+                };
+                plan.push(PlanItem { label, work });
+            }
+        }
+    }
+
+    fn plan_other_predicates(&self, plan: &mut Vec<PlanItem>) {
+        for (pi, p) in self.query.preds.iter().enumerate() {
+            for r in p.occurrences() {
+                plan.push(PlanItem {
+                    label: format!(
+                        "pred {pi} (`{p}`): nullify {}",
+                        self.query.occurrences[r].name
+                    ),
+                    work: Work::Solve(TargetSpec::OtherPredicate { pi, r }),
+                });
+            }
+        }
+    }
+
+    fn plan_comparison_operators(&self, plan: &mut Vec<PlanItem>) {
+        for (pi, p) in self.query.preds.iter().enumerate() {
+            let attr_vs_const = matches!(
+                (&p.lhs, &p.rhs),
+                (Operand::Attr { .. }, Operand::Const(_)) | (Operand::Const(_), Operand::Attr { .. })
+            );
+            if !attr_vs_const && !self.opts.compare_attr_pairs {
+                continue;
+            }
+            // String comparisons only make sense as =/<>: the `<`/`>`
+            // datasets would compare dictionary codes; skip those targets.
+            let string_pred = matches!(&p.lhs, Operand::Const(Value::Str(_)))
+                || matches!(&p.rhs, Operand::Const(Value::Str(_)));
+            let target_ops: &[CompareOp] = if string_pred {
+                &[CompareOp::Eq, CompareOp::Ne]
+            } else {
+                &[CompareOp::Eq, CompareOp::Lt, CompareOp::Gt]
+            };
+            for &op in target_ops {
+                plan.push(PlanItem {
+                    label: format!("comparison {pi} (`{p}`): dataset with `{}`", op.sql_symbol()),
+                    work: Work::Solve(TargetSpec::Comparison { pi, op }),
+                });
+            }
+        }
+    }
+
+    fn plan_aggregates(&self, plan: &mut Vec<PlanItem>) {
+        let SelectSpec::Aggregation { aggs, having, .. } = &self.query.select else {
+            return;
+        };
+        // With a HAVING clause the group size may be forced away from the
+        // three tuple sets Algorithm 4 wants; construct with the forced
+        // size and let the relaxation ladder drop S1/S2 as needed.
+        let copies = if having.is_empty() {
+            3
+        } else {
+            match crate::having::group_size_for(having) {
+                Some(k) => k.clamp(3, crate::having::MAX_GROUP_SIZE),
+                None => return, // HAVING unconstructible: no datasets
+            }
+        };
+        for (ai, agg) in aggs.iter().enumerate() {
+            let Some(a) = agg.arg else {
+                continue; // COUNT(*): no operator mutants (§II footnote).
+            };
+            plan.push(PlanItem {
+                label: format!("aggregate {ai} ({})", agg.func.display_name()),
+                work: Work::Solve(TargetSpec::Aggregate { a, copies }),
+            });
+        }
+    }
+
+    fn plan_having_comparisons(&self, plan: &mut Vec<PlanItem>) {
+        let SelectSpec::Aggregation { having, .. } = &self.query.select else {
+            return;
+        };
+        for (hi, h) in having.iter().enumerate() {
+            for op in [CompareOp::Eq, CompareOp::Lt, CompareOp::Gt] {
+                let label = format!("having {hi} (`{h}`): dataset with `{}`", op.sql_symbol());
+                let work = match crate::having::group_size_with_override(having, hi, op) {
+                    None => Work::Skip(SkipReason::Equivalent),
+                    Some(k) => Work::Solve(TargetSpec::HavingCmp { hi, op, k }),
+                };
+                plan.push(PlanItem { label, work });
+            }
+        }
+    }
+
+    fn plan_duplicates(&self, plan: &mut Vec<PlanItem>) {
+        let projected: Vec<AttrRef> = match &self.query.select {
+            SelectSpec::Aggregation { .. } => return, // no duplicate mutant
+            SelectSpec::Columns(cols) => cols.clone(),
+            SelectSpec::Star => Vec::new(), // sentinel: all attributes
+        };
+        let star = matches!(self.query.select, SelectSpec::Star);
+        if star {
+            // A duplicated full row needs a relation that admits duplicate
+            // tuples, i.e. one without a primary key.
+            let has_keyless = self.query.occurrences.iter().any(|o| {
+                self.schema
+                    .relation(&o.base)
+                    .map(|r| r.primary_key.is_empty())
+                    .unwrap_or(false)
+            });
+            if !has_keyless {
+                // Structurally impossible (primary keys forbid duplicate
+                // rows under SELECT *): the mutant is equivalent; nothing
+                // to record — no constraint set was even attempted.
+                return;
+            }
+        }
+        plan.push(PlanItem {
+            label: "duplicate row (SELECT vs SELECT DISTINCT)".to_string(),
+            work: Work::Solve(TargetSpec::Duplicate { star, projected }),
+        });
+    }
+
+    // ----- Phase 2: solving ---------------------------------------------
+
+    /// Execute one plan item. Pure function of the item (given the query,
+    /// schema, domains and options), so execution order cannot influence
+    /// any result — the determinism guarantee rests here.
+    fn run_item(&self, item: &PlanItem) -> Result<ItemOutcome, GenError> {
+        match &item.work {
+            Work::Skip(reason) => Ok(ItemOutcome::Skipped(reason.clone())),
+            Work::Solve(TargetSpec::Aggregate { a, copies }) => {
+                self.solve_aggregate(&item.label, *a, *copies)
+            }
+            Work::Solve(spec) => {
+                let target = self.solve_target(spec.copies(), &item.label, &|b| {
+                    self.assert_spec(b, spec)
+                })?;
+                Ok(match target {
+                    Target::Dataset(d) => ItemOutcome::Dataset(d),
+                    Target::Equivalent => ItemOutcome::Skipped(SkipReason::Equivalent),
+                })
+            }
+        }
+    }
+
+    /// Assert the constraints of a (non-aggregate) target spec.
+    fn assert_spec(
+        &self,
+        b: &mut ConstraintBuilder<'_>,
+        spec: &TargetSpec,
+    ) -> Result<(), GenError> {
+        match spec {
+            TargetSpec::Original => self.assert_query_conds(b, 0),
+            TargetSpec::OriginalHaving { k } => {
+                let SelectSpec::Aggregation { group_by, having, .. } = &self.query.select else {
+                    unreachable!("having implies aggregation");
+                };
+                for c in 0..*k {
+                    self.assert_query_conds(b, c)?;
+                }
+                self.assert_same_group(b, group_by, *k);
+                crate::having::assert_having(b, group_by, having, *k, None)
+            }
+            TargetSpec::EqClass { ci, s, p } => {
+                // Members of P match each other.
+                let f = b.eq_conds(p, 0);
+                b.problem.assert(f);
+                // No tuple of any relation in S matches P's value.
+                let witness = b.cvc_map(p[0], 0);
+                for &m in s {
+                    let f = b.not_exists_value(m, witness);
+                    b.problem.assert(f);
+                }
+                // All other equivalence classes hold.
+                for (cj, other) in self.query.eq_classes.iter().enumerate() {
+                    if cj != *ci {
+                        let f = b.eq_conds(other, 0);
+                        b.problem.assert(f);
+                    }
+                }
+                // All retained predicates hold.
+                for pr in &self.query.preds {
+                    let f = b.pred_formula(pr, 0)?;
+                    b.problem.assert(f);
+                }
+                Ok(())
+            }
+            TargetSpec::OtherPredicate { pi, r } => {
+                let p = &self.query.preds[*pi];
+                let f = b.gen_not_exists(p, *r, 0)?;
+                b.problem.assert(f);
+                for ec in &self.query.eq_classes {
+                    let f = b.eq_conds(ec, 0);
+                    b.problem.assert(f);
+                }
+                for (pj, other) in self.query.preds.iter().enumerate() {
+                    if pj != *pi {
+                        let f = b.pred_formula(other, 0)?;
+                        b.problem.assert(f);
+                    }
+                }
+                Ok(())
+            }
+            TargetSpec::Comparison { pi, op } => {
+                let p = &self.query.preds[*pi];
+                let f = b.pred_formula_with_op(p, *op, 0)?;
+                b.problem.assert(f);
+                for ec in &self.query.eq_classes {
+                    let f = b.eq_conds(ec, 0);
+                    b.problem.assert(f);
+                }
+                for (pj, other) in self.query.preds.iter().enumerate() {
+                    if pj != *pi {
+                        let f = b.pred_formula(other, 0)?;
+                        b.problem.assert(f);
+                    }
+                }
+                Ok(())
+            }
+            TargetSpec::HavingCmp { hi, op, k } => {
+                let SelectSpec::Aggregation { group_by, having, .. } = &self.query.select else {
+                    unreachable!("having implies aggregation");
+                };
+                for c in 0..*k {
+                    self.assert_query_conds(b, c)?;
+                }
+                self.assert_same_group(b, group_by, *k);
+                crate::having::assert_having(b, group_by, having, *k, Some((*hi, *op)))
+            }
+            TargetSpec::Duplicate { star, projected } => {
+                for c in 0..2 {
+                    self.assert_query_conds(b, c)?;
+                }
+                if *star {
+                    // Identical tuples in both copies: keyless relations
+                    // will materialize genuine duplicates.
+                    for (occ, o) in self.query.occurrences.iter().enumerate() {
+                        let arity =
+                            self.schema.relation(&o.base).expect("occurrence base").arity();
+                        for col in 0..arity {
+                            let f = Formula::Atom(Atom::new(
+                                b.cvc_map(AttrRef::new(occ, col), 0),
+                                RelOp::Eq,
+                                b.cvc_map(AttrRef::new(occ, col), 1),
+                            ));
+                            b.problem.assert(f);
+                        }
+                    }
+                } else {
+                    // Equal projections, distinct provenance.
+                    for a in projected {
+                        let f = Formula::Atom(Atom::new(
+                            b.cvc_map(*a, 0),
+                            RelOp::Eq,
+                            b.cvc_map(*a, 1),
+                        ));
+                        b.problem.assert(f);
+                    }
+                    let mut alternatives = Vec::new();
+                    for (occ, o) in self.query.occurrences.iter().enumerate() {
+                        let arity =
+                            self.schema.relation(&o.base).expect("occurrence base").arity();
+                        for col in 0..arity {
+                            alternatives.push(Formula::Atom(Atom::new(
+                                b.cvc_map(AttrRef::new(occ, col), 0),
+                                RelOp::Ne,
+                                b.cvc_map(AttrRef::new(occ, col), 1),
+                            )));
+                        }
+                    }
+                    b.problem.assert(Formula::or(alternatives));
+                }
+                Ok(())
+            }
+            TargetSpec::Aggregate { .. } => unreachable!("handled by solve_aggregate"),
+        }
+    }
+
+    /// Chain the group-by attributes across the `k` tuple-set copies so
+    /// every copy lands in the same group.
+    fn assert_same_group(&self, b: &mut ConstraintBuilder<'_>, group_by: &[AttrRef], k: u32) {
+        for g in group_by {
+            for c in 0..k.saturating_sub(1) {
+                let f = Formula::Atom(Atom::new(
+                    b.cvc_map(*g, c),
+                    RelOp::Eq,
+                    b.cvc_map(*g, c + 1),
+                ));
+                b.problem.assert(f);
+            }
+        }
+    }
+
+    /// Algorithm 4's solve: optional constraint sets are relaxed greedily
+    /// on inconsistency (lines 11–13).
+    fn solve_aggregate(
+        &self,
+        label: &str,
+        a: AttrRef,
+        copies: u32,
+    ) -> Result<ItemOutcome, GenError> {
+        let SelectSpec::Aggregation { group_by, having, .. } = &self.query.select else {
+            unreachable!("aggregate target implies aggregation");
+        };
+        // Optional constraint sets, dropped greedily on inconsistency
+        // (lines 11–13 of Algorithm 4): strong positivity (A ≥ 4, which
+        // separates COUNT = 3 from MIN/MAX/SUM/AVG — the paper's "add
+        // additional constraints to ensure that COUNT ... also
+        // differ"), then weak positivity (A > 0), then S3 (group
+        // isolation), then S1 (duplicate pair), then S2 (distinct
+        // third value).
+        let mut enabled = [true; 5]; // [POS_STRONG, POS_WEAK, S3, S1, S2]
+        loop {
+            let target = self.solve_target(copies, label, &|b| {
+                self.assert_aggregate_conds(b, group_by, having, a, copies, enabled)
+            })?;
+            match target {
+                Target::Dataset(d) => return Ok(ItemOutcome::Dataset(d)),
+                Target::Equivalent => {
+                    // Relax the next enabled optional set.
+                    if let Some(i) = enabled.iter().position(|e| *e) {
+                        enabled[i] = false;
+                    } else {
+                        return Ok(ItemOutcome::Skipped(SkipReason::Equivalent));
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- Shared solve machinery ---------------------------------------
+
+    /// The cached base skeleton for a `(copies, repair_cap)` shape: tuple
+    /// arrays plus `genDBConstraints`, quantifiers pre-expanded in unfold
+    /// mode. Built once under the lock, cloned per use.
+    fn skeleton(&self, copies: u32, cap: u32) -> Result<ConstraintBuilder<'a>, GenError> {
+        let mut map = self.skeletons.lock().expect("skeleton lock");
+        if let Some(b) = map.get(&(copies, cap)) {
+            return Ok(b.clone());
+        }
+        let mut b =
+            ConstraintBuilder::with_repair_cap(self.schema, self.query, self.domains, copies, cap)?;
+        b.gen_db_constraints();
+        if self.opts.mode == Mode::Unfold {
+            // Unfold the database constraints once for all targets. Lazy
+            // mode keeps them quantified: pre-expansion would defeat the
+            // §VI-B "without unfolding" configuration being measured.
+            b.problem.inline_quantifiers();
+        }
+        map.insert((copies, cap), b.clone());
+        Ok(b)
+    }
+
     /// Build constraints via `f`, add database (and input-database)
     /// constraints, solve, materialize. Implements the paper's retry:
     /// when input-database constraints make the set inconsistent, solve
@@ -153,22 +650,28 @@ impl<'a> Gen<'a> {
         // full capacity means "no such dataset" (equivalent mutants).
         let mut agg_stats = xdata_solver::SolverStats::default();
         for (rung, cap) in crate::builder::REPAIR_LADDER.iter().enumerate() {
-            let mut b = ConstraintBuilder::with_repair_cap(
-                self.schema,
-                self.query,
-                self.domains,
-                copies,
-                *cap,
-            )?;
-            f(&mut b)?;
-            // Input constraints first: they mark pinned relations whose
-            // enumerated domain constraints gen_db_constraints then skips.
-            if use_input {
+            let b = if use_input {
+                // Input constraints must precede gen_db_constraints (they
+                // mark pinned relations whose enumerated domain constraints
+                // are then skipped), so this path builds fresh.
+                let mut b = ConstraintBuilder::with_repair_cap(
+                    self.schema,
+                    self.query,
+                    self.domains,
+                    copies,
+                    *cap,
+                )?;
+                f(&mut b)?;
                 if let Some(input) = &self.opts.input_db {
                     b.gen_input_db_constraints(input)?;
                 }
-            }
-            b.gen_db_constraints();
+                b.gen_db_constraints();
+                b
+            } else {
+                let mut b = self.skeleton(copies, *cap)?;
+                f(&mut b)?;
+                b
+            };
             let limit = if use_input { 500_000 } else { xdata_solver::DEFAULT_DECISION_LIMIT };
             let (out, stats) = b.problem.solve_with_limit(self.opts.mode, limit);
             agg_stats.decisions += stats.decisions;
@@ -211,311 +714,6 @@ impl<'a> Gen<'a> {
         Ok(())
     }
 
-    /// `generateDataSetForOriginalQuery` (§V-B): a dataset with a non-empty
-    /// result for the original query. With a HAVING clause the dataset
-    /// needs a whole qualifying group, not just one row.
-    fn original_query_dataset(&self, suite: &mut TestSuite) -> Result<(), GenError> {
-        let label = "original query (non-empty result)";
-        let having: &[xdata_relalg::HavingPred] = match &self.query.select {
-            SelectSpec::Aggregation { having, .. } => having,
-            _ => &[],
-        };
-        let outcome = if having.is_empty() {
-            self.solve_target(1, label, &|b| self.assert_query_conds(b, 0))?
-        } else {
-            let SelectSpec::Aggregation { group_by, .. } = &self.query.select else {
-                unreachable!("having implies aggregation");
-            };
-            match crate::having::group_size_for(having) {
-                None => Target::Equivalent,
-                Some(k) => self.solve_target(k, label, &|b| {
-                    for c in 0..k {
-                        self.assert_query_conds(b, c)?;
-                    }
-                    for g in group_by {
-                        for c in 0..k.saturating_sub(1) {
-                            let f = Formula::Atom(Atom::new(
-                                b.cvc_map(*g, c),
-                                RelOp::Eq,
-                                b.cvc_map(*g, c + 1),
-                            ));
-                            b.problem.assert(f);
-                        }
-                    }
-                    crate::having::assert_having(b, group_by, having, k, None)
-                })?,
-            }
-        };
-        match outcome {
-            Target::Dataset(d) => suite.datasets.push(d),
-            Target::Equivalent => suite.skipped.push(SkippedTarget {
-                label: label.to_string(),
-                reason: SkipReason::Equivalent,
-            }),
-        }
-        Ok(())
-    }
-
-    /// Kill datasets for HAVING comparison mutants: like §V-E, three
-    /// datasets per conjunct, constructing groups whose aggregate lands
-    /// exactly on, below and above the constant.
-    fn kill_having_comparisons(&self, suite: &mut TestSuite) -> Result<(), GenError> {
-        let SelectSpec::Aggregation { group_by, having, .. } = &self.query.select else {
-            return Ok(());
-        };
-        for (hi, h) in having.iter().enumerate() {
-            for op in [CompareOp::Eq, CompareOp::Lt, CompareOp::Gt] {
-                let label = format!(
-                    "having {hi} (`{h}`): dataset with `{}`",
-                    op.sql_symbol()
-                );
-                let Some(k) = crate::having::group_size_with_override(having, hi, op) else {
-                    suite.skipped.push(SkippedTarget {
-                        label,
-                        reason: SkipReason::Equivalent,
-                    });
-                    continue;
-                };
-                let target = self.solve_target(k, &label, &|b| {
-                    for c in 0..k {
-                        self.assert_query_conds(b, c)?;
-                    }
-                    for g in group_by {
-                        for c in 0..k.saturating_sub(1) {
-                            let f = Formula::Atom(Atom::new(
-                                b.cvc_map(*g, c),
-                                RelOp::Eq,
-                                b.cvc_map(*g, c + 1),
-                            ));
-                            b.problem.assert(f);
-                        }
-                    }
-                    crate::having::assert_having(b, group_by, having, k, Some((hi, op)))
-                })?;
-                match target {
-                    Target::Dataset(d) => suite.datasets.push(d),
-                    Target::Equivalent => suite
-                        .skipped
-                        .push(SkippedTarget { label, reason: SkipReason::Equivalent }),
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Algorithm 2: for each element of each equivalence class, nullify it
-    /// (together with every foreign key referencing it) against the rest of
-    /// the class.
-    fn kill_equivalence_classes(&self, suite: &mut TestSuite) -> Result<(), GenError> {
-        for (ci, ec) in self.query.eq_classes.iter().enumerate() {
-            for &e in ec {
-                // S := e plus equivalence-class members whose column is a
-                // foreign key referencing e's column, directly or
-                // indirectly (line 6 of Algorithm 2). Nullable foreign keys
-                // are *not* pulled in (§V-H): the referencing column can
-                // take NULL instead of being jointly nullified.
-                let e_col = self.column_ref(e);
-                let s: Vec<AttrRef> = ec
-                    .iter()
-                    .copied()
-                    .filter(|&m| {
-                        m == e || self.schema.references_strict(&self.column_ref(m), &e_col)
-                    })
-                    .collect();
-                let p: Vec<AttrRef> = ec.iter().copied().filter(|m| !s.contains(m)).collect();
-                let label = format!(
-                    "eq-class {ci}: nullify {} against {}",
-                    self.names(&s),
-                    self.names(&p)
-                );
-                if p.is_empty() {
-                    suite
-                        .skipped
-                        .push(SkippedTarget { label, reason: SkipReason::EmptyP });
-                    continue;
-                }
-                let target = self.solve_target(1, &label, &|b| {
-                    // Members of P match each other.
-                    let f = b.eq_conds(&p, 0);
-                    b.problem.assert(f);
-                    // No tuple of any relation in S matches P's value.
-                    let witness = b.cvc_map(p[0], 0);
-                    for &m in &s {
-                        let f = b.not_exists_value(m, witness);
-                        b.problem.assert(f);
-                    }
-                    // All other equivalence classes hold.
-                    for (cj, other) in self.query.eq_classes.iter().enumerate() {
-                        if cj != ci {
-                            let f = b.eq_conds(other, 0);
-                            b.problem.assert(f);
-                        }
-                    }
-                    // All retained predicates hold.
-                    for pr in &self.query.preds {
-                        let f = b.pred_formula(pr, 0)?;
-                        b.problem.assert(f);
-                    }
-                    Ok(())
-                })?;
-                match target {
-                    Target::Dataset(d) => suite.datasets.push(d),
-                    Target::Equivalent => suite
-                        .skipped
-                        .push(SkippedTarget { label, reason: SkipReason::Equivalent }),
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Algorithm 3: for each retained predicate and each relation in it,
-    /// a dataset where no tuple of that relation satisfies the predicate
-    /// while everything else holds.
-    fn kill_other_predicates(&self, suite: &mut TestSuite) -> Result<(), GenError> {
-        for (pi, p) in self.query.preds.iter().enumerate() {
-            for r in p.occurrences() {
-                let label = format!(
-                    "pred {pi} (`{p}`): nullify {}",
-                    self.query.occurrences[r].name
-                );
-                let target = self.solve_target(1, &label, &|b| {
-                    let f = b.gen_not_exists(p, r, 0)?;
-                    b.problem.assert(f);
-                    for ec in &self.query.eq_classes {
-                        let f = b.eq_conds(ec, 0);
-                        b.problem.assert(f);
-                    }
-                    for (pj, other) in self.query.preds.iter().enumerate() {
-                        if pj != pi {
-                            let f = b.pred_formula(other, 0)?;
-                            b.problem.assert(f);
-                        }
-                    }
-                    Ok(())
-                })?;
-                match target {
-                    Target::Dataset(d) => suite.datasets.push(d),
-                    Target::Equivalent => suite
-                        .skipped
-                        .push(SkippedTarget { label, reason: SkipReason::Equivalent }),
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// `killComparisonOperators` (§V-E): three datasets per comparison
-    /// conjunct, in which the conjunct is forced to `=`, `<` and `>`
-    /// respectively — sufficient to kill every operator mutant.
-    fn kill_comparison_operators(&self, suite: &mut TestSuite) -> Result<(), GenError> {
-        for (pi, p) in self.query.preds.iter().enumerate() {
-            let attr_vs_const = matches!(
-                (&p.lhs, &p.rhs),
-                (Operand::Attr { .. }, Operand::Const(_)) | (Operand::Const(_), Operand::Attr { .. })
-            );
-            if !attr_vs_const && !self.opts.compare_attr_pairs {
-                continue;
-            }
-            // String comparisons only make sense as =/<>: the `<`/`>`
-            // datasets would compare dictionary codes; skip those targets.
-            let string_pred = matches!(&p.lhs, Operand::Const(Value::Str(_)))
-                || matches!(&p.rhs, Operand::Const(Value::Str(_)));
-            let target_ops: &[CompareOp] = if string_pred {
-                &[CompareOp::Eq, CompareOp::Ne]
-            } else {
-                &[CompareOp::Eq, CompareOp::Lt, CompareOp::Gt]
-            };
-            for &op in target_ops {
-                let label =
-                    format!("comparison {pi} (`{p}`): dataset with `{}`", op.sql_symbol());
-                let target = self.solve_target(1, &label, &|b| {
-                    let f = b.pred_formula_with_op(p, op, 0)?;
-                    b.problem.assert(f);
-                    for ec in &self.query.eq_classes {
-                        let f = b.eq_conds(ec, 0);
-                        b.problem.assert(f);
-                    }
-                    for (pj, other) in self.query.preds.iter().enumerate() {
-                        if pj != pi {
-                            let f = b.pred_formula(other, 0)?;
-                            b.problem.assert(f);
-                        }
-                    }
-                    Ok(())
-                })?;
-                match target {
-                    Target::Dataset(d) => suite.datasets.push(d),
-                    Target::Equivalent => suite
-                        .skipped
-                        .push(SkippedTarget { label, reason: SkipReason::Equivalent }),
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Algorithm 4: per aggregate, three tuple sets per relation — two with
-    /// duplicate aggregated values, one distinct — all in one group, with
-    /// optional constraint sets relaxed on inconsistency.
-    fn kill_aggregates(&self, suite: &mut TestSuite) -> Result<(), GenError> {
-        let SelectSpec::Aggregation { group_by, aggs, having } = &self.query.select else {
-            return Ok(());
-        };
-        // With a HAVING clause the group size may be forced away from the
-        // three tuple sets Algorithm 4 wants; construct with the forced
-        // size and let the relaxation ladder drop S1/S2 as needed.
-        let copies = if having.is_empty() {
-            3
-        } else {
-            match crate::having::group_size_for(having) {
-                Some(k) => k.max(3).min(crate::having::MAX_GROUP_SIZE),
-                None => return Ok(()), // HAVING unconstructible: no datasets
-            }
-        };
-        for (ai, agg) in aggs.iter().enumerate() {
-            let Some(a) = agg.arg else {
-                continue; // COUNT(*): no operator mutants (§II footnote).
-            };
-            let label = format!("aggregate {ai} ({})", agg.func.display_name());
-            // Optional constraint sets, dropped greedily on inconsistency
-            // (lines 11–13 of Algorithm 4): strong positivity (A ≥ 4, which
-            // separates COUNT = 3 from MIN/MAX/SUM/AVG — the paper's "add
-            // additional constraints to ensure that COUNT ... also
-            // differ"), then weak positivity (A > 0), then S3 (group
-            // isolation), then S1 (duplicate pair), then S2 (distinct
-            // third value).
-            let mut enabled = [true; 5]; // [POS_STRONG, POS_WEAK, S3, S1, S2]
-            let mut produced = None;
-            loop {
-                let target = self.solve_target(copies, &label, &|b| {
-                    self.assert_aggregate_conds(b, group_by, having, a, copies, enabled)
-                })?;
-                match target {
-                    Target::Dataset(d) => {
-                        produced = Some(d);
-                        break;
-                    }
-                    Target::Equivalent => {
-                        // Relax the next enabled optional set.
-                        if let Some(i) = enabled.iter().position(|e| *e) {
-                            enabled[i] = false;
-                        } else {
-                            break;
-                        }
-                    }
-                }
-            }
-            match produced {
-                Some(d) => suite.datasets.push(d),
-                None => suite
-                    .skipped
-                    .push(SkippedTarget { label, reason: SkipReason::Equivalent }),
-            }
-        }
-        Ok(())
-    }
-
     fn assert_aggregate_conds(
         &self,
         b: &mut ConstraintBuilder<'_>,
@@ -532,16 +730,7 @@ impl<'a> Gen<'a> {
         for c in 0..copies {
             self.assert_query_conds(b, c)?;
         }
-        for g in group_by {
-            for c in 0..copies.saturating_sub(1) {
-                let f = Formula::Atom(Atom::new(
-                    b.cvc_map(*g, c),
-                    RelOp::Eq,
-                    b.cvc_map(*g, c + 1),
-                ));
-                b.problem.assert(f);
-            }
-        }
+        self.assert_same_group(b, group_by, copies);
         if !having.is_empty() {
             crate::having::assert_having(b, group_by, having, copies, None)?;
         }
@@ -616,89 +805,6 @@ impl<'a> Gen<'a> {
         Ok(())
     }
 
-    /// Kill the `SELECT` ⇄ `SELECT DISTINCT` mutant (footnote 2's
-    /// duplicate-count class): a dataset where the query result contains a
-    /// duplicate row — two tuple combinations agreeing on every projected
-    /// attribute while differing underneath.
-    fn kill_duplicates(&self, suite: &mut TestSuite) -> Result<(), GenError> {
-        let projected: Vec<AttrRef> = match &self.query.select {
-            SelectSpec::Aggregation { .. } => return Ok(()), // no duplicate mutant
-            SelectSpec::Columns(cols) => cols.clone(),
-            SelectSpec::Star => Vec::new(), // sentinel: all attributes
-        };
-        let star = matches!(self.query.select, SelectSpec::Star);
-        let label = "duplicate row (SELECT vs SELECT DISTINCT)";
-        if star {
-            // A duplicated full row needs a relation that admits duplicate
-            // tuples, i.e. one without a primary key.
-            let has_keyless = self.query.occurrences.iter().any(|o| {
-                self.schema
-                    .relation(&o.base)
-                    .map(|r| r.primary_key.is_empty())
-                    .unwrap_or(false)
-            });
-            if !has_keyless {
-                // Structurally impossible (primary keys forbid duplicate
-                // rows under SELECT *): the mutant is equivalent; nothing
-                // to record — no constraint set was even attempted.
-                return Ok(());
-            }
-        }
-        let target = self.solve_target(2, label, &|b| {
-            for c in 0..2 {
-                self.assert_query_conds(b, c)?;
-            }
-            if star {
-                // Identical tuples in both copies: keyless relations will
-                // materialize genuine duplicates.
-                for (occ, o) in self.query.occurrences.iter().enumerate() {
-                    let arity =
-                        self.schema.relation(&o.base).expect("occurrence base").arity();
-                    for col in 0..arity {
-                        let f = Formula::Atom(Atom::new(
-                            b.cvc_map(AttrRef::new(occ, col), 0),
-                            RelOp::Eq,
-                            b.cvc_map(AttrRef::new(occ, col), 1),
-                        ));
-                        b.problem.assert(f);
-                    }
-                }
-            } else {
-                // Equal projections, distinct provenance.
-                for a in &projected {
-                    let f = Formula::Atom(Atom::new(
-                        b.cvc_map(*a, 0),
-                        RelOp::Eq,
-                        b.cvc_map(*a, 1),
-                    ));
-                    b.problem.assert(f);
-                }
-                let mut alternatives = Vec::new();
-                for (occ, o) in self.query.occurrences.iter().enumerate() {
-                    let arity =
-                        self.schema.relation(&o.base).expect("occurrence base").arity();
-                    for col in 0..arity {
-                        alternatives.push(Formula::Atom(Atom::new(
-                            b.cvc_map(AttrRef::new(occ, col), 0),
-                            RelOp::Ne,
-                            b.cvc_map(AttrRef::new(occ, col), 1),
-                        )));
-                    }
-                }
-                b.problem.assert(Formula::or(alternatives));
-            }
-            Ok(())
-        })?;
-        match target {
-            Target::Dataset(d) => suite.datasets.push(d),
-            Target::Equivalent => suite.skipped.push(SkippedTarget {
-                label: label.to_string(),
-                reason: SkipReason::Equivalent,
-            }),
-        }
-        Ok(())
-    }
-
     fn column_ref(&self, a: AttrRef) -> xdata_catalog::schema::ColumnRef {
         xdata_catalog::schema::ColumnRef::new(
             self.query.occurrences[a.occ].base.clone(),
@@ -728,7 +834,6 @@ pub fn total_stats(suite: &TestSuite) -> SolverStats {
     }
     t
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1013,5 +1118,38 @@ mod tests {
         .unwrap();
         assert_eq!(fast.datasets.len(), slow.datasets.len());
         assert_eq!(fast.skipped.len(), slow.skipped.len());
+    }
+
+    #[test]
+    fn parallel_jobs_reproduce_sequential_suite() {
+        let schema = university::schema_with_fk_count(2);
+        let q = normalize(
+            &parse_query(
+                "SELECT * FROM instructor i, teaches t, course c \
+                 WHERE i.id = t.id AND t.course_id = c.course_id AND i.salary > 50000",
+            )
+            .unwrap(),
+            &schema,
+        )
+        .unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        let seq = generate(&q, &schema, &domains, &GenOptions::default()).unwrap();
+        for jobs in [0, 2, 8] {
+            let par = generate(
+                &q,
+                &schema,
+                &domains,
+                &GenOptions { jobs, ..GenOptions::default() },
+            )
+            .unwrap();
+            assert_eq!(seq.datasets.len(), par.datasets.len(), "jobs={jobs}");
+            for (a, b) in seq.datasets.iter().zip(&par.datasets) {
+                assert_eq!(a.label, b.label, "jobs={jobs}");
+                assert_eq!(a.dataset, b.dataset, "jobs={jobs}, target {}", a.label);
+            }
+            let skips =
+                |s: &TestSuite| s.skipped.iter().map(|k| k.label.clone()).collect::<Vec<_>>();
+            assert_eq!(skips(&seq), skips(&par), "jobs={jobs}");
+        }
     }
 }

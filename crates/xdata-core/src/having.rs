@@ -295,7 +295,7 @@ mod tests {
             value: 6,
         };
         // k=2 preferred (value aggregates want multi-tuple groups; 6 % 2 = 0).
-        assert_eq!(group_size_for(&[sum_eq_6.clone()]), Some(2));
+        assert_eq!(group_size_for(std::slice::from_ref(&sum_eq_6)), Some(2));
         // Combined with COUNT(*) = 4: k=4, 6 % 4 != 0 → infeasible.
         assert_eq!(
             group_size_for(&[sum_eq_6, count_star(CompareOp::Eq, 4)]),

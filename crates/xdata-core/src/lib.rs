@@ -49,5 +49,7 @@ pub use suite::{GenOptions, GeneratedDataset, SuiteStats, TestSuite};
 
 /// Re-export of the evaluation loop (suite × mutation space → kill matrix).
 pub mod kill {
-    pub use xdata_engine::kill::{execute_mutant, kill_report, kills, KillReport};
+    pub use xdata_engine::kill::{
+        execute_mutant, kill_report, kill_report_jobs, kills, KillReport,
+    };
 }

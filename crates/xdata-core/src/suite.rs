@@ -18,11 +18,16 @@ pub struct GenOptions {
     /// Generate the three `=`, `<`, `>` datasets for attribute-vs-attribute
     /// comparisons too (a generalization of the paper's `A.x op val` case).
     pub compare_attr_pairs: bool,
+    /// Worker threads for the solve phase: `1` (the default) is fully
+    /// sequential, `0` means one per available core. Every value produces
+    /// the identical suite — solve targets are independent and collected
+    /// in plan order.
+    pub jobs: usize,
 }
 
 impl Default for GenOptions {
     fn default() -> Self {
-        GenOptions { mode: Mode::Unfold, input_db: None, compare_attr_pairs: true }
+        GenOptions { mode: Mode::Unfold, input_db: None, compare_attr_pairs: true, jobs: 1 }
     }
 }
 
@@ -89,9 +94,9 @@ impl TestSuite {
         s
     }
 
-    /// Just the datasets (for feeding the kill checker).
-    pub fn data(&self) -> Vec<Dataset> {
-        self.datasets.iter().map(|d| d.dataset.clone()).collect()
+    /// Just the datasets, borrowed (for feeding the kill checker).
+    pub fn data(&self) -> Vec<&Dataset> {
+        self.datasets.iter().map(|d| &d.dataset).collect()
     }
 
     /// Largest dataset in the suite (tuples) — the paper's "small and

@@ -74,27 +74,40 @@ impl KillReport {
 
 /// Run every mutant in `space` against every dataset in `suite`, recording
 /// which dataset (if any) first kills each mutant — the evaluation loop of
-/// §VI-C.
+/// §VI-C. Sequential; see [`kill_report_jobs`] for the parallel form.
 pub fn kill_report(
     q: &NormQuery,
     space: &MutationSpace,
-    suite: &[Dataset],
+    suite: &[&Dataset],
     schema: &Schema,
+) -> Result<KillReport, EngineError> {
+    kill_report_jobs(q, space, suite, schema, 1)
+}
+
+/// [`kill_report`] with the mutant axis sharded over `jobs` worker threads
+/// (`0` = one per core). Each mutant's verdict — the index of the *first*
+/// dataset that kills it — is independent of every other mutant's, and the
+/// order-preserving parallel map returns verdicts in mutant-enumeration
+/// order, so the report is identical for every `jobs` value.
+pub fn kill_report_jobs(
+    q: &NormQuery,
+    space: &MutationSpace,
+    suite: &[&Dataset],
+    schema: &Schema,
+    jobs: usize,
 ) -> Result<KillReport, EngineError> {
     let originals: Vec<ResultSet> =
         suite.iter().map(|db| execute_query(q, db, schema)).collect::<Result<_, _>>()?;
-    let mut killed_by = Vec::new();
-    for m in space.iter() {
-        let mut killer = None;
+    let mutants: Vec<_> = space.iter().collect();
+    let killed_by = xdata_par::try_par_map(jobs, &mutants, |_, m| {
         for (di, db) in suite.iter().enumerate() {
-            let mutated = execute_mutant(q, &m, db, schema)?;
+            let mutated = execute_mutant(q, m, db, schema)?;
             if mutated != originals[di] {
-                killer = Some(di);
-                break;
+                return Ok(Some(di));
             }
         }
-        killed_by.push(killer);
-    }
+        Ok(None)
+    })?;
     Ok(KillReport { killed_by, total_mutants: space.len() })
 }
 
@@ -138,16 +151,23 @@ mod tests {
         let k2 = kills(&q, &m, &d2, &schema).unwrap();
         // One of the two left/right mutants must be killed by d2; check via
         // the whole space to stay orientation-agnostic.
-        let report = kill_report(&q, &space, &[d1, d2], &schema).unwrap();
+        let report = kill_report(&q, &space, &[&d1, &d2], &schema).unwrap();
         assert!(report.killed_count() >= 2, "outer-join mutants killed: {report:?}");
         let _ = (k1, k2);
+
+        // The parallel form must agree verdict-for-verdict.
+        for jobs in [0, 2, 8] {
+            let par = kill_report_jobs(&q, &space, &[&d1, &d2], &schema, jobs).unwrap();
+            assert_eq!(report.killed_by, par.killed_by, "jobs={jobs}");
+        }
     }
 
     #[test]
     fn empty_dataset_kills_nothing() {
         let (q, schema) = setup("SELECT * FROM instructor i, teaches t WHERE i.id = t.id");
         let space = mutation_space(&q, MutationOptions::default());
-        let report = kill_report(&q, &space, &[Dataset::new()], &schema).unwrap();
+        let empty = Dataset::new();
+        let report = kill_report(&q, &space, &[&empty], &schema).unwrap();
         assert_eq!(report.killed_count(), 0);
     }
 

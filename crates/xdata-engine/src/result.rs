@@ -14,7 +14,7 @@ pub struct ResultSet {
 
 impl ResultSet {
     pub fn new(mut rows: Vec<Tuple>) -> Self {
-        rows.sort_by(|a, b| cmp_rows(a, b));
+        rows.sort_by(cmp_rows);
         ResultSet { rows }
     }
 

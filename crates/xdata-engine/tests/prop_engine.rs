@@ -1,4 +1,4 @@
-//! Property-based tests for the executor.
+//! Randomized tests for the executor, driven by a seeded [`SplitMix64`].
 //!
 //! Two oracles:
 //!
@@ -12,8 +12,7 @@
 //!    exercises join reordering, condition placement and merge logic at
 //!    once.
 
-use proptest::prelude::*;
-use xdata_catalog::{university, Dataset, Truth, Value};
+use xdata_catalog::{university, Dataset, SplitMix64, Truth, Value};
 use xdata_engine::{execute_query, execute_with_tree, ResultSet};
 use xdata_relalg::enumerate::enumerate_trees;
 use xdata_relalg::{normalize, NormQuery, Operand, SelectSpec};
@@ -115,37 +114,36 @@ fn reference_eval(q: &NormQuery, db: &Dataset, schema: &xdata_catalog::Schema) -
     ResultSet::new(rows)
 }
 
-/// Random tiny datasets over instructor/teaches/course.
-fn arb_db() -> impl Strategy<Value = Dataset> {
-    let inst = prop::collection::vec((0..4i64, 0..3i64, 0..200i64), 0..4);
-    let teach = prop::collection::vec((0..4i64, 0..4i64), 0..4);
-    let course = prop::collection::vec((0..4i64, 0..3i64, 1..5i64), 0..4);
-    (inst, teach, course).prop_map(|(is, ts, cs)| {
-        let mut d = Dataset::new();
-        let mut seen = std::collections::BTreeSet::new();
-        for (id, dept, sal) in is {
-            if seen.insert(("i", id, 0)) {
-                d.push(
-                    "instructor",
-                    vec![Value::Int(id), Value::Str(format!("n{id}")), Value::Int(dept), Value::Int(sal)],
-                );
-            }
+/// Random tiny dataset over instructor/teaches/course — same shape and
+/// primary-key dedup as the old proptest strategy.
+fn random_db(rng: &mut SplitMix64) -> Dataset {
+    let mut d = Dataset::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..rng.below(4) {
+        let (id, dept, sal) = (rng.range_i64(0, 3), rng.range_i64(0, 2), rng.range_i64(0, 199));
+        if seen.insert(("i", id, 0)) {
+            d.push(
+                "instructor",
+                vec![Value::Int(id), Value::Str(format!("n{id}")), Value::Int(dept), Value::Int(sal)],
+            );
         }
-        for (id, cid) in ts {
-            if seen.insert(("t", id, cid)) {
-                d.push("teaches", vec![Value::Int(id), Value::Int(cid), Value::Int(1), Value::Int(2009)]);
-            }
+    }
+    for _ in 0..rng.below(4) {
+        let (id, cid) = (rng.range_i64(0, 3), rng.range_i64(0, 3));
+        if seen.insert(("t", id, cid)) {
+            d.push("teaches", vec![Value::Int(id), Value::Int(cid), Value::Int(1), Value::Int(2009)]);
         }
-        for (cid, dept, cred) in cs {
-            if seen.insert(("c", cid, 0)) {
-                d.push(
-                    "course",
-                    vec![Value::Int(cid), Value::Str(format!("c{cid}")), Value::Int(dept), Value::Int(cred)],
-                );
-            }
+    }
+    for _ in 0..rng.below(4) {
+        let (cid, dept, cred) = (rng.range_i64(0, 3), rng.range_i64(0, 2), rng.range_i64(1, 4));
+        if seen.insert(("c", cid, 0)) {
+            d.push(
+                "course",
+                vec![Value::Int(cid), Value::Str(format!("c{cid}")), Value::Int(dept), Value::Int(cred)],
+            );
         }
-        d
-    })
+    }
+    d
 }
 
 const QUERIES: [&str; 5] = [
@@ -157,30 +155,36 @@ const QUERIES: [&str; 5] = [
     "SELECT i.id FROM instructor i, teaches t WHERE i.id <> t.id",
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn engine_matches_reference(db in arb_db(), qi in 0..QUERIES.len()) {
-        let schema = university::schema_with_fk_count(0);
-        let q = normalize(&parse_query(QUERIES[qi]).unwrap(), &schema).unwrap();
+#[test]
+fn engine_matches_reference() {
+    let schema = university::schema_with_fk_count(0);
+    let mut rng = SplitMix64::new(0xe9e1);
+    for case in 0..128 {
+        let db = random_db(&mut rng);
+        let sql = QUERIES[rng.below(QUERIES.len())];
+        let q = normalize(&parse_query(sql).unwrap(), &schema).unwrap();
         let engine = execute_query(&q, &db, &schema).unwrap();
         let reference = reference_eval(&q, &db, &schema);
-        prop_assert_eq!(engine, reference, "query {} db:\n{}", QUERIES[qi], db);
+        assert_eq!(engine, reference, "case {case}: query {sql} db:\n{db}");
     }
+}
 
-    #[test]
-    fn all_enumerated_trees_agree(db in arb_db(), qi in 0..QUERIES.len()) {
-        let schema = university::schema_with_fk_count(0);
-        let q = normalize(&parse_query(QUERIES[qi]).unwrap(), &schema).unwrap();
+#[test]
+fn all_enumerated_trees_agree() {
+    let schema = university::schema_with_fk_count(0);
+    let mut rng = SplitMix64::new(0xe9e2);
+    for case in 0..128 {
+        let db = random_db(&mut rng);
+        let sql = QUERIES[rng.below(QUERIES.len())];
+        let q = normalize(&parse_query(sql).unwrap(), &schema).unwrap();
         let baseline = execute_query(&q, &db, &schema).unwrap();
         for tree in enumerate_trees(&q, 1000) {
             let r = execute_with_tree(&q, &tree, &db, &schema).unwrap();
-            prop_assert_eq!(
-                &r, &baseline,
-                "tree {} disagrees on query {}",
+            assert_eq!(
+                r,
+                baseline,
+                "case {case}: tree {} disagrees on query {sql}",
                 tree.display_with(&q.occurrences.iter().map(|o| o.name.clone()).collect::<Vec<_>>()),
-                QUERIES[qi]
             );
         }
     }

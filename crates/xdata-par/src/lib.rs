@@ -1,0 +1,192 @@
+//! # xdata-par
+//!
+//! A dependency-free parallel execution layer built on [`std::thread::scope`]
+//! (no rayon, no crossbeam): a small work-stealing pool exposing an
+//! order-preserving [`par_map`].
+//!
+//! Both X-Data hot paths are embarrassingly parallel with *wildly* uneven
+//! task costs — one constraint target can take 100× another (deep
+//! repair-ladder retries), one mutant can die on the first dataset while
+//! another survives all of them. Static chunking would serialize on the
+//! slowest chunk, so workers instead pull the next item from a shared atomic
+//! cursor (work stealing at item granularity). Each worker accumulates
+//! `(index, result)` pairs locally; the results are scattered back into
+//! input order afterwards, which is what makes parallel output
+//! **byte-identical** to sequential output regardless of thread count.
+//!
+//! Determinism contract: `par_map(jobs, items, f)` returns exactly
+//! `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()` for every
+//! `jobs`, provided `f` is a pure function of its arguments. Nothing about
+//! scheduling order can leak into the result vector.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a `--jobs`-style request: `0` means "one worker per available
+/// hardware thread", anything else is taken literally (and clamped to at
+/// least 1).
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `items` on up to `jobs` scoped worker threads, returning the
+/// results **in input order**.
+///
+/// * `jobs == 0` means auto (see [`resolve_jobs`]); `jobs == 1` (or a
+///   single-item / empty input) runs inline on the caller's thread with no
+///   spawning at all.
+/// * Work is distributed dynamically: each worker repeatedly claims the next
+///   unprocessed index from an atomic cursor, so stragglers don't idle the
+///   pool.
+/// * A panic in `f` propagates to the caller once the scope joins.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par_map worker panicked")).collect()
+    });
+    // Scatter back into input order. Every index appears exactly once
+    // (the cursor hands each out once), so all slots fill.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            debug_assert!(slots[i].is_none());
+            slots[i] = Some(r);
+        }
+    }
+    slots.into_iter().map(|r| r.expect("par_map slot unfilled")).collect()
+}
+
+/// [`par_map`] over fallible tasks: short-circuits to the **first** error in
+/// *input* order (not completion order), so error reporting is deterministic
+/// too. All tasks still run — with independent solver tasks the wasted work
+/// on a rare error is cheaper than cross-thread cancellation plumbing.
+pub fn try_par_map<T, R, E, F>(jobs: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let results = par_map(jobs, items, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [0, 1, 2, 3, 8, 64] {
+            let got = par_map(jobs, &items, |_, x| x * x);
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = par_map(4, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn uneven_task_costs_all_complete() {
+        // Tasks with pathological skew: item 0 does ~1000x the work.
+        let items: Vec<u64> = (0..64).collect();
+        let got = par_map(8, &items, |_, &x| {
+            let spins = if x == 0 { 100_000 } else { 100 };
+            (0..spins).fold(x, |acc, _| acc.wrapping_mul(31).wrapping_add(1))
+        });
+        assert_eq!(got.len(), items.len());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(8, &empty, |_, x| *x).is_empty());
+        assert_eq!(par_map(8, &[7u32], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        par_map(7, &items, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn try_par_map_reports_first_error_in_input_order() {
+        let items: Vec<i32> = (0..100).collect();
+        // Items 30 and 60 fail; input-order first is 30, regardless of
+        // which thread finished first.
+        for jobs in [1, 2, 8] {
+            let r: Result<Vec<i32>, i32> =
+                try_par_map(jobs, &items, |_, &x| if x == 30 || x == 60 { Err(x) } else { Ok(x) });
+            assert_eq!(r.unwrap_err(), 30, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_ok_preserves_order() {
+        let items: Vec<i32> = (0..50).collect();
+        let r: Result<Vec<i32>, ()> = try_par_map(4, &items, |_, &x| Ok(x * 2));
+        assert_eq!(r.unwrap(), (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resolve_jobs_zero_is_auto() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let items = vec![1u32, 2, 3, 4];
+        par_map(2, &items, |_, &x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

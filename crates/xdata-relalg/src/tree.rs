@@ -161,7 +161,7 @@ impl JoinTree {
                     format!("I({})", parts.join(","))
                 }
                 JoinKind::Full => {
-                    let mut parts = vec![left.canonical_key(), right.canonical_key()];
+                    let mut parts = [left.canonical_key(), right.canonical_key()];
                     parts.sort();
                     format!("F({})", parts.join(","))
                 }

@@ -1,38 +1,37 @@
-//! Property tests for join-tree canonicalization: the canonical key must be
-//! invariant under the semantic rewrites it claims to absorb — inner-join
-//! commutativity and associativity, `A ⟖ B ≡ B ⟕ A`, full-outer-join
-//! commutativity — and *sensitive* to everything else (leaf sets, kinds).
+//! Randomized tests for join-tree canonicalization: the canonical key must
+//! be invariant under the semantic rewrites it claims to absorb —
+//! inner-join commutativity and associativity, `A ⟖ B ≡ B ⟕ A`,
+//! full-outer-join commutativity — and *sensitive* to everything else
+//! (leaf sets, kinds). Seeded [`SplitMix64`] drives case generation.
 
-use proptest::prelude::*;
+use xdata_catalog::SplitMix64;
 use xdata_relalg::JoinTree;
 use xdata_sql::JoinKind;
 
-/// Random join tree over `n` distinct leaves.
-fn arb_tree(n: usize) -> impl Strategy<Value = JoinTree> {
-    // Random permutation + random shape + random kinds, built recursively.
-    (Just(n), proptest::sample::subsequence((0..n).collect::<Vec<_>>(), n))
-        .prop_flat_map(|(n, leaves)| build(leaves, n as u32))
-        .prop_map(|t| t)
+/// Random join tree over `n` distinct leaves: random leaf permutation,
+/// random shape, random join kinds.
+fn random_tree(rng: &mut SplitMix64, n: usize) -> JoinTree {
+    let mut leaves: Vec<usize> = (0..n).collect();
+    // Fisher–Yates shuffle.
+    for i in (1..leaves.len()).rev() {
+        leaves.swap(i, rng.below(i + 1));
+    }
+    build(rng, &leaves)
 }
 
-fn build(leaves: Vec<usize>, seed: u32) -> BoxedStrategy<JoinTree> {
+fn build(rng: &mut SplitMix64, leaves: &[usize]) -> JoinTree {
     if leaves.len() == 1 {
-        return Just(JoinTree::Leaf(leaves[0])).boxed();
+        return JoinTree::Leaf(leaves[0]);
     }
-    (1..leaves.len(), any::<u8>(), any::<u32>())
-        .prop_flat_map(move |(split, kind, s2)| {
-            let kind = match kind % 4 {
-                0 => JoinKind::Inner,
-                1 => JoinKind::Left,
-                2 => JoinKind::Right,
-                _ => JoinKind::Full,
-            };
-            let (l, r) = leaves.split_at(split);
-            let (l, r) = (l.to_vec(), r.to_vec());
-            (build(l, s2), build(r, s2.wrapping_add(1)))
-                .prop_map(move |(lt, rt)| JoinTree::node(kind, lt, rt, vec![]))
-        })
-        .boxed()
+    let split = 1 + rng.below(leaves.len() - 1);
+    let kind = match rng.below(4) {
+        0 => JoinKind::Inner,
+        1 => JoinKind::Left,
+        2 => JoinKind::Right,
+        _ => JoinKind::Full,
+    };
+    let (l, r) = leaves.split_at(split);
+    JoinTree::node(kind, build(rng, l), build(rng, r), vec![])
 }
 
 /// Apply a random semantics-preserving rewrite at the root (if applicable).
@@ -71,25 +70,33 @@ fn rotate_inner(t: &JoinTree) -> Option<JoinTree> {
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn key_invariant_under_commutation(t in arb_tree(4)) {
+#[test]
+fn key_invariant_under_commutation() {
+    let mut rng = SplitMix64::new(0x7e111);
+    for _ in 0..512 {
+        let t = random_tree(&mut rng, 4);
         if let Some(c) = commute(&t) {
-            prop_assert_eq!(t.canonical_key(), c.canonical_key(), "commute changed key of {:?}", t);
+            assert_eq!(t.canonical_key(), c.canonical_key(), "commute changed key of {t:?}");
         }
     }
+}
 
-    #[test]
-    fn key_invariant_under_inner_rotation(t in arb_tree(4)) {
+#[test]
+fn key_invariant_under_inner_rotation() {
+    let mut rng = SplitMix64::new(0x7e112);
+    for _ in 0..512 {
+        let t = random_tree(&mut rng, 4);
         if let Some(r) = rotate_inner(&t) {
-            prop_assert_eq!(t.canonical_key(), r.canonical_key(), "rotation changed key of {:?}", t);
+            assert_eq!(t.canonical_key(), r.canonical_key(), "rotation changed key of {t:?}");
         }
     }
+}
 
-    #[test]
-    fn key_distinguishes_kind_changes(t in arb_tree(3)) {
+#[test]
+fn key_distinguishes_kind_changes() {
+    let mut rng = SplitMix64::new(0x7e113);
+    for _ in 0..512 {
+        let t = random_tree(&mut rng, 3);
         // Changing the root kind between non-equivalent kinds must change
         // the key (Inner vs Left vs Full are semantically distinct).
         if let JoinTree::Node { kind, left, right, conds } = &t {
@@ -111,18 +118,22 @@ proptest! {
                     right: right.clone(),
                     conds: conds.clone(),
                 };
-                prop_assert_ne!(t.canonical_key(), changed.canonical_key());
+                assert_ne!(t.canonical_key(), changed.canonical_key());
             }
         }
     }
+}
 
-    #[test]
-    fn key_embeds_leaf_set(t in arb_tree(4)) {
+#[test]
+fn key_embeds_leaf_set() {
+    let mut rng = SplitMix64::new(0x7e114);
+    for _ in 0..512 {
+        let t = random_tree(&mut rng, 4);
         let mut leaves = t.leaves();
         leaves.sort_unstable();
         let key = t.canonical_key();
         for l in leaves {
-            prop_assert!(key.contains(&l.to_string()), "key {key} misses leaf {l}");
+            assert!(key.contains(&l.to_string()), "key {key} misses leaf {l}");
         }
     }
 }

@@ -63,6 +63,10 @@ impl Formula {
         }
     }
 
+    /// Negation that folds constants and cancels double negation. An
+    /// inherent method (not [`std::ops::Not`]) so `Formula::not(f)` path
+    /// calls keep working across the workspace.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,

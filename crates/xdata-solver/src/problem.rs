@@ -110,6 +110,26 @@ impl Problem {
         self.constraints.push(f);
     }
 
+    /// Eagerly expand every bounded quantifier asserted so far into its
+    /// ground normal form, in place. Subsequent [`Problem::solve`] calls in
+    /// [`Mode::Unfold`] then skip re-expanding these constraints — the
+    /// point of pre-building a shared constraint skeleton that many solve
+    /// targets clone: the PK/FK/domain closure is unfolded **once** instead
+    /// of once per target per repair-ladder rung.
+    ///
+    /// Semantics are unchanged (unfolding is an equivalence for bounded
+    /// quantifiers), but [`Mode::Lazy`] solves after this call no longer
+    /// exercise lazy instantiation for the inlined constraints, so callers
+    /// benchmarking the §VI-B ablation must not pre-inline.
+    pub fn inline_quantifiers(&mut self) {
+        let vars = self.var_table();
+        for c in &mut self.constraints {
+            if c.has_quantifier() {
+                *c = unfold(&to_nnf(c), &vars);
+            }
+        }
+    }
+
     pub fn constraints(&self) -> &[Formula] {
         &self.constraints
     }
@@ -378,5 +398,39 @@ mod tests {
         let p = Problem::new();
         let (out, _) = p.solve(Mode::Unfold);
         assert!(out.is_sat());
+    }
+
+    #[test]
+    fn inline_quantifiers_preserves_verdict_and_model() {
+        for nullify in [false, true] {
+            let p = fk_problem(nullify);
+            let mut q = p.clone();
+            q.inline_quantifiers();
+            assert!(!q.constraints().iter().any(|c| c.has_quantifier()));
+            let (a, _) = p.solve(Mode::Unfold);
+            let (b, _) = q.solve(Mode::Unfold);
+            assert_eq!(a.is_sat(), b.is_sat(), "nullify={nullify}");
+            // The ground search sees the same unfolded structure, so the
+            // model (when SAT) is identical too.
+            if let (SolveOutcome::Sat(ma), SolveOutcome::Sat(mb)) = (a, b) {
+                assert_eq!(ma.values(), mb.values());
+            }
+        }
+    }
+
+    #[test]
+    fn inline_then_assert_more_still_solves() {
+        let mut p = fk_problem(false);
+        p.inline_quantifiers();
+        // A post-inline quantified assertion must still be handled.
+        let q = p.fresh_qvar();
+        let inst = ArrayId(0);
+        p.assert(Formula::not_exists(
+            q,
+            inst,
+            Formula::atom(Term::qfield(inst, q, 0), RelOp::Eq, Term::field(ArrayId(1), 0, 0)),
+        ));
+        let (out, _) = p.solve(Mode::Unfold);
+        assert!(matches!(out, SolveOutcome::Unsat));
     }
 }

@@ -1,17 +1,17 @@
-//! Property tests for the incremental difference-logic theory: push/pop
+//! Randomized tests for the incremental difference-logic theory: push/pop
 //! discipline and consistency verdicts against a brute-force oracle.
+//! Seeded [`SplitMix64`] drives the case generation, so runs are
+//! reproducible and fully offline.
 
-use proptest::prelude::*;
+use xdata_catalog::SplitMix64;
 use xdata_solver::theory::{Bound, DiffLogic};
 
 const NVARS: u32 = 4;
-const DOM: i64 = 4;
 
-/// Oracle: is the conjunction of bounds satisfiable over 0..=DOM per var?
-/// (Difference systems over a bounded box; sufficient for w ∈ [-3, 3] and
-/// ≤4 variables since any satisfiable system has a solution in a window of
-/// width ≤ Σ|w| ≤ 12 ≥... we simply test satisfiability over a wide box
-/// [-16, 16] which is safe for these sizes.)
+/// Oracle: is the conjunction of bounds satisfiable over a bounded box?
+/// (Difference systems over [-16, 16] per variable; safe for w ∈ [-3, 3]
+/// and ≤4 variables since any satisfiable system of that size has a
+/// solution within a window of width Σ|w| ≤ 12.)
 fn brute_sat(bounds: &[(u32, u32, i64)]) -> bool {
     const LO: i64 = -16;
     const HI: i64 = 16;
@@ -36,18 +36,23 @@ fn brute_sat(bounds: &[(u32, u32, i64)]) -> bool {
     }
 }
 
-fn arb_bound() -> impl Strategy<Value = (u32, u32, i64)> {
-    (0..NVARS, 0..NVARS, -3i64..=3)
+fn random_bound(rng: &mut SplitMix64) -> (u32, u32, i64) {
+    (rng.below(NVARS as usize) as u32, rng.below(NVARS as usize) as u32, rng.range_i64(-3, 3))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_bounds(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<(u32, u32, i64)> {
+    let len = min + rng.below(max - min + 1);
+    (0..len).map(|_| random_bound(rng)).collect()
+}
 
-    /// Asserting a sequence of bounds reports UNSAT exactly when the
-    /// accepted prefix plus the new bound is infeasible, and the final
-    /// model satisfies every accepted bound.
-    #[test]
-    fn incremental_consistency_matches_oracle(bounds in prop::collection::vec(arb_bound(), 1..10)) {
+/// Asserting a sequence of bounds reports UNSAT exactly when the accepted
+/// prefix plus the new bound is infeasible, and the final model satisfies
+/// every accepted bound.
+#[test]
+fn incremental_consistency_matches_oracle() {
+    let mut rng = SplitMix64::new(0x7ee011);
+    for case in 0..256 {
+        let bounds = random_bounds(&mut rng, 1, 9);
         let mut th = DiffLogic::new(NVARS);
         let mut accepted: Vec<(u32, u32, i64)> = Vec::new();
         for (u, v, w) in bounds {
@@ -55,28 +60,33 @@ proptest! {
             let mut candidate = accepted.clone();
             candidate.push((u, v, w));
             let feasible = brute_sat(&candidate);
-            prop_assert_eq!(ok, feasible, "bound ({},{},{}) after {:?}", u, v, w, accepted);
+            assert_eq!(
+                ok, feasible,
+                "case {case}: bound ({u},{v},{w}) after {accepted:?}"
+            );
             if ok {
                 accepted = candidate;
             }
         }
         let m = th.model();
         for (u, v, w) in &accepted {
-            prop_assert!(
+            assert!(
                 m[*v as usize] - m[*u as usize] <= *w,
-                "model violates accepted bound: {m:?} vs ({u},{v},{w})"
+                "case {case}: model violates accepted bound: {m:?} vs ({u},{v},{w})"
             );
         }
     }
+}
 
-    /// push/pop restores exactly the pre-push state: post-pop models
-    /// satisfy the outer bounds, and bounds rejected inside the frame do
-    /// not constrain afterwards.
-    #[test]
-    fn push_pop_is_transparent(
-        outer in prop::collection::vec(arb_bound(), 0..5),
-        inner in prop::collection::vec(arb_bound(), 0..5),
-    ) {
+/// push/pop restores exactly the pre-push state: post-pop models satisfy
+/// the outer bounds, and bounds rejected inside the frame do not constrain
+/// afterwards.
+#[test]
+fn push_pop_is_transparent() {
+    let mut rng = SplitMix64::new(0x7ee022);
+    for case in 0..256 {
+        let outer = random_bounds(&mut rng, 0, 4);
+        let inner = random_bounds(&mut rng, 0, 4);
         let mut th = DiffLogic::new(NVARS);
         let mut kept = Vec::new();
         for (u, v, w) in outer {
@@ -90,10 +100,10 @@ proptest! {
             let _ = th.assert_bound(Bound { u, v, w });
         }
         th.pop_level();
-        prop_assert_eq!(th.model(), before, "pop must restore the model");
+        assert_eq!(th.model(), before, "case {case}: pop must restore the model");
         for (u, v, w) in &kept {
             let m = th.model();
-            prop_assert!(m[*v as usize] - m[*u as usize] <= *w);
+            assert!(m[*v as usize] - m[*u as usize] <= *w, "case {case}");
         }
     }
 }

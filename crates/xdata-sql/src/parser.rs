@@ -466,6 +466,9 @@ impl Parser {
         Ok(SelectItem::Column(self.colref()?))
     }
 
+    // Parser methods are named after their grammar production; `from_*`
+    // here means the FROM clause, not a conversion constructor.
+    #[allow(clippy::wrong_self_convention)]
     fn from_list(&mut self) -> Result<Vec<FromItem>, ParseError> {
         let mut items = vec![self.from_item()?];
         while matches!(self.peek(), Tok::Comma) {
@@ -475,6 +478,7 @@ impl Parser {
         Ok(items)
     }
 
+    #[allow(clippy::wrong_self_convention)]
     fn from_item(&mut self) -> Result<FromItem, ParseError> {
         let mut left = self.from_primary()?;
         loop {
@@ -511,6 +515,7 @@ impl Parser {
         Ok(left)
     }
 
+    #[allow(clippy::wrong_self_convention)]
     fn from_primary(&mut self) -> Result<FromItem, ParseError> {
         if matches!(self.peek(), Tok::LParen) {
             self.advance();
@@ -525,9 +530,9 @@ impl Parser {
         } else {
             let name = self.ident()?;
             // Optional alias: `t a`, `t AS a`.
-            let alias = if self.try_keyword("as") {
-                Some(self.ident()?)
-            } else if matches!(self.peek(), Tok::Word(w) if !RESERVED.contains(&w.as_str())) {
+            let alias = if self.try_keyword("as")
+                || matches!(self.peek(), Tok::Word(w) if !RESERVED.contains(&w.as_str()))
+            {
                 Some(self.ident()?)
             } else {
                 None
@@ -563,10 +568,7 @@ impl Parser {
         }
         let mut conds = Vec::new();
         loop {
-            match self.condition_or_in(ins.as_deref_mut())? {
-                Some(c) => conds.push(c),
-                None => {}
-            }
+            if let Some(c) = self.condition_or_in(ins.as_deref_mut())? { conds.push(c) }
             if !self.try_keyword("and") {
                 break;
             }
@@ -781,11 +783,11 @@ impl Parser {
         // default to non-nullable (assumption A2) unless the user wrote an
         // explicit `NULL`, which opts into §V-H's relaxation.
         for (col, _, nullable) in &mut columns {
-            if primary_key.contains(col) {
-                *nullable = false;
-            } else if foreign_keys.iter().any(|fk| fk.columns.contains(col))
-                && !explicit_null.contains(col)
-            {
+            let fk_default_non_null = foreign_keys
+                .iter()
+                .any(|fk| fk.columns.contains(col))
+                && !explicit_null.contains(col);
+            if primary_key.contains(col) || fk_default_non_null {
                 *nullable = false;
             }
         }

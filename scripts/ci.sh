@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Offline CI gate: build, test, lint. No network access required — the
+# workspace has zero external dependencies by design.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -11,6 +11,9 @@
 //!                     statements forming the input database of §VI-A)
 //!   --query SQL       the query under test (or --query-file FILE)
 //!   --mode MODE       unfold (default) | lazy     (§VI-B)
+//!   --jobs N          worker threads for generation and kill checking
+//!                     (default 1; 0 = one per core; output is identical
+//!                     for every value)
 //!   --use-input-db    restrict generated tuples to the script's INSERTs
 //!   --minimize        prune datasets that add no kills (greedy set cover)
 //!   --no-full-outer   exclude mutations to FULL OUTER JOIN (paper's eval)
@@ -31,6 +34,7 @@ struct Args {
     query: Option<String>,
     candidate: Option<String>,
     mode: Mode,
+    jobs: usize,
     use_input_db: bool,
     minimize: bool,
     include_full: bool,
@@ -43,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         query: None,
         candidate: None,
         mode: Mode::Unfold,
+        jobs: 1,
         use_input_db: false,
         minimize: false,
         include_full: true,
@@ -66,6 +71,10 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown mode {other:?}")),
                 }
             }
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a thread count")?;
+                args.jobs = n.parse().map_err(|_| format!("--jobs: invalid count `{n}`"))?;
+            }
             "--candidate" => args.candidate = Some(it.next().ok_or("--candidate needs SQL")?),
             "--use-input-db" => args.use_input_db = true,
             "--minimize" => args.minimize = true,
@@ -85,7 +94,7 @@ fn run() -> Result<(), String> {
         xdata::sql::parse_script(&script).map_err(|e| e.render(&script))?;
     let sql = args.query.as_deref().ok_or("--query is required")?;
 
-    let mut xd = XData::new(schema.clone()).with_mode(args.mode);
+    let mut xd = XData::new(schema.clone()).with_mode(args.mode).with_jobs(args.jobs);
     if args.use_input_db {
         if data.is_empty() {
             return Err("--use-input-db: the schema script has no INSERT statements".into());

@@ -44,7 +44,7 @@ pub use xdata_sql as sql;
 
 use xdata_catalog::{Dataset, DomainCatalog, Schema};
 use xdata_core::{generate, GenOptions, TestSuite};
-use xdata_engine::kill::{kill_report, KillReport};
+use xdata_engine::kill::{kill_report_jobs, KillReport};
 use xdata_relalg::mutation::{mutation_space, MutationOptions};
 use xdata_relalg::{normalize, MutationSpace, NormQuery};
 
@@ -138,6 +138,14 @@ impl XData {
         self
     }
 
+    /// Worker threads for generation and kill checking: `1` is sequential,
+    /// `0` means one per available core. Output is identical for every
+    /// value.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.options.jobs = jobs;
+        self
+    }
+
     /// Override attribute domains.
     pub fn with_domains(mut self, domains: DomainCatalog) -> Self {
         self.domains = domains;
@@ -169,7 +177,8 @@ impl XData {
     ) -> Result<(Run, MutationSpace, KillReport), XDataError> {
         let run = self.generate_for(sql)?;
         let space = run.mutants(mopts);
-        let report = kill_report(&run.query, &space, &run.suite.data(), &self.schema)?;
+        let report =
+            kill_report_jobs(&run.query, &space, &run.suite.data(), &self.schema, self.options.jobs)?;
         Ok((run, space, report))
     }
 

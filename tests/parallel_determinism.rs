@@ -1,0 +1,80 @@
+//! Cross-crate determinism guarantee: generation and kill evaluation must
+//! produce **byte-identical** output for every thread count. Covers the
+//! Table I chain-join workload and Table II-style selection/aggregation
+//! queries, with jobs ∈ {1, 2, 8}.
+
+use xdata::catalog::university;
+use xdata::relalg::mutation::MutationOptions;
+use xdata::XData;
+
+/// Table I: pure join chains over 2..=4 relations, all relevant FKs kept.
+fn table1_queries() -> Vec<(String, xdata::catalog::Schema)> {
+    (2..=4)
+        .map(|k| {
+            let rels = university::join_chain(k);
+            let mut conds = Vec::new();
+            for i in 0..k - 1 {
+                let (lr, la, rr, ra) = university::join_chain_condition(i);
+                conds.push(format!("{lr}.{la} = {rr}.{ra}"));
+            }
+            let sql =
+                format!("SELECT * FROM {} WHERE {}", rels.join(", "), conds.join(" AND "));
+            (sql, university::schema_with_fk_count(k - 1))
+        })
+        .collect()
+}
+
+/// Table II-style mix: selections, attribute comparisons, aggregation,
+/// HAVING.
+fn table2_queries() -> Vec<(String, xdata::catalog::Schema)> {
+    let schema = || university::schema_with_fk_count(2);
+    [
+        "SELECT * FROM instructor WHERE salary > 50000",
+        "SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary <= 80000",
+        "SELECT i.name FROM instructor i, teaches t, course c \
+         WHERE i.id = t.id AND t.course_id = c.course_id AND c.credits >= 3",
+        "SELECT dept_id, SUM(salary) FROM instructor GROUP BY dept_id",
+        "SELECT dept_id, COUNT(salary) FROM instructor GROUP BY dept_id \
+         HAVING COUNT(salary) > 2",
+    ]
+    .iter()
+    .map(|sql| (sql.to_string(), schema()))
+    .collect()
+}
+
+#[test]
+fn suites_and_kill_matrices_identical_across_thread_counts() {
+    let mopts =
+        MutationOptions { include_full: false, tree_limit: 2_000, ..Default::default() };
+    let mut queries = table1_queries();
+    queries.extend(table2_queries());
+    for (sql, schema) in queries {
+        let (base_run, _, base_report) = XData::new(schema.clone())
+            .with_jobs(1)
+            .evaluate(&sql, mopts)
+            .unwrap_or_else(|e| panic!("evaluate({sql}): {e}"));
+        for jobs in [2usize, 8] {
+            let (run, _, report) = XData::new(schema.clone())
+                .with_jobs(jobs)
+                .evaluate(&sql, mopts)
+                .unwrap();
+            // Labels and datasets, tuple for tuple.
+            assert_eq!(
+                base_run.suite.datasets.len(),
+                run.suite.datasets.len(),
+                "jobs={jobs}: {sql}"
+            );
+            for (a, b) in base_run.suite.datasets.iter().zip(&run.suite.datasets) {
+                assert_eq!(a.label, b.label, "jobs={jobs}: {sql}");
+                assert_eq!(a.dataset, b.dataset, "jobs={jobs}: {sql} ({})", a.label);
+            }
+            // Skip lists.
+            let skips = |r: &xdata::Run| {
+                r.suite.skipped.iter().map(|s| s.label.clone()).collect::<Vec<_>>()
+            };
+            assert_eq!(skips(&base_run), skips(&run), "jobs={jobs}: {sql}");
+            // Kill matrix, verdict for verdict.
+            assert_eq!(base_report.killed_by, report.killed_by, "jobs={jobs}: {sql}");
+        }
+    }
+}

@@ -1,5 +1,6 @@
-//! Property-based end-to-end tests: random queries in the paper's class,
-//! generated against the University schema.
+//! Randomized end-to-end tests: random queries in the paper's class,
+//! generated against the University schema, driven by a seeded
+//! [`SplitMix64`].
 //!
 //! Invariants checked per random query:
 //!
@@ -10,8 +11,7 @@
 //! 4. generation is **deterministic**: two runs produce identical suites;
 //! 5. both solver **modes agree** on the number of datasets and skips.
 
-use proptest::prelude::*;
-use xdata::catalog::university;
+use xdata::catalog::{university, SplitMix64};
 use xdata::engine::{execute_query, kill::execute_mutant};
 use xdata::relalg::mutation::MutationOptions;
 use xdata::solver::Mode;
@@ -33,6 +33,16 @@ const AGGS: [&str; 5] = ["SUM(i.salary)", "AVG(i.salary)", "COUNT(i.salary)",
     "MIN(i.salary)", "MAX(i.salary)"];
 
 impl QuerySpec {
+    fn random(rng: &mut SplitMix64) -> Self {
+        QuerySpec {
+            relations: 2 + rng.below(3),
+            fks: rng.below(4),
+            salary_sel: rng.bool().then(|| (rng.below(6), rng.range_i64(1, 199))),
+            credits_sel: rng.bool().then(|| (rng.below(6), rng.range_i64(1, 5))),
+            aggregate: rng.bool().then(|| rng.below(AGGS.len())),
+        }
+    }
+
     fn sql(&self) -> String {
         let rels = university::join_chain(self.relations);
         let mut conds = Vec::new();
@@ -69,28 +79,11 @@ impl QuerySpec {
     }
 }
 
-fn arb_query() -> impl Strategy<Value = QuerySpec> {
-    (
-        2..=4usize,
-        0..=3usize,
-        prop::option::of((0..6usize, 1i64..200)),
-        prop::option::of((0..6usize, 1i64..6)),
-        prop::option::of(0..AGGS.len()),
-    )
-        .prop_map(|(relations, fks, salary_sel, credits_sel, aggregate)| QuerySpec {
-            relations,
-            fks,
-            salary_sel,
-            credits_sel,
-            aggregate,
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_query_suite_invariants(spec in arb_query()) {
+#[test]
+fn random_query_suite_invariants() {
+    let mut rng = SplitMix64::new(0x5017e1);
+    for _ in 0..24 {
+        let spec = QuerySpec::random(&mut rng);
         let schema = university::schema_with_fk_count(spec.fks);
         let xdata = XData::new(schema.clone());
         let sql = spec.sql();
@@ -100,13 +93,13 @@ proptest! {
         // (1) legality.
         for d in &run.suite.datasets {
             let errs = d.dataset.integrity_violations(&schema);
-            prop_assert!(errs.is_empty(), "dataset `{}` illegal: {errs:?} (query {sql})", d.label);
+            assert!(errs.is_empty(), "dataset `{}` illegal: {errs:?} (query {sql})", d.label);
         }
 
         // (2) the original dataset produces rows.
         if let Some(orig) = run.suite.datasets.iter().find(|d| d.label.contains("original")) {
             let r = execute_query(&run.query, &orig.dataset, &schema).unwrap();
-            prop_assert!(!r.is_empty(), "original dataset empty result for {sql}");
+            assert!(!r.is_empty(), "original dataset empty result for {sql}");
         }
 
         // (3) kill soundness.
@@ -116,39 +109,39 @@ proptest! {
         let mutants: Vec<_> = space.iter().collect();
         for (mi, killer) in report.killed_by.iter().enumerate() {
             if let Some(di) = killer {
-                let orig = execute_query(&run.query, &data[*di], &schema).unwrap();
-                let mutd = execute_mutant(&run.query, &mutants[mi], &data[*di], &schema).unwrap();
-                prop_assert!(orig != mutd, "claimed kill is not a kill for {sql}");
+                let orig = execute_query(&run.query, data[*di], &schema).unwrap();
+                let mutd = execute_mutant(&run.query, &mutants[mi], data[*di], &schema).unwrap();
+                assert!(orig != mutd, "claimed kill is not a kill for {sql}");
             }
         }
 
         // (4) determinism.
         let run2 = xdata.generate_for(&sql).unwrap();
-        prop_assert_eq!(run.suite.datasets.len(), run2.suite.datasets.len());
+        assert_eq!(run.suite.datasets.len(), run2.suite.datasets.len());
         for (a, b) in run.suite.datasets.iter().zip(&run2.suite.datasets) {
-            prop_assert_eq!(&a.dataset, &b.dataset, "nondeterministic dataset for {}", sql);
+            assert_eq!(&a.dataset, &b.dataset, "nondeterministic dataset for {sql}");
         }
 
         // (5) mode agreement.
         let lazy = XData::new(schema.clone()).with_mode(Mode::Lazy).generate_for(&sql).unwrap();
-        prop_assert_eq!(lazy.suite.datasets.len(), run.suite.datasets.len(), "mode mismatch for {}", sql);
-        prop_assert_eq!(lazy.suite.skipped.len(), run.suite.skipped.len());
+        assert_eq!(lazy.suite.datasets.len(), run.suite.datasets.len(), "mode mismatch for {sql}");
+        assert_eq!(lazy.suite.skipped.len(), run.suite.skipped.len());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Suites stay small: the paper's "small and intuitive" promise.
-    #[test]
-    fn random_query_datasets_are_small(spec in arb_query()) {
+/// Suites stay small: the paper's "small and intuitive" promise.
+#[test]
+fn random_query_datasets_are_small() {
+    let mut rng = SplitMix64::new(0x5017e2);
+    for _ in 0..12 {
+        let spec = QuerySpec::random(&mut rng);
         let schema = university::schema_with_fk_count(spec.fks);
         let xdata = XData::new(schema.clone());
         let run = xdata.generate_for(&spec.sql()).unwrap();
         // Linear dataset count: crude but effective bound.
-        prop_assert!(run.suite.datasets.len() <= 8 + 4 * spec.relations);
+        assert!(run.suite.datasets.len() <= 8 + 4 * spec.relations);
         // Tiny datasets.
-        prop_assert!(run.suite.max_dataset_size() <= 40,
+        assert!(run.suite.max_dataset_size() <= 40,
             "dataset too large: {}", run.suite.max_dataset_size());
     }
 }

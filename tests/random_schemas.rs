@@ -1,9 +1,9 @@
 //! Whole-pipeline fuzzing over *random schemas*: random relations, random
 //! foreign-key DAGs, random join queries. Catches assumptions baked into
 //! the University schema (attribute counts, key shapes, FK topologies).
+//! Seeded [`SplitMix64`] drives case generation.
 
-use proptest::prelude::*;
-use xdata::catalog::{Attribute, Relation, Schema, SqlType};
+use xdata::catalog::{Attribute, Relation, Schema, SplitMix64, SqlType};
 use xdata::relalg::mutation::MutationOptions;
 use xdata::XData;
 
@@ -15,21 +15,20 @@ struct SchemaSpec {
     fk_edges: Vec<(usize, usize)>,
 }
 
-fn arb_schema() -> impl Strategy<Value = SchemaSpec> {
-    (2..=4usize)
-        .prop_flat_map(|n| {
-            let attrs = prop::collection::vec(0..=2usize, n);
-            // Candidate edges i -> j with i > j; pick a subset.
-            let mut all_edges = Vec::new();
-            for i in 1..n {
-                for j in 0..i {
-                    all_edges.push((i, j));
-                }
+impl SchemaSpec {
+    fn random(rng: &mut SplitMix64) -> Self {
+        let n = 2 + rng.below(3);
+        let extra_attrs = (0..n).map(|_| rng.below(3)).collect();
+        // Candidate edges i -> j with i > j; keep a random subset.
+        let mut all_edges = Vec::new();
+        for i in 1..n {
+            for j in 0..i {
+                all_edges.push((i, j));
             }
-            let edges = proptest::sample::subsequence(all_edges.clone(), 0..=all_edges.len());
-            (attrs, edges)
-        })
-        .prop_map(|(extra_attrs, fk_edges)| SchemaSpec { extra_attrs, fk_edges })
+        }
+        let fk_edges = rng.subset(&all_edges);
+        SchemaSpec { extra_attrs, fk_edges }
+    }
 }
 
 fn build_schema(spec: &SchemaSpec) -> Schema {
@@ -70,8 +69,8 @@ fn query_for(spec: &SchemaSpec) -> String {
         linked[*i] = true;
         linked[*j] = true;
     }
-    for i in 1..n {
-        if !linked[i] {
+    for (i, is_linked) in linked.iter().enumerate().skip(1) {
+        if !is_linked {
             conds.push(format!("r{i}.id = r0.id"));
         }
     }
@@ -82,11 +81,11 @@ fn query_for(spec: &SchemaSpec) -> String {
     format!("SELECT * FROM {} WHERE {}", from.join(", "), conds.join(" AND "))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn random_schema_pipeline(spec in arb_schema()) {
+#[test]
+fn random_schema_pipeline() {
+    let mut rng = SplitMix64::new(0x5c4ea);
+    for _ in 0..32 {
+        let spec = SchemaSpec::random(&mut rng);
         let schema = build_schema(&spec);
         let sql = query_for(&spec);
         let xdata = XData::new(schema.clone());
@@ -97,27 +96,27 @@ proptest! {
         // Datasets legal, original non-empty.
         for d in &run.suite.datasets {
             let errs = d.dataset.integrity_violations(&schema);
-            prop_assert!(errs.is_empty(), "{}: {errs:?} ({sql}, {spec:?})", d.label);
+            assert!(errs.is_empty(), "{}: {errs:?} ({sql}, {spec:?})", d.label);
         }
         let orig = run.suite.datasets.iter().find(|d| d.label.contains("original"));
-        prop_assert!(orig.is_some(), "no original dataset for {sql}");
+        assert!(orig.is_some(), "no original dataset for {sql}");
         let r = xdata::engine::execute_query(
             &run.query,
             &orig.unwrap().dataset,
             &schema,
         ).unwrap();
-        prop_assert!(!r.is_empty(), "original dataset gives empty result for {}", sql);
+        assert!(!r.is_empty(), "original dataset gives empty result for {sql}");
 
         // Kill verdicts are sound.
         let data = run.suite.data();
         let mutants: Vec<_> = space.iter().collect();
         for (mi, k) in report.killed_by.iter().enumerate() {
             if let Some(di) = k {
-                let a = xdata::engine::execute_query(&run.query, &data[*di], &schema).unwrap();
+                let a = xdata::engine::execute_query(&run.query, data[*di], &schema).unwrap();
                 let b = xdata::engine::kill::execute_mutant(
-                    &run.query, &mutants[mi], &data[*di], &schema,
+                    &run.query, &mutants[mi], data[*di], &schema,
                 ).unwrap();
-                prop_assert!(a != b);
+                assert!(a != b);
             }
         }
     }

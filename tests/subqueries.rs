@@ -91,7 +91,7 @@ fn in_query_generates_killing_suite() {
         )
         .unwrap();
     assert!(!run.suite.datasets.is_empty());
-    assert!(space.len() > 0);
+    assert!(!space.is_empty());
     assert!(report.killed_count() > 0, "IN-query mutants must be killable:\n{}", run.suite);
     for d in &run.suite.datasets {
         assert!(d.dataset.integrity_violations(&schema).is_empty());
