@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use xdata_bench::{chain_schema, chain_sql, median_time, relevant_fk_count};
+use xdata_bench::{chain_schema, chain_sql, indent_json, median_time, relevant_fk_count};
 use xdata_catalog::DomainCatalog;
 use xdata_core::{generate, GenOptions};
 use xdata_engine::kill::kill_report_jobs;
@@ -26,6 +26,8 @@ struct SweepRow {
     mutants: usize,
     gen_ms: [f64; JOBS.len()],
     kill_ms: [f64; JOBS.len()],
+    /// Rendered `MetricsReport` of the canonical jobs=1 generate+kill run.
+    metrics: String,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -57,6 +59,11 @@ fn main() {
         let q = normalize(&parse_query(&chain_sql(k)).unwrap(), &schema).unwrap();
         let domains = DomainCatalog::defaults(&schema);
 
+        // Record pipeline metrics for the canonical sequential run only, so
+        // the embedded report reflects one generate + one kill pass (the
+        // timing sweep below re-runs the same work many times over).
+        xdata_obs::install();
+        xdata_obs::preseed();
         let baseline =
             generate(&q, &schema, &domains, &GenOptions::default()).expect("generation succeeds");
         let space = mutation_space(
@@ -65,6 +72,7 @@ fn main() {
         );
         let base_report =
             kill_report_jobs(&q, &space, &baseline.data(), &schema, 1).expect("kill succeeds");
+        let metrics = xdata_obs::take_report().expect("recorder installed").to_json();
 
         let mut gen_ms = [0.0; JOBS.len()];
         let mut kill_ms = [0.0; JOBS.len()];
@@ -108,6 +116,7 @@ fn main() {
             mutants: space.len(),
             gen_ms,
             kill_ms,
+            metrics,
         });
     }
 
@@ -126,13 +135,14 @@ fn main() {
         };
         json.push_str(&format!(
             "    {{\"joins\": {}, \"fks\": {}, \"datasets\": {}, \"mutants\": {}, \
-             \"generate_ms\": [{}], \"kill_ms\": [{}]}}{}\n",
+             \"generate_ms\": [{}], \"kill_ms\": [{}],\n     \"metrics\": {}}}{}\n",
             r.joins,
             r.fks,
             r.datasets,
             r.mutants,
             nums(&r.gen_ms),
             nums(&r.kill_ms),
+            indent_json(&r.metrics, "     "),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -1,13 +1,14 @@
 //! Regenerates **Table I** of the paper: inner-join queries with 1–6 joins
 //! (2–7 relations), sweeping the number of foreign keys, reporting datasets
 //! generated, mutants killed, and generation time without/with quantifier
-//! unfolding.
+//! unfolding. Also writes the table plus an aggregate pipeline metrics
+//! report to `results/BENCH_table1.json`.
 //!
 //! ```sh
 //! cargo run -p xdata-bench --release --bin table1
 //! ```
 
-use xdata_bench::{chain_schema, chain_sql, evaluate_query, relevant_fk_count, secs};
+use xdata_bench::{chain_schema, chain_sql, evaluate_query, indent_json, relevant_fk_count, secs};
 
 fn main() {
     // Tree enumeration cap for mutant counting: the space is exponential;
@@ -27,6 +28,11 @@ fn main() {
         "Query", "#Joins", "#FK", "#Datasets", "#Killed", "#KillRaw", "t w/o unfold", "t unfolded"
     );
     println!("{}", "-".repeat(78));
+    // Aggregate solver/pipeline metrics across the whole table run (both
+    // modes, every FK point) — embedded in the JSON artifact below.
+    xdata_obs::install();
+    xdata_obs::preseed();
+    let mut json_rows: Vec<String> = Vec::new();
     for joins in 1..=max_joins {
         let k = joins + 1; // relations
         let max_fk = relevant_fk_count(k);
@@ -51,8 +57,41 @@ fn main() {
                 secs(row.time_lazy),
                 secs(row.time_unfold),
             );
+            json_rows.push(format!(
+                "{{\"joins\": {joins}, \"relations\": {k}, \"fks\": {n_fks}, \
+                 \"datasets\": {}, \"killed\": {}, \"killed_raw\": {}, \
+                 \"lazy_s\": {}, \"unfold_s\": {}}}",
+                row.datasets,
+                row.killed,
+                row.killed_raw,
+                secs(row.time_lazy),
+                secs(row.time_unfold),
+            ));
         }
     }
+
+    // Hand-rolled JSON artifact: the workspace deliberately has no serde.
+    let metrics = xdata_obs::take_report().expect("recorder installed").to_json();
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"tree_limit\": {tree_limit},\n"));
+    json.push_str("  \"workload\": \"Table I chain queries, FK sweep, lazy+unfold\",\n");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in json_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {r}{}\n",
+            if i + 1 == json_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"metrics\": {}\n", indent_json(&metrics, "  ")));
+    json.push_str("}\n");
+    let out = std::path::Path::new("results/BENCH_table1.json");
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(out, &json).expect("write BENCH_table1.json");
+    println!("\nwrote {}", out.display());
+
     println!(
         "\nNotes: dataset counts exclude the original-query dataset (as in the \
          paper). Mutant counts use canonical-form dedup over enumerated join \

@@ -186,6 +186,22 @@ pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
+/// Re-indent a rendered JSON document (e.g. a `MetricsReport`) so it can
+/// be embedded as a nested value inside the hand-rolled JSON the bench
+/// binaries write: every line after the first gets `pad` prepended, and
+/// the trailing newline is dropped.
+pub fn indent_json(json: &str, pad: &str) -> String {
+    let mut out = String::new();
+    for (i, line) in json.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(pad);
+        }
+        out.push_str(line);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +228,12 @@ mod tests {
         assert_eq!(s.foreign_keys().len(), relevant_fk_count(2));
         let s0 = chain_schema(4, 0);
         assert!(s0.foreign_keys().is_empty());
+    }
+
+    #[test]
+    fn indent_json_pads_continuation_lines() {
+        let doc = "{\n  \"a\": 1\n}\n";
+        assert_eq!(indent_json(doc, "    "), "{\n      \"a\": 1\n    }");
     }
 
     #[test]

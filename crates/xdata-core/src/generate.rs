@@ -46,11 +46,16 @@ pub fn generate(
     domains: &DomainCatalog,
     opts: &GenOptions,
 ) -> Result<TestSuite, GenError> {
+    let _gen_span = xdata_obs::span("generate");
     // Preprocessing beyond what normalization did: make sure every string
     // literal in the query is dictionary-coded.
     let domains = prepare_domains(query, schema, domains);
     let gen = Gen { query, schema, domains: &domains, opts, skeletons: Mutex::new(BTreeMap::new()) };
-    let plan = gen.plan();
+    let plan = {
+        let _plan_span = xdata_obs::span("generate/plan");
+        gen.plan()
+    };
+    xdata_obs::counter("core.targets.planned", plan.len() as u64);
     let outcomes = xdata_par::try_par_map(opts.jobs, &plan, |_, item| gen.run_item(item))?;
     let mut suite = TestSuite::default();
     for (item, outcome) in plan.into_iter().zip(outcomes) {
@@ -60,6 +65,15 @@ pub fn generate(
                 suite.skipped.push(SkippedTarget { label: item.label, reason })
             }
         }
+    }
+    // Suite-level tallies, recorded on the assembling thread from the
+    // order-preserved outcomes — deterministic for every `jobs` value.
+    xdata_obs::counter("core.targets.solved", suite.datasets.len() as u64);
+    xdata_obs::counter("core.targets.skipped", suite.skipped.len() as u64);
+    for d in &suite.datasets {
+        let rows = d.dataset.total_tuples() as u64;
+        xdata_obs::counter("core.rows_emitted", rows);
+        xdata_obs::observe("core.dataset_rows", rows);
     }
     Ok(suite)
 }
@@ -384,6 +398,7 @@ impl<'a> Gen<'a> {
     /// schema, domains and options), so execution order cannot influence
     /// any result — the determinism guarantee rests here.
     fn run_item(&self, item: &PlanItem) -> Result<ItemOutcome, GenError> {
+        let _solve_span = xdata_obs::span_with("generate/solve", || item.label.clone());
         match &item.work {
             Work::Skip(reason) => Ok(ItemOutcome::Skipped(reason.clone())),
             Work::Solve(TargetSpec::Aggregate { a, copies }) => {
@@ -594,8 +609,13 @@ impl<'a> Gen<'a> {
     fn skeleton(&self, copies: u32, cap: u32) -> Result<ConstraintBuilder<'a>, GenError> {
         let mut map = self.skeletons.lock().expect("skeleton lock");
         if let Some(b) = map.get(&(copies, cap)) {
+            // Hit/miss totals are deterministic across thread counts: the
+            // lock is held across build-and-insert, so each (copies, cap)
+            // shape misses exactly once however the targets are scheduled.
+            xdata_obs::counter("core.skeleton_cache.hit", 1);
             return Ok(b.clone());
         }
+        xdata_obs::counter("core.skeleton_cache.miss", 1);
         let mut b =
             ConstraintBuilder::with_repair_cap(self.schema, self.query, self.domains, copies, cap)?;
         b.gen_db_constraints();
@@ -677,6 +697,8 @@ impl<'a> Gen<'a> {
             agg_stats.decisions += stats.decisions;
             agg_stats.conflicts += stats.conflicts;
             agg_stats.theory_relaxations += stats.theory_relaxations;
+            agg_stats.propagations += stats.propagations;
+            agg_stats.unknown_exits += stats.unknown_exits;
             agg_stats.ground_solves += stats.ground_solves;
             agg_stats.instantiations += stats.instantiations;
             agg_stats.ground_atoms = agg_stats.ground_atoms.max(stats.ground_atoms);
@@ -828,6 +850,8 @@ pub fn total_stats(suite: &TestSuite) -> SolverStats {
         t.decisions += d.stats.decisions;
         t.conflicts += d.stats.conflicts;
         t.theory_relaxations += d.stats.theory_relaxations;
+        t.propagations += d.stats.propagations;
+        t.unknown_exits += d.stats.unknown_exits;
         t.ground_solves += d.stats.ground_solves;
         t.instantiations += d.stats.instantiations;
         t.ground_atoms += d.stats.ground_atoms;

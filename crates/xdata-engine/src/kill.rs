@@ -96,10 +96,14 @@ pub fn kill_report_jobs(
     schema: &Schema,
     jobs: usize,
 ) -> Result<KillReport, EngineError> {
-    let originals: Vec<ResultSet> =
-        suite.iter().map(|db| execute_query(q, db, schema)).collect::<Result<_, _>>()?;
+    let _kill_span = xdata_obs::span("kill");
+    let originals: Vec<ResultSet> = {
+        let _orig_span = xdata_obs::span("kill/originals");
+        suite.iter().map(|db| execute_query(q, db, schema)).collect::<Result<_, _>>()?
+    };
     let mutants: Vec<_> = space.iter().collect();
-    let killed_by = xdata_par::try_par_map(jobs, &mutants, |_, m| {
+    let killed_by = xdata_par::try_par_map(jobs, &mutants, |mi, m| {
+        let _shard_span = xdata_obs::span_with("kill/mutant", || format!("#{mi} {}", m.describe(q)));
         for (di, db) in suite.iter().enumerate() {
             let mutated = execute_mutant(q, m, db, schema)?;
             if mutated != originals[di] {
@@ -108,6 +112,21 @@ pub fn kill_report_jobs(
         }
         Ok(None)
     })?;
+    // Per-mutant-class tallies, recorded from the order-preserved verdicts
+    // on the calling thread — deterministic for every `jobs` value.
+    xdata_obs::counter("kill.datasets", suite.len() as u64);
+    xdata_obs::counter("kill.mutants", mutants.len() as u64);
+    for (m, verdict) in mutants.iter().zip(&killed_by) {
+        let (killed_name, survived_name) = match m {
+            Mutant::Join(_) => ("kill.killed.join", "kill.survived.join"),
+            Mutant::Cmp(_) => ("kill.killed.cmp", "kill.survived.cmp"),
+            Mutant::Agg(_) => ("kill.killed.agg", "kill.survived.agg"),
+            Mutant::HavingCmp(_) => ("kill.killed.having_cmp", "kill.survived.having_cmp"),
+            Mutant::HavingAgg(_) => ("kill.killed.having_agg", "kill.survived.having_agg"),
+            Mutant::Distinct(_) => ("kill.killed.distinct", "kill.survived.distinct"),
+        };
+        xdata_obs::counter(if verdict.is_some() { killed_name } else { survived_name }, 1);
+    }
     Ok(KillReport { killed_by, total_mutants: space.len() })
 }
 

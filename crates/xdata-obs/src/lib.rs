@@ -1,0 +1,266 @@
+//! # xdata-obs
+//!
+//! A dependency-free, thread-safe observability layer for the X-Data
+//! pipeline: hierarchical **spans** (monotonic wall-clock timing per
+//! pipeline phase), **counters** and **log2-bucket histograms**, collected
+//! into a [`MetricsReport`] that serializes to stable, sorted JSON.
+//!
+//! ## Global no-op recorder
+//!
+//! Instrumentation sites call [`counter`], [`observe`] and [`span`]
+//! unconditionally. When no recorder is installed (the default) every call
+//! is a single relaxed atomic load and an early return — the uninstrumented
+//! hot path stays at effectively zero overhead, which is what lets the
+//! solver and the parallel kill loop carry permanent instrumentation.
+//! [`install`] switches collection on; [`take_report`] switches it off and
+//! returns everything recorded in between.
+//!
+//! ## Determinism contract
+//!
+//! The pipeline's output is byte-identical across `--jobs 1/2/4/8`, and the
+//! metrics report honours the same rule: every **non-timing** field —
+//! counter values, histogram buckets, span *counts*, the key sets — is a
+//! pure function of the workload, independent of thread count and
+//! scheduling. This holds because
+//!
+//! * counters and histograms are additive (merge order cannot matter), and
+//!   every increment is itself deterministic per solve target / mutant;
+//! * spans are aggregated **by path**, and the *set* of spans entered (one
+//!   per plan item, one per mutant, one per phase) is fixed by the plan,
+//!   not by the schedule.
+//!
+//! Only the `timings_ns` section varies run-to-run; it is emitted as the
+//! final top-level JSON object so [`strip_timings`] can cut it off and the
+//! remainder can be compared byte-for-byte.
+//!
+//! ## Span hierarchy and per-thread buffers
+//!
+//! Span paths are explicit `/`-separated static strings
+//! (`"generate/solve"` is a child of `"generate"`), so parent links survive
+//! crossing the `xdata-par` thread pool — a worker thread opening
+//! `generate/solve` needs no thread-local context from the coordinating
+//! thread. Finished spans accumulate in a per-thread buffer and merge into
+//! the global aggregate when the thread's outermost span closes, keeping
+//! lock traffic at one acquisition per top-level span rather than one per
+//! span.
+//!
+//! With tracing enabled ([`set_trace`]) every span close also prints a
+//! `[xdata-trace]` line to stderr (path, label, duration) — scheduling
+//! order, so *not* deterministic; it is a debugging aid, not an artifact.
+
+mod metrics;
+mod names;
+mod span;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+pub use metrics::{Histogram, MetricsReport, SpanAgg};
+pub use names::{preseed, ALL_COUNTERS, ALL_HISTOGRAMS, PHASE_SPANS};
+pub use span::{span, span_with, SpanGuard};
+
+/// Whether a recorder is installed (collection on).
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Whether span closes additionally print `[xdata-trace]` lines to stderr.
+static TRACE: AtomicBool = AtomicBool::new(false);
+
+pub(crate) static COUNTERS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
+pub(crate) static HISTS: Mutex<BTreeMap<&'static str, Histogram>> = Mutex::new(BTreeMap::new());
+pub(crate) static SPANS: Mutex<BTreeMap<String, SpanAgg>> = Mutex::new(BTreeMap::new());
+
+/// Install a fresh global recorder: clears any previous contents and
+/// enables collection. Call once per run (e.g. when `--metrics-json` or
+/// `--trace` is requested).
+pub fn install() {
+    COUNTERS.lock().expect("obs counters").clear();
+    HISTS.lock().expect("obs hists").clear();
+    SPANS.lock().expect("obs spans").clear();
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Whether collection is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Enable or disable `[xdata-trace]` stderr output on span close.
+/// Independent of [`install`]: tracing works with or without a report.
+pub fn set_trace(on: bool) {
+    TRACE.store(on, Ordering::Release);
+}
+
+/// Whether trace output is enabled.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE.load(Ordering::Relaxed)
+}
+
+/// Disable collection and return everything recorded since [`install`].
+/// Returns `None` when no recorder was installed.
+pub fn take_report() -> Option<MetricsReport> {
+    if !ACTIVE.swap(false, Ordering::AcqRel) {
+        return None;
+    }
+    Some(MetricsReport {
+        counters: std::mem::take(&mut *COUNTERS.lock().expect("obs counters")),
+        histograms: std::mem::take(&mut *HISTS.lock().expect("obs hists")),
+        spans: std::mem::take(&mut *SPANS.lock().expect("obs spans")),
+    })
+}
+
+/// Add `delta` to counter `name` (creating it at 0 first). `delta == 0`
+/// still creates the key — [`preseed`] relies on this to give reports a
+/// stable key set across workloads.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    *COUNTERS.lock().expect("obs counters").entry(name).or_insert(0) += delta;
+}
+
+/// Record `value` into the log2-bucket histogram `name`.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    HISTS.lock().expect("obs hists").entry(name).or_default().record(value);
+}
+
+/// Strip the run-varying `timings_ns` section from a rendered
+/// [`MetricsReport`] JSON document, leaving only the deterministic part.
+/// The writer emits `timings_ns` as the final top-level key precisely so
+/// this is a clean suffix cut; byte-compare the results of two runs to
+/// check metrics determinism.
+pub fn strip_timings(json: &str) -> String {
+    match json.find(",\n  \"timings_ns\"") {
+        Some(i) => format!("{}\n}}\n", &json[..i]),
+        None => json.to_string(),
+    }
+}
+
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests touching the global recorder.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let _l = lock();
+        assert!(take_report().is_none());
+        counter("x", 5);
+        observe("h", 3);
+        {
+            let _s = span("phase");
+        }
+        assert!(take_report().is_none(), "nothing installed, nothing recorded");
+    }
+
+    #[test]
+    fn counters_and_histograms_round_trip() {
+        let _l = lock();
+        install();
+        counter("a.b", 2);
+        counter("a.b", 3);
+        counter("zero.key", 0);
+        observe("h", 0);
+        observe("h", 1);
+        observe("h", 1024);
+        let r = take_report().expect("installed");
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.counter("zero.key"), 0);
+        assert_eq!(r.counter("missing"), 0);
+        let h = &r.histograms["h"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1025);
+        // 0 → bucket 0, 1 → bucket 1, 1024 → bucket 11.
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(11), 1);
+    }
+
+    #[test]
+    fn spans_aggregate_by_path() {
+        let _l = lock();
+        install();
+        {
+            let _outer = span("gen");
+            for _ in 0..3 {
+                let _inner = span("gen/solve");
+            }
+        }
+        let r = take_report().expect("installed");
+        assert_eq!(r.spans["gen"].count, 1);
+        assert_eq!(r.spans["gen/solve"].count, 3);
+        assert!(r.spans["gen"].total_ns >= r.spans["gen/solve"].total_ns);
+    }
+
+    #[test]
+    fn json_is_stable_and_strippable() {
+        let _l = lock();
+        install();
+        counter("b", 1);
+        counter("a", 2);
+        observe("h", 7);
+        {
+            let _s = span("phase");
+        }
+        let r = take_report().expect("installed");
+        let with = r.to_json();
+        let without = strip_timings(&with);
+        assert!(with.contains("\"timings_ns\""));
+        assert!(!without.contains("\"timings_ns\""));
+        // Keys are sorted.
+        assert!(with.find("\"a\"").unwrap() < with.find("\"b\"").unwrap());
+        // Stripped JSON of an identical (re-recorded) run is byte-identical.
+        install();
+        counter("a", 2);
+        counter("b", 1);
+        observe("h", 7);
+        {
+            let _s = span("phase");
+        }
+        let r2 = take_report().expect("installed");
+        assert_eq!(strip_timings(&r.to_json()), strip_timings(&r2.to_json()));
+        assert_eq!(without, r.to_json_stripped());
+    }
+
+    #[test]
+    fn cross_thread_spans_merge() {
+        let _l = lock();
+        install();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _w = span("gen/solve");
+                });
+            }
+        });
+        let r = take_report().expect("installed");
+        assert_eq!(r.spans["gen/solve"].count, 4);
+    }
+
+    #[test]
+    fn preseed_creates_stable_key_set() {
+        let _l = lock();
+        install();
+        preseed();
+        let r = take_report().expect("installed");
+        for name in ALL_COUNTERS {
+            assert_eq!(r.counter(name), 0, "{name}");
+        }
+        for path in PHASE_SPANS {
+            assert_eq!(r.spans[*path].count, 0, "{path}");
+        }
+    }
+}

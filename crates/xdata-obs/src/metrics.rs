@@ -1,0 +1,203 @@
+//! Metric data structures and the stable-JSON report writer.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Power-of-two bucketed histogram: value `v` lands in bucket
+/// `floor(log2(v)) + 1` (bucket 0 holds zeros), so bucket `b > 0` covers
+/// `[2^(b-1), 2^b)`. 65 buckets cover the full `u64` range.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    buckets: BTreeMap<u8, u64>,
+}
+
+impl Histogram {
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> u8 {
+        (64 - value.leading_zeros()) as u8
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        *self.buckets.entry(Self::bucket_index(value)).or_insert(0) += 1;
+    }
+
+    /// Count in bucket `b` (0 if empty).
+    pub fn bucket(&self, b: u8) -> u64 {
+        self.buckets.get(&b).copied().unwrap_or(0)
+    }
+
+    /// Non-empty `(bucket, count)` pairs in ascending bucket order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u8, u64)> + '_ {
+        self.buckets.iter().map(|(b, c)| (*b, *c))
+    }
+}
+
+/// Aggregate of every span entered under one path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Times the span was entered — deterministic (plan-shaped).
+    pub count: u64,
+    /// Total / fastest / slowest wall-clock duration in nanoseconds.
+    /// Timing-only: excluded from the deterministic report section.
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl SpanAgg {
+    pub(crate) fn merge_one(&mut self, dur_ns: u64) {
+        if self.count == 0 {
+            self.min_ns = dur_ns;
+            self.max_ns = dur_ns;
+        } else {
+            self.min_ns = self.min_ns.min(dur_ns);
+            self.max_ns = self.max_ns.max(dur_ns);
+        }
+        self.count += 1;
+        self.total_ns += dur_ns;
+    }
+}
+
+/// Everything one recorded run produced. Obtained from
+/// [`crate::take_report`]; serialize with [`MetricsReport::to_json`].
+///
+/// ## JSON schema (version 1)
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "counters":   { "<name>": <u64>, ... },
+///   "histograms": { "<name>": { "count": <u64>, "sum": <u64>,
+///                               "buckets": [[<bucket>, <count>], ...] }, ... },
+///   "spans":      { "<path>": { "count": <u64> }, ... },
+///   "timings_ns": { "<path>": { "total": <u64>, "min": <u64>, "max": <u64> }, ... }
+/// }
+/// ```
+///
+/// All maps are key-sorted and `timings_ns` — the only section whose values
+/// vary run-to-run — is last, so [`crate::strip_timings`] reduces the
+/// document to its deterministic part.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    pub spans: BTreeMap<String, SpanAgg>,
+}
+
+impl MetricsReport {
+    /// Value of counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render the full report, timings included.
+    pub fn to_json(&self) -> String {
+        self.render(true)
+    }
+
+    /// Render only the deterministic part (no `timings_ns` section) —
+    /// byte-identical across thread counts for the same workload.
+    pub fn to_json_stripped(&self) -> String {
+        self.render(false)
+    }
+
+    fn render(&self, timings: bool) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema_version\": 1,\n");
+        s.push_str("  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            sep(&mut s, &mut first);
+            let _ = write!(s, "    \"{k}\": {v}");
+        }
+        close(&mut s, first);
+        s.push_str(",\n  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            sep(&mut s, &mut first);
+            let buckets: Vec<String> =
+                h.buckets().map(|(b, c)| format!("[{b}, {c}]")).collect();
+            let _ = write!(
+                s,
+                "    \"{k}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            );
+        }
+        close(&mut s, first);
+        s.push_str(",\n  \"spans\": {");
+        first = true;
+        for (k, a) in &self.spans {
+            sep(&mut s, &mut first);
+            let _ = write!(s, "    \"{k}\": {{\"count\": {}}}", a.count);
+        }
+        close(&mut s, first);
+        if timings {
+            s.push_str(",\n  \"timings_ns\": {");
+            first = true;
+            for (k, a) in &self.spans {
+                sep(&mut s, &mut first);
+                let _ = write!(
+                    s,
+                    "    \"{k}\": {{\"total\": {}, \"min\": {}, \"max\": {}}}",
+                    a.total_ns, a.min_ns, a.max_ns
+                );
+            }
+            close(&mut s, first);
+        }
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+fn sep(s: &mut String, first: &mut bool) {
+    s.push_str(if *first { "\n" } else { ",\n" });
+    *first = false;
+}
+
+fn close(s: &mut String, empty: bool) {
+    s.push_str(if empty { "}" } else { "\n  }" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn span_agg_tracks_min_max() {
+        let mut a = SpanAgg::default();
+        a.merge_one(10);
+        a.merge_one(3);
+        a.merge_one(20);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.total_ns, 33);
+        assert_eq!(a.min_ns, 3);
+        assert_eq!(a.max_ns, 20);
+    }
+
+    #[test]
+    fn empty_report_renders_valid_shape() {
+        let r = MetricsReport::default();
+        let j = r.to_json();
+        assert!(j.contains("\"counters\": {}"));
+        assert!(j.contains("\"timings_ns\": {}"));
+        assert_eq!(crate::strip_timings(&j), r.to_json_stripped());
+    }
+}

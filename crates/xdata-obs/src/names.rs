@@ -1,0 +1,67 @@
+//! Canonical metric names used by the X-Data pipeline.
+//!
+//! Instrumentation sites reference these literals directly (the recorder
+//! keys on `&'static str`); this module is the registry that keeps the
+//! report's key set stable: [`preseed`] zero-initializes every canonical
+//! counter, histogram and phase span so a `generate`-only run still emits
+//! the `kill.*` keys (at zero) and vice versa — consumers can rely on the
+//! schema without probing for key existence.
+
+/// Every canonical counter, sorted. Solver counters are recorded inside
+/// `xdata-solver` (per ground solve), `core.*` by `xdata-core::generate`,
+/// `kill.*` by `xdata-engine::kill_report_jobs`.
+pub const ALL_COUNTERS: &[&str] = &[
+    "core.rows_emitted",
+    "core.skeleton_cache.hit",
+    "core.skeleton_cache.miss",
+    "core.targets.planned",
+    "core.targets.skipped",
+    "core.targets.solved",
+    "kill.datasets",
+    "kill.killed.agg",
+    "kill.killed.cmp",
+    "kill.killed.distinct",
+    "kill.killed.having_agg",
+    "kill.killed.having_cmp",
+    "kill.killed.join",
+    "kill.mutants",
+    "kill.survived.agg",
+    "kill.survived.cmp",
+    "kill.survived.distinct",
+    "kill.survived.having_agg",
+    "kill.survived.having_cmp",
+    "kill.survived.join",
+    "solver.conflicts",
+    "solver.decisions",
+    "solver.ground_solves",
+    "solver.instantiations",
+    "solver.propagations",
+    "solver.theory_relaxations",
+    "solver.unfold_expansions",
+    "solver.unknown_exits",
+];
+
+/// Every canonical histogram.
+pub const ALL_HISTOGRAMS: &[&str] = &["core.dataset_rows", "solver.ground_atoms"];
+
+/// Every canonical span path (the pipeline phases).
+pub const PHASE_SPANS: &[&str] =
+    &["generate", "generate/plan", "generate/solve", "kill", "kill/mutant", "kill/originals"];
+
+/// Zero-initialize every canonical key. Call right after [`crate::install`]
+/// when a stable report schema matters (the CLI does); without it the
+/// report contains only the keys the run actually touched.
+pub fn preseed() {
+    for &name in ALL_COUNTERS {
+        crate::counter(name, 0);
+    }
+    if crate::enabled() {
+        let mut hists = crate::HISTS.lock().expect("obs hists");
+        for &name in ALL_HISTOGRAMS {
+            hists.entry(name).or_default();
+        }
+    }
+    for path in PHASE_SPANS {
+        crate::span::preseed_span(path);
+    }
+}

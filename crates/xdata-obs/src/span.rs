@@ -1,0 +1,103 @@
+//! Span guards, the thread-local span buffer, and trace output.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = const { RefCell::new(LocalBuf { depth: 0, done: Vec::new() }) };
+}
+
+/// Per-thread buffer of finished spans. Merged into the global aggregate
+/// when the thread's outermost span closes, so nested spans (one per solve
+/// target, say) cost a `Vec::push`, not a lock acquisition.
+struct LocalBuf {
+    depth: u32,
+    done: Vec<(&'static str, u64)>,
+}
+
+/// Open a span at `path`. Paths are explicit `/`-separated hierarchies
+/// (`"generate/solve"` is a child of `"generate"`) so parenthood survives
+/// crossing thread-pool boundaries without thread-local context. The span
+/// closes — and records its duration — when the guard drops.
+#[inline]
+pub fn span(path: &'static str) -> SpanGuard {
+    span_with(path, String::new)
+}
+
+/// [`span`] with a lazily-built label for trace output (e.g. the solve
+/// target's description). The closure runs only when tracing is on, so the
+/// label costs nothing otherwise; the label never enters the metrics
+/// report (labels are per-item, the report aggregates per path).
+#[inline]
+pub fn span_with(path: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
+    let tracing = crate::trace_enabled();
+    if !crate::enabled() && !tracing {
+        return SpanGuard { path, start: None, label: String::new() };
+    }
+    LOCAL.with(|l| l.borrow_mut().depth += 1);
+    SpanGuard {
+        path,
+        start: Some(Instant::now()),
+        label: if tracing { label() } else { String::new() },
+    }
+}
+
+/// An open span; closes when dropped.
+pub struct SpanGuard {
+    path: &'static str,
+    /// `None` when the span was opened with recording and tracing both off
+    /// (fully inert guard).
+    start: Option<Instant>,
+    label: String,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        if crate::trace_enabled() {
+            let label = if self.label.is_empty() {
+                String::new()
+            } else {
+                format!(" — {}", self.label)
+            };
+            eprintln!(
+                "[xdata-trace] {} {:.3}ms{label}",
+                self.path,
+                dur_ns as f64 / 1e6
+            );
+        }
+        LOCAL.with(|l| {
+            let mut buf = l.borrow_mut();
+            buf.done.push((self.path, dur_ns));
+            buf.depth = buf.depth.saturating_sub(1);
+            if buf.depth == 0 {
+                let done = std::mem::take(&mut buf.done);
+                drop(buf);
+                flush(done);
+            }
+        });
+    }
+}
+
+/// Merge a thread's finished spans into the global aggregate. A no-op when
+/// the recorder was uninstalled while the spans were open (their timings
+/// would belong to a run that already took its report).
+fn flush(done: Vec<(&'static str, u64)>) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut spans = crate::SPANS.lock().expect("obs spans");
+    for (path, dur_ns) in done {
+        spans.entry(path.to_string()).or_default().merge_one(dur_ns);
+    }
+}
+
+/// Pre-register span `path` with a zero count, giving reports a stable key
+/// set whether or not the phase ran.
+pub(crate) fn preseed_span(path: &str) {
+    if !crate::enabled() {
+        return;
+    }
+    crate::SPANS.lock().expect("obs spans").entry(path.to_string()).or_default();
+}

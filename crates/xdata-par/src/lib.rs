@@ -20,7 +20,9 @@
 //! scheduling order can leak into the result vector.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Resolve a `--jobs`-style request: `0` means "one worker per available
 /// hardware thread", anything else is taken literally (and clamped to at
@@ -54,17 +56,37 @@ where
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
     let cursor = AtomicUsize::new(0);
+    // A panic in `f` is caught at the item, recorded with its index, and
+    // re-raised on the caller's thread with the payload *and* the input
+    // position — instead of the bare "a scoped thread panicked" join error
+    // that loses both. The lowest panicking index wins so the report is
+    // deterministic even when several items panic.
+    let poisoned = AtomicBool::new(false);
+    let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
     let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 s.spawn(|| {
                     let mut out = Vec::new();
                     loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        out.push((i, f(i, &items[i])));
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                            Ok(r) => out.push((i, r)),
+                            Err(payload) => {
+                                let mut slot = first_panic.lock().expect("panic slot");
+                                if slot.as_ref().map(|(j, _)| i < *j).unwrap_or(true) {
+                                    *slot = Some((i, payload));
+                                }
+                                poisoned.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
                     }
                     out
                 })
@@ -72,6 +94,14 @@ where
             .collect();
         handles.into_iter().map(|h| h.join().expect("par_map worker panicked")).collect()
     });
+    if let Some((i, payload)) = first_panic.into_inner().expect("panic slot") {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        panic!("par_map worker panicked on item {i}: {msg}");
+    }
     // Scatter back into input order. Every index appears exactly once
     // (the cursor hands each out once), so all slots fill.
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
@@ -185,6 +215,44 @@ mod tests {
         par_map(2, &items, |_, &x| {
             if x == 3 {
                 panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "par_map worker panicked on item 2: boom at 3")]
+    fn worker_panic_reports_item_index_and_payload() {
+        let items = vec![1u32, 2, 3, 4];
+        par_map(2, &items, |_, &x| {
+            if x == 3 {
+                panic!("boom at {x}");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn worker_panic_lowest_index_wins() {
+        // Every item panics; whatever interleaving the pool takes, some
+        // panic is always observed and the surfaced index is in range.
+        let items: Vec<u32> = (0..32).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(4, &items, |_, &x| -> u32 { panic!("all fail {x}") })
+        }));
+        let payload = r.expect_err("must panic");
+        let msg = payload.downcast_ref::<String>().expect("formatted message");
+        assert!(msg.starts_with("par_map worker panicked on item "), "{msg}");
+        assert!(msg.contains("all fail"), "payload text lost: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "<non-string panic payload>")]
+    fn worker_panic_non_string_payload_still_reports_index() {
+        let items = vec![1u32, 2];
+        par_map(2, &items, |_, &x| {
+            if x == 2 {
+                std::panic::panic_any(42i32);
             }
             x
         });

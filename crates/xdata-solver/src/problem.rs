@@ -71,6 +71,11 @@ pub struct SolverStats {
     pub decisions: u64,
     pub conflicts: u64,
     pub theory_relaxations: u64,
+    /// Unit propagations (forced decisions) across all ground solves.
+    pub propagations: u64,
+    /// Ground solves that exhausted their decision budget and returned
+    /// `Unknown`.
+    pub unknown_exits: u64,
     /// Ground sub-solves (1 in `Unfold` mode, ≥1 in `Lazy`).
     pub ground_solves: u64,
     /// Quantifier instances added by lazy instantiation.
@@ -174,10 +179,14 @@ impl Problem {
         let nf = Formula::and(self.constraints.iter().map(to_nnf));
         let ground = unfold(&nf, vars);
         let mut stats = SolverStats { ground_solves: 1, ground_atoms: ground.atom_count(), ..SolverStats::default() };
+        xdata_obs::counter("solver.ground_solves", 1);
+        xdata_obs::observe("solver.ground_atoms", stats.ground_atoms as u64);
         let (res, s) = solve_ground_with_limit(&ground, vars, limit.saturating_sub(stats.decisions));
         stats.decisions = s.decisions;
         stats.conflicts = s.conflicts;
         stats.theory_relaxations = s.theory_relaxations;
+        stats.propagations = s.propagations;
+        stats.unknown_exits = s.unknown_exits;
         (
             match res {
                 GroundResult::Sat(values) => {
@@ -212,10 +221,14 @@ impl Problem {
             stats.ground_solves += 1;
             let ground = Formula::and(working.iter().cloned());
             stats.ground_atoms = ground.atom_count();
+            xdata_obs::counter("solver.ground_solves", 1);
+            xdata_obs::observe("solver.ground_atoms", stats.ground_atoms as u64);
             let (res, s) = solve_ground_with_limit(&ground, vars, limit.saturating_sub(stats.decisions));
             stats.decisions += s.decisions;
             stats.conflicts += s.conflicts;
             stats.theory_relaxations += s.theory_relaxations;
+            stats.propagations += s.propagations;
+            stats.unknown_exits += s.unknown_exits;
             let model = match res {
                 GroundResult::Unsat => return (SolveOutcome::Unsat, stats),
                 GroundResult::Unknown => return (SolveOutcome::Unknown, stats),
@@ -227,6 +240,7 @@ impl Problem {
             // what makes the "without unfolding" configuration pay a
             // ground-solve per instance (§VI-B's observed slowdown).
             let mut progressed = false;
+            let round_inst_start = stats.instantiations;
             let mut additions: Vec<Formula> = Vec::new();
             let mut new_pending: Vec<Formula> = Vec::new();
             for p in pending.iter_mut().filter(|p| !p.absorbed) {
@@ -271,6 +285,7 @@ impl Problem {
             if !progressed {
                 return (SolveOutcome::Sat(Model { values: model, vars: vars.clone() }), stats);
             }
+            xdata_obs::counter("solver.instantiations", stats.instantiations - round_inst_start);
             working.extend(additions);
             pending.extend(new_pending.into_iter().map(|f| Pending {
                 formula: f,

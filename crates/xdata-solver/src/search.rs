@@ -103,6 +103,13 @@ pub struct SearchStats {
     pub decisions: u64,
     pub conflicts: u64,
     pub theory_relaxations: u64,
+    /// Unit propagations: decisions that were *forced* (the atom sat under
+    /// conjunctions and single-live-child disjunctions only, so its false
+    /// branches were never explored). A subset of `decisions`.
+    pub propagations: u64,
+    /// 1 when this call exhausted its decision budget and returned
+    /// [`GroundResult::Unknown`], 0 otherwise — summable across calls.
+    pub unknown_exits: u64,
 }
 
 /// Result of the ground search.
@@ -220,6 +227,7 @@ impl<'a> Searcher<'a> {
                 }
                 let mut branches = pick.branches(self.th.zero());
                 if score == 1 {
+                    self.stats.propagations += 1;
                     // The atom sits under conjunctions and forced (single
                     // live child) disjunctions only: it must be true here,
                     // so never explore its false branches. This is unit
@@ -277,6 +285,17 @@ pub fn solve_ground_with_limit(
         None => GroundResult::Unsat,
     };
     s.stats.theory_relaxations = s.th.relaxations;
+    if matches!(result, GroundResult::Unknown) {
+        s.stats.unknown_exits = 1;
+    }
+    // Wire the stats into the global recorder (a no-op unless a metrics
+    // sink is installed). Recorded once per ground solve, not per decision,
+    // so the instrumented hot path stays hot.
+    xdata_obs::counter("solver.decisions", s.stats.decisions);
+    xdata_obs::counter("solver.conflicts", s.stats.conflicts);
+    xdata_obs::counter("solver.propagations", s.stats.propagations);
+    xdata_obs::counter("solver.theory_relaxations", s.stats.theory_relaxations);
+    xdata_obs::counter("solver.unknown_exits", s.stats.unknown_exits);
     (result, s.stats)
 }
 
@@ -428,6 +447,45 @@ mod tests {
         ]);
         let m = check_sat(&f, &vt);
         assert!(m[0] <= 3);
+    }
+
+    #[test]
+    fn decision_limit_counts_unknown_exit() {
+        let vt = vars(1);
+        // Two genuine choice points guarantee the budget of 1 runs out.
+        let f = Formula::and([
+            Formula::or([
+                Formula::atom(fld(0, 0), RelOp::Eq, Term::Const(1)),
+                Formula::atom(fld(0, 0), RelOp::Eq, Term::Const(7)),
+            ]),
+            Formula::or([
+                Formula::atom(fld(0, 1), RelOp::Eq, Term::Const(2)),
+                Formula::atom(fld(0, 1), RelOp::Eq, Term::Const(9)),
+            ]),
+        ]);
+        let (res, stats) = solve_ground_with_limit(&to_nnf(&f), &vt, 1);
+        assert!(matches!(res, GroundResult::Unknown), "budget of 1 must exhaust");
+        assert_eq!(stats.unknown_exits, 1, "{stats:?}");
+        assert!(stats.decisions <= 1, "{stats:?}");
+        // With a real budget the same formula solves, and the counter
+        // stays at zero.
+        let (res, stats) = solve_ground_with_limit(&to_nnf(&f), &vt, 1_000);
+        assert!(matches!(res, GroundResult::Sat(_)));
+        assert_eq!(stats.unknown_exits, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn unit_picks_counted_as_propagations() {
+        let vt = vars(1);
+        // A pure conjunction: every decision is forced (score 1).
+        let f = Formula::and([
+            Formula::atom(fld(0, 0), RelOp::Ge, Term::Const(3)),
+            Formula::atom(fld(0, 1), RelOp::Eq, fld(0, 0).plus(1)),
+        ]);
+        let (res, stats) = solve_ground(&to_nnf(&f), &vt);
+        assert!(matches!(res, GroundResult::Sat(_)));
+        assert!(stats.propagations >= 2, "{stats:?}");
+        assert!(stats.propagations <= stats.decisions, "{stats:?}");
     }
 
     #[test]

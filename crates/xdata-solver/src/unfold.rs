@@ -12,20 +12,33 @@ use crate::ids::VarTable;
 /// Replace every quantifier in `f` by its finite expansion over the array
 /// lengths recorded in `vars`. The result is ground (quantifier-free).
 pub fn unfold(f: &Formula, vars: &VarTable) -> Formula {
+    let mut expansions = 0u64;
+    let g = unfold_counting(f, vars, &mut expansions);
+    if expansions > 0 {
+        // One count per quantifier node expanded (nested quantifiers count
+        // once per instantiated copy); no-op without a metrics sink.
+        xdata_obs::counter("solver.unfold_expansions", expansions);
+    }
+    g
+}
+
+fn unfold_counting(f: &Formula, vars: &VarTable, expansions: &mut u64) -> Formula {
     match f {
         Formula::True => Formula::True,
         Formula::False => Formula::False,
         Formula::Atom(a) => Formula::Atom(*a),
-        Formula::And(xs) => Formula::and(xs.iter().map(|x| unfold(x, vars))),
-        Formula::Or(xs) => Formula::or(xs.iter().map(|x| unfold(x, vars))),
-        Formula::Not(x) => Formula::not(unfold(x, vars)),
+        Formula::And(xs) => Formula::and(xs.iter().map(|x| unfold_counting(x, vars, expansions))),
+        Formula::Or(xs) => Formula::or(xs.iter().map(|x| unfold_counting(x, vars, expansions))),
+        Formula::Not(x) => Formula::not(unfold_counting(x, vars, expansions)),
         Formula::Forall { qv, array, body } => {
             let len = vars.spec(*array).len;
-            Formula::and((0..len).map(|i| unfold(&body.subst(*qv, i), vars)))
+            *expansions += 1;
+            Formula::and((0..len).map(|i| unfold_counting(&body.subst(*qv, i), vars, expansions)))
         }
         Formula::Exists { qv, array, body } => {
             let len = vars.spec(*array).len;
-            Formula::or((0..len).map(|i| unfold(&body.subst(*qv, i), vars)))
+            *expansions += 1;
+            Formula::or((0..len).map(|i| unfold_counting(&body.subst(*qv, i), vars, expansions)))
         }
     }
 }

@@ -1,0 +1,16 @@
+-- The paper's running example schema (§II, Figure 1 flavor): a cut of the
+-- University schema with the instructor–teaches foreign key. Used by the
+-- README examples and the CI metrics-schema gate.
+CREATE TABLE instructor (
+    id INT PRIMARY KEY,
+    name VARCHAR,
+    dept_id INT,
+    salary INT
+);
+CREATE TABLE teaches (
+    id INT,
+    course_id INT,
+    sec_id INT,
+    year INT,
+    FOREIGN KEY (id) REFERENCES instructor (id)
+);

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
-# Offline CI gate: build, test, lint. No network access required — the
-# workspace has zero external dependencies by design.
+# Offline CI gate: build, test, lint, metrics schema. No network access
+# required — the workspace has zero external dependencies by design.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -8,3 +8,33 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Metrics-schema gate: the library-level tests assert every canonical
+# counter/histogram/span key is present and that the timing-stripped
+# report is byte-identical across --jobs values.
+cargo test -q --offline --test metrics_schema
+
+# End-to-end check of the CLI surface on the paper's running example:
+# generate with --metrics-json under two thread counts, require the
+# canonical keys, and require the timing-stripped reports identical.
+Q='SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50000'
+M1=$(mktemp) && M4=$(mktemp)
+trap 'rm -f "$M1" "$M4"' EXIT
+./target/release/xdata generate --schema examples/university.sql \
+    --query "$Q" --jobs 1 --metrics-json "$M1" > /dev/null
+./target/release/xdata generate --schema examples/university.sql \
+    --query "$Q" --jobs 4 --metrics-json "$M4" > /dev/null
+for key in solver.decisions solver.conflicts solver.propagations \
+    solver.theory_relaxations solver.unknown_exits \
+    core.skeleton_cache.hit core.skeleton_cache.miss \
+    kill.killed.join timings_ns; do
+    grep -q "\"$key\"" "$M1" || { echo "ci: metrics key $key missing" >&2; exit 1; }
+done
+# Strip the trailing timings_ns section (always the last top-level key)
+# and byte-compare.
+strip_timings() { sed -n '1,/"timings_ns"/p' "$1" | sed '$d'; }
+if [ "$(strip_timings "$M1")" != "$(strip_timings "$M4")" ]; then
+    echo "ci: timing-stripped metrics differ between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+echo "ci: metrics schema + determinism OK"

@@ -17,6 +17,10 @@
 //!   --use-input-db    restrict generated tuples to the script's INSERTs
 //!   --minimize        prune datasets that add no kills (greedy set cover)
 //!   --no-full-outer   exclude mutations to FULL OUTER JOIN (paper's eval)
+//!   --metrics-json F  write a metrics report (spans, counters, histograms)
+//!                     to F; everything except the timings_ns section is
+//!                     byte-identical across --jobs values
+//!   --trace           print [xdata-trace] span-close lines to stderr
 //! ```
 
 use std::process::ExitCode;
@@ -38,6 +42,8 @@ struct Args {
     use_input_db: bool,
     minimize: bool,
     include_full: bool,
+    metrics_json: Option<String>,
+    trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
         use_input_db: false,
         minimize: false,
         include_full: true,
+        metrics_json: None,
+        trace: false,
     };
     let mut it = std::env::args().skip(1);
     args.command = it.next().ok_or("missing command (generate|evaluate|mutants)")?;
@@ -79,6 +87,10 @@ fn parse_args() -> Result<Args, String> {
             "--use-input-db" => args.use_input_db = true,
             "--minimize" => args.minimize = true,
             "--no-full-outer" => args.include_full = false,
+            "--metrics-json" => {
+                args.metrics_json = Some(it.next().ok_or("--metrics-json needs a file")?)
+            }
+            "--trace" => args.trace = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -87,6 +99,26 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if args.metrics_json.is_some() {
+        // Install the global recorder with the full canonical key set, so
+        // the report schema is identical whatever phases the command runs.
+        xdata_obs::install();
+        xdata_obs::preseed();
+    }
+    if args.trace {
+        xdata_obs::set_trace(true);
+    }
+    let result = dispatch(&args);
+    if let Some(path) = &args.metrics_json {
+        if let Some(report) = xdata_obs::take_report() {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
+    result
+}
+
+fn dispatch(args: &Args) -> Result<(), String> {
     let schema_path = args.schema_path.as_deref().ok_or("--schema is required")?;
     let script = std::fs::read_to_string(schema_path)
         .map_err(|e| format!("reading {schema_path}: {e}"))?;

@@ -31,13 +31,16 @@
 //! * [`relalg`] — normalization, equivalence classes, the mutation space;
 //! * [`solver`] — the constraint solver (the paper used CVC3);
 //! * [`engine`] — the executor used to check which mutants a dataset kills;
-//! * [`core`] — the generation algorithms themselves.
+//! * [`core`] — the generation algorithms themselves;
+//! * [`obs`] — the zero-dependency tracing/metrics layer over the
+//!   plan→solve→kill pipeline (`--metrics-json`, `--trace`).
 
 use std::fmt;
 
 pub use xdata_catalog as catalog;
 pub use xdata_core as core;
 pub use xdata_engine as engine;
+pub use xdata_obs as obs;
 pub use xdata_relalg as relalg;
 pub use xdata_solver as solver;
 pub use xdata_sql as sql;

@@ -1,0 +1,175 @@
+//! Integration tests for the `xdata` binary: argument parsing, error
+//! reporting, and the `--metrics-json`/`--trace` observability flags.
+//!
+//! Each test spawns the compiled binary (`CARGO_BIN_EXE_xdata`), so the
+//! global metrics recorder is per-process and the tests are independent.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SCHEMA: &str = "examples/university.sql";
+const QUERY: &str = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50000";
+
+fn xdata(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xdata"))
+        .args(args)
+        .output()
+        .expect("spawn xdata binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("xdata-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn missing_command_is_an_error() {
+    let out = xdata(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("missing command"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_command_is_an_error() {
+    let out = xdata(&["frobnicate", "--schema", SCHEMA, "--query", QUERY]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_option_is_an_error() {
+    let out = xdata(&["generate", "--schema", SCHEMA, "--query", QUERY, "--frob"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown option"), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_schema_is_an_error() {
+    let out = xdata(&["generate", "--query", QUERY]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--schema is required"), "{}", stderr(&out));
+}
+
+#[test]
+fn jobs_rejects_garbage() {
+    for bad in ["three", "-1", "2.5", ""] {
+        let out = xdata(&["generate", "--schema", SCHEMA, "--query", QUERY, "--jobs", bad]);
+        assert!(!out.status.success(), "--jobs {bad:?} must be rejected");
+        assert!(stderr(&out).contains("--jobs"), "{}", stderr(&out));
+    }
+}
+
+#[test]
+fn jobs_without_value_is_an_error() {
+    let out = xdata(&["generate", "--schema", SCHEMA, "--query", QUERY, "--jobs"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--jobs needs a thread count"), "{}", stderr(&out));
+}
+
+#[test]
+fn jobs_zero_means_auto_and_succeeds() {
+    // `0` is documented as "one worker per core", not an error; the output
+    // must equal the sequential run's byte-for-byte.
+    let auto = xdata(&["generate", "--schema", SCHEMA, "--query", QUERY, "--jobs", "0"]);
+    assert!(auto.status.success(), "{}", stderr(&auto));
+    let seq = xdata(&["generate", "--schema", SCHEMA, "--query", QUERY, "--jobs", "1"]);
+    assert_eq!(auto.stdout, seq.stdout);
+}
+
+#[test]
+fn metrics_json_without_value_is_an_error() {
+    let out = xdata(&["generate", "--schema", SCHEMA, "--query", QUERY, "--metrics-json"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--metrics-json needs a file"), "{}", stderr(&out));
+}
+
+#[test]
+fn metrics_json_writes_schema_keys() {
+    let path = tmp_path("metrics.json");
+    let out = xdata(&[
+        "generate",
+        "--schema",
+        SCHEMA,
+        "--query",
+        QUERY,
+        "--metrics-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = std::fs::read_to_string(&path).expect("metrics file written");
+    std::fs::remove_file(&path).ok();
+    // The preseeded canonical schema: solver counters, cache counters,
+    // per-class kill tallies and the three phases are all present even
+    // though `generate` never runs the kill phase.
+    for key in xdata::obs::ALL_COUNTERS {
+        assert!(json.contains(&format!("\"{key}\"")), "missing counter {key}");
+    }
+    for key in ["\"generate/plan\"", "\"generate/solve\"", "\"kill\"", "\"timings_ns\""] {
+        assert!(json.contains(key), "missing {key}");
+    }
+}
+
+#[test]
+fn metrics_json_identical_across_jobs_except_timings() {
+    let mut stripped = Vec::new();
+    for jobs in ["1", "4"] {
+        let path = tmp_path(&format!("metrics-j{jobs}.json"));
+        let out = xdata(&[
+            "generate",
+            "--schema",
+            SCHEMA,
+            "--query",
+            QUERY,
+            "--jobs",
+            jobs,
+            "--metrics-json",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        let json = std::fs::read_to_string(&path).expect("metrics file written");
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("\"timings_ns\""));
+        stripped.push(xdata::obs::strip_timings(&json));
+    }
+    assert_eq!(stripped[0], stripped[1], "timing-stripped metrics must not depend on --jobs");
+    assert!(!stripped[0].contains("timings_ns"));
+}
+
+#[test]
+fn trace_prints_span_lines_to_stderr() {
+    let out = xdata(&["generate", "--schema", SCHEMA, "--query", QUERY, "--trace"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("[xdata-trace] generate/solve"), "{err}");
+    assert!(err.contains("[xdata-trace] generate "), "{err}");
+    // Labels ride along on solve spans.
+    assert!(err.contains("original query"), "{err}");
+}
+
+#[test]
+fn evaluate_metrics_include_kill_phase() {
+    let path = tmp_path("metrics-eval.json");
+    let out = xdata(&[
+        "evaluate",
+        "--schema",
+        SCHEMA,
+        "--query",
+        QUERY,
+        "--jobs",
+        "2",
+        "--metrics-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = std::fs::read_to_string(&path).expect("metrics file written");
+    std::fs::remove_file(&path).ok();
+    // The kill phase ran: the span count and at least one kill tally are
+    // non-zero.
+    assert!(json.contains("\"kill\": {\"count\": 1}"), "{json}");
+    assert!(!json.contains("\"kill.mutants\": 0,"), "{json}");
+}
