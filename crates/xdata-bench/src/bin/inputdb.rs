@@ -28,7 +28,7 @@ fn main() {
     // Reference point: synthetic generation, no input database.
     {
         let domains = DomainCatalog::defaults(&schema);
-        let opts = GenOptions { mode: Mode::Unfold, input_db: None, compare_attr_pairs: true, jobs: 1 };
+        let opts = GenOptions { mode: Mode::Unfold, input_db: None, compare_attr_pairs: true, jobs: 1, ..GenOptions::default() };
         let t = Instant::now();
         let suite = generate(&q, &schema, &domains, &opts).unwrap();
         println!(
@@ -47,6 +47,7 @@ fn main() {
             input_db: Some(input),
             compare_attr_pairs: true,
             jobs: 1,
+            ..GenOptions::default()
         };
         let t = Instant::now();
         let suite = generate(&q, &schema, &domains, &opts).unwrap();

@@ -1,0 +1,219 @@
+//! CDCL vs DPLL ground-core comparison over the Table I workload.
+//!
+//! Runs suite generation for each Table I chain query (2..=6 relations,
+//! all relevant FKs) plus a selection-augmented chain under both search
+//! cores, records per-core wall time, the `generate/solve` span total and
+//! the solver counters (learned clauses, restarts, backjumps, solve-memo
+//! hits), verifies the two cores agree on every verdict, and writes
+//! `results/BENCH_solver.json`.
+//!
+//! ```sh
+//! cargo run -p xdata-bench --release --bin solver_sweep
+//! ```
+
+use xdata_bench::{chain_schema, chain_sql, median_time, relevant_fk_count};
+use xdata_catalog::DomainCatalog;
+use xdata_core::{generate, GenOptions};
+use xdata_relalg::normalize;
+use xdata_solver::SearchCore;
+use xdata_sql::parse_query;
+
+const CORES: [SearchCore; 2] = [SearchCore::Dpll, SearchCore::Cdcl];
+
+/// Everything measured for one (query, core) cell.
+#[derive(Default, Clone)]
+struct Cell {
+    gen_ms: f64,
+    solve_span_ms: f64,
+    decisions: u64,
+    conflicts: u64,
+    propagations: u64,
+    learned_clauses: u64,
+    restarts: u64,
+    backjumped_levels: u64,
+    memo_hit: u64,
+    memo_miss: u64,
+    unknown_exits: u64,
+}
+
+struct Row {
+    name: String,
+    datasets: usize,
+    skipped: usize,
+    cells: [Cell; CORES.len()],
+}
+
+fn core_name(c: SearchCore) -> &'static str {
+    match c {
+        SearchCore::Dpll => "dpll",
+        SearchCore::Cdcl => "cdcl",
+    }
+}
+
+fn main() {
+    let max_rels: usize = std::env::var("XDATA_MAX_RELS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+
+    // Table I chains plus one selection-augmented chain: the added
+    // constant comparison brings comparison-operator targets (and with
+    // them the `=`/`<`/`>` datasets whose `>` case exercises the solve
+    // memo against the original-query target).
+    let mut workloads: Vec<(String, String, xdata_catalog::Schema)> = Vec::new();
+    for k in 2..=max_rels {
+        let fks = relevant_fk_count(k);
+        workloads.push((
+            format!("chain-{}join-{}fk", k - 1, fks),
+            chain_sql(k),
+            chain_schema(k, fks),
+        ));
+    }
+    {
+        let k = 3;
+        let fks = relevant_fk_count(k);
+        let sql = chain_sql(k).replace(
+            "WHERE",
+            "WHERE instructor.salary > 50000 AND",
+        );
+        workloads.push((format!("chain-{}join-sel", k - 1), sql, chain_schema(k, fks)));
+    }
+
+    println!("solver core sweep (DPLL baseline vs CDCL) over {} workloads", workloads.len());
+    println!(
+        "{:>18} {:>5} | {:>10} {:>10} | {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8}",
+        "query", "core", "gen ms", "solve ms", "decisions", "conflicts", "learned", "restarts",
+        "memo.hit", "unknown",
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, sql, schema) in &workloads {
+        let q = normalize(&parse_query(sql).unwrap(), schema).unwrap();
+        let domains = DomainCatalog::defaults(schema);
+
+        let mut cells: [Cell; CORES.len()] = Default::default();
+        let mut shapes: Vec<(usize, usize, Vec<String>)> = Vec::new();
+        for (ci, &core) in CORES.iter().enumerate() {
+            let opts = GenOptions { core, ..GenOptions::default() };
+
+            // Counter + span pass: one instrumented run.
+            xdata_obs::install();
+            xdata_obs::preseed();
+            let suite = generate(&q, schema, &domains, &opts).expect("generation succeeds");
+            let report = xdata_obs::take_report().expect("recorder installed");
+
+            let mut cell = Cell {
+                solve_span_ms: report.spans["generate/solve"].total_ns as f64 / 1e6,
+                decisions: report.counter("solver.decisions"),
+                conflicts: report.counter("solver.conflicts"),
+                propagations: report.counter("solver.propagations"),
+                learned_clauses: report.counter("solver.learned_clauses"),
+                restarts: report.counter("solver.restarts"),
+                backjumped_levels: report
+                    .histograms
+                    .get("solver.backjump_depth")
+                    .map(|h| h.sum)
+                    .unwrap_or(0),
+                memo_hit: report.counter("core.solve_memo.hit"),
+                memo_miss: report.counter("core.solve_memo.miss"),
+                unknown_exits: report.counter("solver.unknown_exits"),
+                ..Cell::default()
+            };
+
+            // Timing pass, uninstrumented.
+            cell.gen_ms = median_time(1, 3, || {
+                generate(&q, schema, &domains, &opts).unwrap();
+            })
+            .as_secs_f64()
+                * 1e3;
+
+            shapes.push((
+                suite.datasets.len(),
+                suite.skipped.len(),
+                suite.datasets.iter().map(|d| d.label.clone()).collect(),
+            ));
+            println!(
+                "{:>18} {:>5} | {:>10.1} {:>10.1} | {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8}",
+                name,
+                core_name(core),
+                cell.gen_ms,
+                cell.solve_span_ms,
+                cell.decisions,
+                cell.conflicts,
+                cell.learned_clauses,
+                cell.restarts,
+                cell.memo_hit,
+                cell.unknown_exits,
+            );
+            cells[ci] = cell;
+        }
+
+        // Verdict parity: both cores must produce the same suite shape —
+        // same dataset labels, same skip count. (Models may legitimately
+        // differ; validity is covered by the generator's own checks.)
+        assert_eq!(shapes[0].0, shapes[1].0, "{name}: dataset count differs across cores");
+        assert_eq!(shapes[0].1, shapes[1].1, "{name}: skip count differs across cores");
+        assert_eq!(shapes[0].2, shapes[1].2, "{name}: dataset labels differ across cores");
+
+        rows.push(Row { name: name.clone(), datasets: shapes[1].0, skipped: shapes[1].1, cells });
+    }
+
+    let total = |ci: usize, f: &dyn Fn(&Cell) -> f64| -> f64 {
+        rows.iter().map(|r| f(&r.cells[ci])).sum()
+    };
+    let dpll_solve = total(0, &|c| c.solve_span_ms);
+    let cdcl_solve = total(1, &|c| c.solve_span_ms);
+    println!(
+        "\ntotal solve-span: dpll {dpll_solve:.1} ms, cdcl {cdcl_solve:.1} ms ({:.2}x)",
+        dpll_solve / cdcl_solve.max(1e-9)
+    );
+
+    // Hand-rolled JSON: the workspace deliberately has no serde.
+    let mut json = String::from("{\n");
+    json.push_str("  \"workload\": \"Table I chain queries (all relevant FKs) + selection-augmented chain\",\n");
+    json.push_str(&format!(
+        "  \"cores\": [{}],\n",
+        CORES.map(|c| format!("\"{}\"", core_name(c))).join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"total_solve_span_ms\": {{\"dpll\": {dpll_solve:.3}, \"cdcl\": {cdcl_solve:.3}}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"datasets\": {}, \"skipped\": {},\n",
+            r.name, r.datasets, r.skipped
+        ));
+        for (ci, &core) in CORES.iter().enumerate() {
+            let c = &r.cells[ci];
+            json.push_str(&format!(
+                "     \"{}\": {{\"generate_ms\": {:.3}, \"solve_span_ms\": {:.3}, \
+                 \"decisions\": {}, \"conflicts\": {}, \"propagations\": {}, \
+                 \"learned_clauses\": {}, \"restarts\": {}, \"backjumped_levels\": {}, \
+                 \"memo_hit\": {}, \"memo_miss\": {}, \"unknown_exits\": {}}}{}\n",
+                core_name(core),
+                c.gen_ms,
+                c.solve_span_ms,
+                c.decisions,
+                c.conflicts,
+                c.propagations,
+                c.learned_clauses,
+                c.restarts,
+                c.backjumped_levels,
+                c.memo_hit,
+                c.memo_miss,
+                c.unknown_exits,
+                if ci + 1 == CORES.len() { "}" } else { "," },
+            ));
+        }
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::path::Path::new("results/BENCH_solver.json");
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(out, &json).expect("write BENCH_solver.json");
+    println!("wrote {} ({} workloads)", out.display(), rows.len());
+}

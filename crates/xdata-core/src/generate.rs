@@ -8,7 +8,7 @@
 //! nullification per equivalence-class element, one per retained
 //! predicate×relation, three comparison datasets per conjunct, aggregate
 //! and HAVING group constructions, the duplicate-row dataset — as inert
-//! [`PlanItem`] values. The solve phase then runs the targets through
+//! `PlanItem` values. The solve phase then runs the targets through
 //! [`xdata_par::try_par_map`]: every target is an independent constraint
 //! problem, so they solve concurrently on `GenOptions::jobs` threads while
 //! the order-preserving collection keeps the resulting [`TestSuite`]
@@ -19,14 +19,26 @@
 //! domain constraints of [`ConstraintBuilder`] are built — and, in unfold
 //! mode, quantifier-expanded — once, cached, and cloned per target instead
 //! of being rebuilt for every target at every repair-ladder rung.
+//!
+//! On top of the skeleton cache sits a cross-target **solve memo**: solve
+//! calls are keyed by a structural hash of the complete problem (array
+//! specs, solve mode, decision budget, and the ordered constraint list) and
+//! their outcome — model values, verdict and solver stats — is reused for
+//! any later target that builds the byte-identical problem. The common case
+//! is a comparison target whose forced operator *is* the predicate's
+//! original operator: its constraint set reproduces the original-query
+//! target's exactly. The memo blocks concurrent duplicates (first arriver
+//! computes, the rest wait), so hit/miss counts — and therefore the metrics
+//! report — stay deterministic for every `jobs` value.
 
-use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{Condvar, Mutex};
 
 use xdata_catalog::{DomainCatalog, Schema, Value};
 use xdata_relalg::{AttrRef, NormQuery, Operand, SelectSpec};
 use xdata_sql::CompareOp;
-use xdata_solver::{Atom, Formula, Mode, RelOp, SolveOutcome, SolverStats, Term};
+use xdata_solver::{Atom, Formula, Mode, Model, Problem, RelOp, SolveOutcome, SolverStats, Term};
 
 use crate::builder::ConstraintBuilder;
 use crate::error::GenError;
@@ -50,7 +62,14 @@ pub fn generate(
     // Preprocessing beyond what normalization did: make sure every string
     // literal in the query is dictionary-coded.
     let domains = prepare_domains(query, schema, domains);
-    let gen = Gen { query, schema, domains: &domains, opts, skeletons: Mutex::new(BTreeMap::new()) };
+    let gen = Gen {
+        query,
+        schema,
+        domains: &domains,
+        opts,
+        skeletons: Mutex::new(BTreeMap::new()),
+        memo: SolveMemo::default(),
+    };
     let plan = {
         let _plan_span = xdata_obs::span("generate/plan");
         gen.plan()
@@ -207,12 +226,96 @@ struct Gen<'a> {
     /// database constraints built (and unfolded, in unfold mode) once, then
     /// cloned per target.
     skeletons: Mutex<BTreeMap<(u32, u32), ConstraintBuilder<'a>>>,
+    /// Cross-target solve memo (see the module docs).
+    memo: SolveMemo,
 }
 
 /// Outcome of one targeted constraint set.
 enum Target {
     Dataset(GeneratedDataset),
     Equivalent,
+    /// The decision budget ran out before a verdict.
+    GaveUp { decisions: u64 },
+}
+
+/// Outcome of one solve attempt (one ladder of repair capacities).
+enum SolveRes {
+    Dataset(GeneratedDataset),
+    Unsat,
+    GaveUp { decisions: u64 },
+}
+
+/// Cross-target memo over complete solve calls.
+///
+/// Keyed by a 128-bit structural hash of the problem; the first thread to
+/// claim a key marks it [`MemoEntry::Pending`] and computes, concurrent
+/// arrivals with the same key block on the condvar until the value lands.
+/// This blocking dedup is what keeps `core.solve_memo.hit`/`.miss` — and
+/// the reused [`SolverStats`] — schedule-independent: each distinct key
+/// misses exactly once however many threads race on it.
+#[derive(Default)]
+struct SolveMemo {
+    map: Mutex<HashMap<(u64, u64), MemoEntry>>,
+    done: Condvar,
+}
+
+enum MemoEntry {
+    Pending,
+    Done(MemoValue),
+}
+
+#[derive(Clone)]
+struct MemoValue {
+    outcome: MemoOutcome,
+    stats: SolverStats,
+}
+
+/// [`SolveOutcome`] with the model flattened to raw values so it can be
+/// stored and replayed against any structurally identical problem.
+#[derive(Clone)]
+enum MemoOutcome {
+    Sat(Vec<i64>),
+    Unsat,
+    Unknown,
+}
+
+impl MemoOutcome {
+    fn capture(out: &SolveOutcome) -> MemoOutcome {
+        match out {
+            SolveOutcome::Sat(m) => MemoOutcome::Sat(m.values().to_vec()),
+            SolveOutcome::Unsat => MemoOutcome::Unsat,
+            SolveOutcome::Unknown => MemoOutcome::Unknown,
+        }
+    }
+
+    fn replay(&self, problem: &Problem) -> SolveOutcome {
+        match self {
+            MemoOutcome::Sat(values) => {
+                SolveOutcome::Sat(Model::from_values(values.clone(), problem.var_table()))
+            }
+            MemoOutcome::Unsat => SolveOutcome::Unsat,
+            MemoOutcome::Unknown => SolveOutcome::Unknown,
+        }
+    }
+}
+
+/// Structural 128-bit key of a solve call: two independently seeded 64-bit
+/// hashes over (mode, core, budget, array specs, ordered constraints). The
+/// constraint *order* is hashed deliberately — assertion order steers the
+/// search, so only byte-identical problems may share an outcome.
+fn memo_key(problem: &Problem, opts: &GenOptions, limit: u64) -> (u64, u64) {
+    use std::collections::hash_map::DefaultHasher;
+    let mut h1 = DefaultHasher::new();
+    let mut h2 = DefaultHasher::new();
+    0xA5A5_5A5A_u64.hash(&mut h2);
+    for h in [&mut h1, &mut h2] {
+        opts.mode.hash(h);
+        opts.core.hash(h);
+        limit.hash(h);
+        problem.specs().hash(h);
+        problem.constraints().hash(h);
+    }
+    (h1.finish(), h2.finish())
 }
 
 impl<'a> Gen<'a> {
@@ -411,6 +514,9 @@ impl<'a> Gen<'a> {
                 Ok(match target {
                     Target::Dataset(d) => ItemOutcome::Dataset(d),
                     Target::Equivalent => ItemOutcome::Skipped(SkipReason::Equivalent),
+                    Target::GaveUp { decisions } => {
+                        ItemOutcome::Skipped(SkipReason::Budget { decisions })
+                    }
                 })
             }
         }
@@ -475,18 +581,24 @@ impl<'a> Gen<'a> {
                 Ok(())
             }
             TargetSpec::Comparison { pi, op } => {
-                let p = &self.query.preds[*pi];
-                let f = b.pred_formula_with_op(p, *op, 0)?;
-                b.problem.assert(f);
+                // Assert in the exact order of `assert_query_conds` (all
+                // eq-classes, then predicates in query order, with only
+                // predicate `pi`'s operator swapped): when `op` happens to
+                // be the predicate's original operator the constraint
+                // sequence is byte-identical to the `Original` target's,
+                // and the solve memo reuses that model instead of solving
+                // again.
                 for ec in &self.query.eq_classes {
                     let f = b.eq_conds(ec, 0);
                     b.problem.assert(f);
                 }
                 for (pj, other) in self.query.preds.iter().enumerate() {
-                    if pj != *pi {
-                        let f = b.pred_formula(other, 0)?;
-                        b.problem.assert(f);
-                    }
+                    let f = if pj == *pi {
+                        b.pred_formula_with_op(other, *op, 0)?
+                    } else {
+                        b.pred_formula(other, 0)?
+                    };
+                    b.problem.assert(f);
                 }
                 Ok(())
             }
@@ -589,6 +701,11 @@ impl<'a> Gen<'a> {
             })?;
             match target {
                 Target::Dataset(d) => return Ok(ItemOutcome::Dataset(d)),
+                Target::GaveUp { decisions } => {
+                    // The budget would only exhaust again on the relaxed
+                    // (larger-feasible-space) retries: report it now.
+                    return Ok(ItemOutcome::Skipped(SkipReason::Budget { decisions }));
+                }
                 Target::Equivalent => {
                     // Relax the next enabled optional set.
                     if let Some(i) = enabled.iter().position(|e| *e) {
@@ -641,20 +758,54 @@ impl<'a> Gen<'a> {
     ) -> Result<Target, GenError> {
         let with_input = self.opts.input_db.is_some();
         if with_input {
-            // The input-constrained attempt gets a decision budget: proving
-            // UNSAT under tuple-pinning can be expensive, and the paper's
-            // §VI-A recovery path is "retry data generation after removing
-            // these constraints" anyway.
-            match self.solve_once(copies, label, f, true) {
-                Ok(Some(ds)) => return Ok(Target::Dataset(ds)),
-                Ok(None) | Err(GenError::SolverUnknown(_)) => {}
-                Err(e) => return Err(e),
+            // The input-constrained attempt gets a tighter decision budget:
+            // proving UNSAT under tuple-pinning can be expensive, and the
+            // paper's §VI-A recovery path is "retry data generation after
+            // removing these constraints" anyway — so both Unsat and a
+            // blown budget fall through to the unconstrained attempt.
+            match self.solve_once(copies, label, f, true)? {
+                SolveRes::Dataset(ds) => return Ok(Target::Dataset(ds)),
+                SolveRes::Unsat | SolveRes::GaveUp { .. } => {}
             }
         }
         match self.solve_once(copies, label, f, false)? {
-            Some(ds) => Ok(Target::Dataset(ds)),
-            None => Ok(Target::Equivalent),
+            SolveRes::Dataset(ds) => Ok(Target::Dataset(ds)),
+            SolveRes::Unsat => Ok(Target::Equivalent),
+            SolveRes::GaveUp { decisions } => Ok(Target::GaveUp { decisions }),
         }
+    }
+
+    /// Solve with the cross-target memo: the first thread to see a
+    /// structural key computes; duplicates (concurrent or later) reuse the
+    /// stored verdict, model values and stats.
+    fn solve_memoized(&self, problem: &Problem, limit: u64) -> (SolveOutcome, SolverStats) {
+        let key = memo_key(problem, self.opts, limit);
+        {
+            let mut map = self.memo.map.lock().expect("solve memo");
+            loop {
+                match map.get(&key) {
+                    None => {
+                        map.insert(key, MemoEntry::Pending);
+                        xdata_obs::counter("core.solve_memo.miss", 1);
+                        break;
+                    }
+                    Some(MemoEntry::Pending) => {
+                        map = self.memo.done.wait(map).expect("solve memo");
+                    }
+                    Some(MemoEntry::Done(v)) => {
+                        xdata_obs::counter("core.solve_memo.hit", 1);
+                        return (v.outcome.replay(problem), v.stats);
+                    }
+                }
+            }
+        }
+        let (out, stats) = problem.solve_with(self.opts.mode, limit, self.opts.core);
+        let value = MemoValue { outcome: MemoOutcome::capture(&out), stats };
+        let mut map = self.memo.map.lock().expect("solve memo");
+        map.insert(key, MemoEntry::Done(value));
+        self.memo.done.notify_all();
+        drop(map);
+        (out, stats)
     }
 
     fn solve_once(
@@ -663,7 +814,7 @@ impl<'a> Gen<'a> {
         label: &str,
         f: &dyn Fn(&mut ConstraintBuilder<'_>) -> Result<(), GenError>,
         use_input: bool,
-    ) -> Result<Option<GeneratedDataset>, GenError> {
+    ) -> Result<SolveRes, GenError> {
         // Iterative deepening over the repair-slot capacity: most targets
         // need at most one repair tuple per relation, so small tuple arrays
         // are tried first (exponentially smaller search); only an UNSAT at
@@ -692,20 +843,26 @@ impl<'a> Gen<'a> {
                 f(&mut b)?;
                 b
             };
-            let limit = if use_input { 500_000 } else { xdata_solver::DEFAULT_DECISION_LIMIT };
-            let (out, stats) = b.problem.solve_with_limit(self.opts.mode, limit);
+            let limit = if use_input {
+                self.opts.decision_limit.min(500_000)
+            } else {
+                self.opts.decision_limit
+            };
+            let (out, stats) = self.solve_memoized(&b.problem, limit);
             agg_stats.decisions += stats.decisions;
             agg_stats.conflicts += stats.conflicts;
             agg_stats.theory_relaxations += stats.theory_relaxations;
             agg_stats.propagations += stats.propagations;
             agg_stats.unknown_exits += stats.unknown_exits;
+            agg_stats.learned_clauses += stats.learned_clauses;
+            agg_stats.restarts += stats.restarts;
             agg_stats.ground_solves += stats.ground_solves;
             agg_stats.instantiations += stats.instantiations;
             agg_stats.ground_atoms = agg_stats.ground_atoms.max(stats.ground_atoms);
             match out {
                 SolveOutcome::Sat(model) => {
                     let dataset = materialize(&b, &model, label);
-                    return Ok(Some(GeneratedDataset {
+                    return Ok(SolveRes::Dataset(GeneratedDataset {
                         dataset,
                         label: label.to_string(),
                         stats: agg_stats,
@@ -713,14 +870,16 @@ impl<'a> Gen<'a> {
                 }
                 SolveOutcome::Unsat => {
                     if rung + 1 == crate::builder::REPAIR_LADDER.len() {
-                        return Ok(None);
+                        return Ok(SolveRes::Unsat);
                     }
                     // Widen and retry: the UNSAT may be a capacity artifact.
                 }
-                SolveOutcome::Unknown => return Err(GenError::SolverUnknown(label.to_string())),
+                SolveOutcome::Unknown => {
+                    return Ok(SolveRes::GaveUp { decisions: agg_stats.decisions })
+                }
             }
         }
-        Ok(None)
+        Ok(SolveRes::Unsat)
     }
 
     /// Assert the original query's conditions over copy `c`.
@@ -852,6 +1011,8 @@ pub fn total_stats(suite: &TestSuite) -> SolverStats {
         t.theory_relaxations += d.stats.theory_relaxations;
         t.propagations += d.stats.propagations;
         t.unknown_exits += d.stats.unknown_exits;
+        t.learned_clauses += d.stats.learned_clauses;
+        t.restarts += d.stats.restarts;
         t.ground_solves += d.stats.ground_solves;
         t.instantiations += d.stats.instantiations;
         t.ground_atoms += d.stats.ground_atoms;
@@ -1142,6 +1303,66 @@ mod tests {
         .unwrap();
         assert_eq!(fast.datasets.len(), slow.datasets.len());
         assert_eq!(fast.skipped.len(), slow.skipped.len());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_skip_with_reason() {
+        // A decision budget of 0 lets only propagation-solvable targets
+        // through; everything needing a single decision must surface as a
+        // Budget skip — visibly, not silently dropped.
+        let schema = university::schema_with_fk_count(2);
+        let q = normalize(
+            &parse_query(
+                "SELECT * FROM instructor i, teaches t, course c \
+                 WHERE i.id = t.id AND t.course_id = c.course_id AND i.salary > 50000",
+            )
+            .unwrap(),
+            &schema,
+        )
+        .unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        let full = generate(&q, &schema, &domains, &GenOptions::default()).unwrap();
+        let opts = GenOptions { decision_limit: 0, ..GenOptions::default() };
+        let starved = generate(&q, &schema, &domains, &opts).unwrap();
+        // Same plan, every target accounted for in datasets + skips.
+        assert_eq!(
+            full.datasets.len() + full.skipped.len(),
+            starved.datasets.len() + starved.skipped.len(),
+        );
+        let budget_skips: Vec<&SkippedTarget> = starved
+            .skipped
+            .iter()
+            .filter(|s| matches!(s.reason, SkipReason::Budget { .. }))
+            .collect();
+        assert!(!budget_skips.is_empty(), "expected budget skips:\n{starved}");
+        for s in &budget_skips {
+            assert!(!s.label.is_empty());
+        }
+        // The skip carries a human-readable reason.
+        assert!(format!("{}", budget_skips[0].reason).contains("budget"));
+    }
+
+    #[test]
+    fn comparison_with_original_op_reuses_original_model() {
+        // `salary > 50000` with forced op `>` builds the byte-identical
+        // constraint sequence as the original-query target; the solve memo
+        // must hand back the same model and the same stats.
+        let (_, _, suite) = gen("SELECT * FROM instructor WHERE salary > 50000", 0);
+        let orig = &suite.datasets[0];
+        assert!(orig.label.contains("original"));
+        let gt = suite
+            .datasets
+            .iter()
+            .find(|d| d.label.contains("comparison") && d.label.contains("`>`"))
+            .expect("gt comparison dataset");
+        // Same tuples (the datasets differ only in their stamped label).
+        assert_eq!(
+            orig.dataset.relation("instructor"),
+            gt.dataset.relation("instructor"),
+        );
+        assert_eq!(orig.stats.decisions, gt.stats.decisions);
+        assert_eq!(orig.stats.conflicts, gt.stats.conflicts);
+        assert_eq!(orig.stats.propagations, gt.stats.propagations);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use xdata_catalog::Dataset;
-use xdata_solver::{Mode, SolverStats};
+use xdata_solver::{Mode, SearchCore, SolverStats};
 
 /// Options controlling generation.
 #[derive(Debug, Clone)]
@@ -23,11 +23,26 @@ pub struct GenOptions {
     /// the identical suite — solve targets are independent and collected
     /// in plan order.
     pub jobs: usize,
+    /// Decision budget per solve call. A target whose solve exhausts the
+    /// budget is reported as skipped with [`SkipReason::Budget`] — never
+    /// silently dropped. The default is high enough that the paper's
+    /// workloads never hit it.
+    pub decision_limit: u64,
+    /// Ground search core: conflict-driven (the default) or the original
+    /// chronological DPLL, kept as a baseline for `solver_sweep`.
+    pub core: SearchCore,
 }
 
 impl Default for GenOptions {
     fn default() -> Self {
-        GenOptions { mode: Mode::Unfold, input_db: None, compare_attr_pairs: true, jobs: 1 }
+        GenOptions {
+            mode: Mode::Unfold,
+            input_db: None,
+            compare_attr_pairs: true,
+            jobs: 1,
+            decision_limit: xdata_solver::DEFAULT_DECISION_LIMIT,
+            core: SearchCore::default(),
+        }
     }
 }
 
@@ -58,6 +73,25 @@ pub enum SkipReason {
     /// The nullification set `P` was empty in Algorithm 2 (special-cased
     /// equivalence).
     EmptyP,
+    /// The solver exhausted [`GenOptions::decision_limit`] without a
+    /// verdict. Unlike the two equivalence reasons this says nothing about
+    /// the mutants — the target needs a bigger budget, not a shrug.
+    Budget {
+        /// Decisions spent before giving up (summed over the repair ladder).
+        decisions: u64,
+    },
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::Equivalent => write!(f, "constraints unsatisfiable (equivalent mutants)"),
+            SkipReason::EmptyP => write!(f, "empty retained set P (equivalent mutants)"),
+            SkipReason::Budget { decisions } => {
+                write!(f, "solver gave up after {decisions} decisions (budget exhausted)")
+            }
+        }
+    }
 }
 
 /// Aggregated statistics for a generation run.
@@ -115,7 +149,7 @@ impl fmt::Display for TestSuite {
             write!(f, "{}", d.dataset)?;
         }
         for s in &self.skipped {
-            writeln!(f, "--- skipped (equivalent): {}", s.label)?;
+            writeln!(f, "--- skipped: {} — {}", s.label, s.reason)?;
         }
         Ok(())
     }

@@ -130,6 +130,22 @@ pub fn observe(name: &'static str, value: u64) {
     HISTS.lock().expect("obs hists").entry(name).or_default().record(value);
 }
 
+/// Record every value of `values` into the histogram `name` under a single
+/// lock acquisition. Instrumentation sites that produce one sample per
+/// hot-loop iteration (e.g. the solver's backjump depths, one per conflict)
+/// buffer locally and flush once per solve through this.
+#[inline]
+pub fn observe_all(name: &'static str, values: &[u64]) {
+    if !enabled() || values.is_empty() {
+        return;
+    }
+    let mut hists = HISTS.lock().expect("obs hists");
+    let h = hists.entry(name).or_default();
+    for &v in values {
+        h.record(v);
+    }
+}
+
 /// Strip the run-varying `timings_ns` section from a rendered
 /// [`MetricsReport`] JSON document, leaving only the deterministic part.
 /// The writer emits `timings_ns` as the final top-level key precisely so
@@ -186,6 +202,21 @@ mod tests {
         // 0 → bucket 0, 1 → bucket 1, 1024 → bucket 11.
         assert_eq!(h.bucket(0), 1);
         assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(11), 1);
+    }
+
+    #[test]
+    fn observe_all_matches_repeated_observe() {
+        let _l = lock();
+        install();
+        observe_all("bulk", &[0, 1, 1, 1024]);
+        observe_all("bulk", &[]);
+        let r = take_report().expect("installed");
+        let h = &r.histograms["bulk"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1026);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
         assert_eq!(h.bucket(11), 1);
     }
 

@@ -14,6 +14,8 @@ pub const ALL_COUNTERS: &[&str] = &[
     "core.rows_emitted",
     "core.skeleton_cache.hit",
     "core.skeleton_cache.miss",
+    "core.solve_memo.hit",
+    "core.solve_memo.miss",
     "core.targets.planned",
     "core.targets.skipped",
     "core.targets.solved",
@@ -35,14 +37,17 @@ pub const ALL_COUNTERS: &[&str] = &[
     "solver.decisions",
     "solver.ground_solves",
     "solver.instantiations",
+    "solver.learned_clauses",
     "solver.propagations",
+    "solver.restarts",
     "solver.theory_relaxations",
     "solver.unfold_expansions",
     "solver.unknown_exits",
 ];
 
 /// Every canonical histogram.
-pub const ALL_HISTOGRAMS: &[&str] = &["core.dataset_rows", "solver.ground_atoms"];
+pub const ALL_HISTOGRAMS: &[&str] =
+    &["core.dataset_rows", "solver.backjump_depth", "solver.ground_atoms"];
 
 /// Every canonical span path (the pipeline phases).
 pub const PHASE_SPANS: &[&str] =

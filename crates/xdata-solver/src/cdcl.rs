@@ -1,0 +1,855 @@
+//! Conflict-driven clause learning ("CDCL-lite") over ground
+//! difference-logic formulas.
+//!
+//! The engine keeps the DPLL(T) split of the original core — boolean
+//! structure is searched, bounds are asserted into the incremental
+//! [`DiffLogic`] theory — but replaces chronological backtracking with the
+//! modern conflict-driven loop:
+//!
+//! * **Atoms** are canonicalized ([`crate::search::Key`]) and interned into
+//!   a dense index in first-traversal order. A disequality (`=` assigned
+//!   false) is not a single bound, so when an `Eq` atom is first falsified
+//!   its two *split* atoms `x ≤ k−1` / `x ≥ k+1` are interned together with
+//!   the axiom clause `(x = k) ∨ (x ≤ k−1) ∨ (x ≥ k+1)`; clause propagation
+//!   then handles the case analysis the DPLL core re-explored by branching
+//!   twice. Splitting is lazy because most equalities here are join
+//!   conditions that end up true — eagerly tripling the atom count would be
+//!   pure setup cost on the common path.
+//! * **Propagation** interleaves two mechanisms until fixpoint: unit
+//!   propagation over axiom + learned clauses with two watched literals,
+//!   and a walk of the formula tree that finds atoms forced true under
+//!   conjunctions and single-live-child disjunctions — each such forced
+//!   atom gets a *reason clause* computed from the walk, so conflict
+//!   analysis can resolve across formula-implied assignments exactly as it
+//!   does across clause-implied ones.
+//! * **Theory conflicts** come back from [`DiffLogic::assert_all_tagged`]
+//!   as the set of literals on the negative cycle (each edge is tagged with
+//!   the atom index that asserted it); their negations form the conflict
+//!   clause.
+//! * **Conflict analysis** resolves the conflict clause backwards along the
+//!   trail to the first unique implication point (1-UIP), learns the
+//!   asserting clause, and backjumps non-chronologically to the second
+//!   highest level in it. Every atom touched during analysis gets its
+//!   activity bumped (VSIDS-style, with a multiplicative decay); decisions
+//!   pick the live formula atom of highest activity, tie-broken by
+//!   traversal order, which keeps runs bit-deterministic.
+//! * **Restarts** follow the Luby sequence (base
+//!   [`RESTART_BASE`] conflicts) and keep learned clauses, activities and
+//!   level-0 units, so each restart re-descends with everything learned.
+//!
+//! Learned clauses are never deleted: X-Data's per-target problems are
+//! small enough that the clause database stays tiny, and retention keeps
+//! the engine deterministic and simple.
+
+use std::collections::HashMap;
+
+use crate::formula::Formula;
+use crate::ids::VarTable;
+use crate::search::{canon, CanonOp, GroundResult, Key, SearchStats};
+use crate::theory::DiffLogic;
+
+/// A literal: atom index shifted left, low bit = assigned value.
+type Lit = u32;
+
+fn lit(atom: u32, value: bool) -> Lit {
+    (atom << 1) | value as u32
+}
+fn lit_atom(l: Lit) -> u32 {
+    l >> 1
+}
+fn lit_value(l: Lit) -> bool {
+    l & 1 == 1
+}
+fn lit_neg(l: Lit) -> Lit {
+    l ^ 1
+}
+
+/// Conflicts before the first restart; subsequent limits follow
+/// `RESTART_BASE * luby(i)`. Small, because X-Data's per-target ground
+/// problems are small — typical conflict totals are in the tens, a restart
+/// is cheap (clauses and activities are kept), and an early one often
+/// escapes an unlucky first descent.
+const RESTART_BASE: u64 = 4;
+
+/// The Luby sequence 1, 1, 2, 1, 1, 2, 4, … (1-based index).
+fn luby(mut i: u64) -> u64 {
+    loop {
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+/// Why an atom is assigned.
+enum Reason {
+    /// Unassigned (or assignment undone).
+    None,
+    /// A decision: no antecedent.
+    Decision,
+    /// Propagated by clause `clauses[i]`.
+    Clause(u32),
+    /// Forced by the formula walk; the computed reason clause is stored
+    /// inline (`lits[0]` is the implied literal, the rest are the negated
+    /// forcing assignment).
+    Local(Vec<Lit>),
+}
+
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// The input formula lowered to dense atom indices. Canonicalization and
+/// hash lookups happen once, in [`Cdcl::lower`]; the walk/evaluation hot
+/// path then runs on plain array indexing.
+enum IF {
+    True,
+    False,
+    Atom(u32),
+    And(Vec<IF>),
+    Or(Vec<IF>),
+    Not(Box<IF>),
+}
+
+enum Walk {
+    /// Formula satisfied under the current assignment.
+    True,
+    /// Propagation fixpoint with a genuine choice point on this atom.
+    Branch(u32),
+}
+
+/// Walk verdict for one subformula.
+enum Ev {
+    True,
+    False,
+    /// Undecided. `score == 1` means the atom is forced true here (unit) and
+    /// `reason` holds the currently-true literals forcing it.
+    Undef { pick: u32, score: u32, reason: Option<Vec<Lit>> },
+}
+
+struct Cdcl<'a> {
+    vars: &'a VarTable,
+    th: DiffLogic,
+    /// Canonical key → dense atom index, assigned in traversal order.
+    index: HashMap<Key, u32>,
+    keys: Vec<Key>,
+    /// For `Eq` atoms: the interned `≤ k−1` / `≥ k+1` split atoms.
+    splits: Vec<Option<(u32, u32)>>,
+    eq_atoms: Vec<u32>,
+    value: Vec<Option<bool>>,
+    level_of: Vec<u32>,
+    reason: Vec<Reason>,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    activity: Vec<f64>,
+    act_inc: f64,
+    trail: Vec<u32>,
+    /// Trail indices where each decision level starts.
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    clauses: Vec<Clause>,
+    /// Learned unit literals with their clause index, re-asserted after
+    /// restarts (size-1 clauses have no watch pair).
+    units: Vec<(Lit, u32)>,
+    /// `watches[l]`: clauses currently watching literal `l`, visited when
+    /// `l` becomes false.
+    watches: Vec<Vec<u32>>,
+    stats: SearchStats,
+    decision_limit: u64,
+    /// Backjump depth (levels unwound) per conflict, for the
+    /// `solver.backjump_depth` histogram.
+    backjumps: Vec<u64>,
+    luby_idx: u64,
+    conflicts_since_restart: u64,
+    restart_threshold: u64,
+}
+
+impl<'a> Cdcl<'a> {
+    fn new(vars: &'a VarTable, decision_limit: u64) -> Self {
+        Cdcl {
+            vars,
+            th: DiffLogic::new(vars.num_vars()),
+            index: HashMap::new(),
+            keys: Vec::new(),
+            splits: Vec::new(),
+            eq_atoms: Vec::new(),
+            value: Vec::new(),
+            level_of: Vec::new(),
+            reason: Vec::new(),
+            seen: Vec::new(),
+            activity: Vec::new(),
+            act_inc: 1.0,
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            clauses: Vec::new(),
+            units: Vec::new(),
+            watches: Vec::new(),
+            stats: SearchStats::default(),
+            decision_limit,
+            backjumps: Vec::new(),
+            luby_idx: 1,
+            conflicts_since_restart: 0,
+            restart_threshold: RESTART_BASE * luby(1),
+        }
+    }
+
+    fn intern(&mut self, key: Key) -> u32 {
+        if let Some(&i) = self.index.get(&key) {
+            return i;
+        }
+        let i = self.keys.len() as u32;
+        self.index.insert(key, i);
+        self.keys.push(key);
+        self.splits.push(None);
+        self.value.push(None);
+        self.level_of.push(0);
+        self.reason.push(Reason::None);
+        self.seen.push(false);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        if key.op() == CanonOp::Eq {
+            // Split atoms and the totality axiom are interned lazily, on
+            // first falsification (`on_eq_false`): equalities in these
+            // workloads are mostly joins that hold, so the eager 3× atom
+            // blow-up would be pure setup cost.
+            self.eq_atoms.push(i);
+        }
+        i
+    }
+
+    /// React to a disequality: intern the `≤ k−1` / `≥ k+1` split atoms of
+    /// `a` and the axiom `(x = k) ∨ (x ≤ k−1) ∨ (x ≥ k+1)` on first
+    /// falsification, and apply whatever the axiom forces right now (the
+    /// split atoms may pre-exist as formula atoms, already assigned).
+    fn on_eq_false(&mut self, a: u32) -> Result<(), Vec<Lit>> {
+        if self.splits[a as usize].is_some() {
+            // Axiom clause already installed; two-watched-literal
+            // propagation keeps it honest from here on.
+            return Ok(());
+        }
+        let key = self.keys[a as usize];
+        let lo = self.intern(key.with_op(CanonOp::Le, key.k() - 1));
+        let hi = self.intern(key.with_op(CanonOp::Ge, key.k() + 1));
+        self.splits[a as usize] = Some((lo, hi));
+        let (l_lo, l_hi) = (lit(lo, true), lit(hi, true));
+        let ci = self.clauses.len() as u32;
+        let lits = vec![l_lo, l_hi, lit(a, true)];
+        self.watches[l_lo as usize].push(ci);
+        self.watches[l_hi as usize].push(ci);
+        self.clauses.push(Clause { lits });
+        // `a` is false; the pre-existing assignments of lo/hi decide
+        // whether the new clause is already unit or false.
+        match (self.lit_is(l_lo), self.lit_is(l_hi)) {
+            (Some(false), Some(false)) => Err(self.clauses[ci as usize].lits.clone()),
+            (Some(false), None) => {
+                self.stats.propagations += 1;
+                self.enqueue(l_hi, Reason::Clause(ci))
+            }
+            (None, Some(false)) => {
+                self.stats.propagations += 1;
+                self.enqueue(l_lo, Reason::Clause(ci))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Canonicalize and intern every atom once, producing the dense-index
+    /// mirror of the formula the search runs on.
+    fn lower(&mut self, f: &Formula) -> IF {
+        match f {
+            Formula::True => IF::True,
+            Formula::False => IF::False,
+            Formula::Atom(a) => match canon(a.to_diff(self.vars)) {
+                Err(true) => IF::True,
+                Err(false) => IF::False,
+                Ok(key) => IF::Atom(self.intern(key)),
+            },
+            Formula::And(xs) => IF::And(xs.iter().map(|x| self.lower(x)).collect()),
+            Formula::Or(xs) => IF::Or(xs.iter().map(|x| self.lower(x)).collect()),
+            Formula::Not(x) => IF::Not(Box::new(self.lower(x))),
+            Formula::Forall { .. } | Formula::Exists { .. } => {
+                panic!("quantifier reached ground search; unfold or instantiate first")
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn lit_is(&self, l: Lit) -> Option<bool> {
+        self.value[lit_atom(l) as usize].map(|v| v == lit_value(l))
+    }
+
+    /// Assign a literal and assert its bounds into the theory. On a theory
+    /// conflict, returns the conflict clause (negations of the literals on
+    /// the negative cycle); the assignment stays on the trail for the
+    /// subsequent backjump to unwind.
+    fn enqueue(&mut self, l: Lit, reason: Reason) -> Result<(), Vec<Lit>> {
+        let a = lit_atom(l);
+        let v = lit_value(l);
+        debug_assert!(self.value[a as usize].is_none(), "enqueue of assigned atom");
+        self.value[a as usize] = Some(v);
+        self.level_of[a as usize] = self.decision_level();
+        self.reason[a as usize] = reason;
+        self.trail.push(a);
+        // One theory level per assignment keeps backjumping 1:1 (Eq-false
+        // asserts nothing; the level marker is simply empty).
+        self.th.push_level();
+        match self.keys[a as usize].bounds_when(v, self.th.zero()) {
+            Some(bounds) => {
+                if let Err(tags) = self.th.assert_all_tagged(&bounds, a) {
+                    let confl = tags
+                        .iter()
+                        .map(|&t| {
+                            let tv =
+                                self.value[t as usize].expect("explained atoms are assigned");
+                            lit(t, !tv)
+                        })
+                        .collect();
+                    return Err(confl);
+                }
+                Ok(())
+            }
+            // Only a falsified equality has no direct bound: split it.
+            None => self.on_eq_false(a),
+        }
+    }
+
+    /// Put the scanned watch list for `p` back, keeping any watchers added
+    /// behind our back while it was taken (lazy Eq-splitting inside
+    /// `enqueue` can install an axiom clause watching `p` itself).
+    fn restore_watches(&mut self, p: Lit, ws: Vec<u32>) {
+        let added = std::mem::replace(&mut self.watches[p as usize], ws);
+        self.watches[p as usize].extend(added);
+    }
+
+    /// Two-watched-literal unit propagation over axiom + learned clauses.
+    fn propagate_clauses(&mut self) -> Result<(), Vec<Lit>> {
+        while self.qhead < self.trail.len() {
+            let a = self.trail[self.qhead];
+            self.qhead += 1;
+            let v = self.value[a as usize].expect("on trail");
+            let p = lit(a, !v); // the literal that just became false
+            let mut ws = std::mem::take(&mut self.watches[p as usize]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let ci = ws[i];
+                {
+                    let c = &mut self.clauses[ci as usize];
+                    if c.lits[0] == p {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.lit_is(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch among the tail literals.
+                let len = self.clauses[ci as usize].lits.len();
+                for j in 2..len {
+                    let lj = self.clauses[ci as usize].lits[j];
+                    if self.lit_is(lj) != Some(false) {
+                        self.clauses[ci as usize].lits.swap(1, j);
+                        self.watches[lj as usize].push(ci);
+                        ws.swap_remove(i);
+                        continue 'clauses;
+                    }
+                }
+                // No replacement: the clause is unit on `first` or false.
+                if self.lit_is(first) == Some(false) {
+                    let confl = self.clauses[ci as usize].lits.clone();
+                    self.restore_watches(p, ws);
+                    return Err(confl);
+                }
+                self.stats.propagations += 1;
+                if let Err(confl) = self.enqueue(first, Reason::Clause(ci)) {
+                    self.restore_watches(p, ws);
+                    return Err(confl);
+                }
+                i += 1;
+            }
+            self.restore_watches(p, ws);
+        }
+        Ok(())
+    }
+
+    /// Plain evaluation under the current partial assignment.
+    fn eval_bool(&self, f: &IF) -> Option<bool> {
+        match f {
+            IF::True => Some(true),
+            IF::False => Some(false),
+            IF::Atom(i) => self.value[*i as usize],
+            IF::And(xs) => {
+                let mut all = Some(true);
+                for x in xs {
+                    match self.eval_bool(x) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => all = None,
+                    }
+                }
+                all
+            }
+            IF::Or(xs) => {
+                let mut any = Some(false);
+                for x in xs {
+                    match self.eval_bool(x) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => any = None,
+                    }
+                }
+                any
+            }
+            IF::Not(x) => self.eval_bool(x).map(|b| !b),
+        }
+    }
+
+    /// Collect currently-true literals forcing `f` false (`f` must evaluate
+    /// to false).
+    fn false_lits(&self, f: &IF, out: &mut Vec<Lit>) {
+        match f {
+            IF::False => {}
+            IF::Atom(i) => out.push(lit(*i, false)),
+            IF::And(xs) => {
+                let x = xs
+                    .iter()
+                    .find(|x| self.eval_bool(x) == Some(false))
+                    .expect("a false And has a false child");
+                self.false_lits(x, out);
+            }
+            IF::Or(xs) => {
+                for x in xs {
+                    self.false_lits(x, out);
+                }
+            }
+            IF::Not(x) => self.true_lits(x, out),
+            IF::True => unreachable!("false_lits on non-false formula"),
+        }
+    }
+
+    /// Collect currently-true literals forcing `f` true (`f` must evaluate
+    /// to true).
+    fn true_lits(&self, f: &IF, out: &mut Vec<Lit>) {
+        match f {
+            IF::True => {}
+            IF::Atom(i) => out.push(lit(*i, true)),
+            IF::And(xs) => {
+                for x in xs {
+                    self.true_lits(x, out);
+                }
+            }
+            IF::Or(xs) => {
+                let x = xs
+                    .iter()
+                    .find(|x| self.eval_bool(x) == Some(true))
+                    .expect("a true Or has a true child");
+                self.true_lits(x, out);
+            }
+            IF::Not(x) => self.false_lits(x, out),
+            IF::False => unreachable!("true_lits on non-true formula"),
+        }
+    }
+
+    /// Walk the formula: verdict, unit pick with reason, or the
+    /// highest-activity branch candidate.
+    fn walk(&self, f: &IF) -> Ev {
+        match f {
+            IF::True => Ev::True,
+            IF::False => Ev::False,
+            IF::Atom(i) => match self.value[*i as usize] {
+                Some(true) => Ev::True,
+                Some(false) => Ev::False,
+                None => Ev::Undef { pick: *i, score: 1, reason: Some(Vec::new()) },
+            },
+            IF::And(xs) => {
+                let mut best: Option<(u32, u32)> = None;
+                for x in xs {
+                    match self.walk(x) {
+                        Ev::False => return Ev::False,
+                        Ev::True => {}
+                        ev @ Ev::Undef { score: 1, .. } => return ev,
+                        Ev::Undef { pick, score, .. } => {
+                            let better = match best {
+                                None => true,
+                                Some((b, _)) => {
+                                    self.activity[pick as usize] > self.activity[b as usize]
+                                }
+                            };
+                            if better {
+                                best = Some((pick, score));
+                            }
+                        }
+                    }
+                }
+                match best {
+                    None => Ev::True,
+                    Some((pick, score)) => Ev::Undef { pick, score, reason: None },
+                }
+            }
+            IF::Or(xs) => {
+                // Track the live children without building a list: only a
+                // single live child needs its index and reason kept.
+                let mut nlive = 0usize;
+                let mut single: Option<(usize, u32, u32, Option<Vec<Lit>>)> = None;
+                let mut best: (u32, u32) = (0, 0);
+                for (xi, x) in xs.iter().enumerate() {
+                    match self.walk(x) {
+                        Ev::True => return Ev::True,
+                        Ev::False => {}
+                        Ev::Undef { pick, score, reason } => {
+                            nlive += 1;
+                            if nlive == 1 {
+                                single = Some((xi, pick, score, reason));
+                            } else {
+                                if nlive == 2 {
+                                    let (_, p0, s0, _) =
+                                        single.take().expect("set by the first live child");
+                                    best = (p0, s0);
+                                }
+                                if self.activity[pick as usize]
+                                    > self.activity[best.0 as usize]
+                                {
+                                    best = (pick, score);
+                                }
+                            }
+                        }
+                    }
+                }
+                match nlive {
+                    0 => Ev::False,
+                    // Single live child: forced. If the child is itself
+                    // unit, the false siblings join its reason.
+                    1 => {
+                        let (xi, pick, score, reason) =
+                            single.expect("exactly one live child");
+                        if score == 1 {
+                            let mut r = reason.expect("unit pick carries a reason");
+                            for (yi, y) in xs.iter().enumerate() {
+                                if yi != xi {
+                                    self.false_lits(y, &mut r);
+                                }
+                            }
+                            Ev::Undef { pick, score: 1, reason: Some(r) }
+                        } else {
+                            Ev::Undef { pick, score, reason: None }
+                        }
+                    }
+                    // Genuine choice point: highest-activity candidate,
+                    // tie-broken by child order.
+                    k => Ev::Undef {
+                        pick: best.0,
+                        score: best.1.max(k as u32),
+                        reason: None,
+                    },
+                }
+            }
+            IF::Not(x) => match self.walk(x) {
+                Ev::True => Ev::False,
+                Ev::False => Ev::True,
+                // Under negation "forced true" flips meaning; NNF input
+                // never has Not, but stay sound for raw callers.
+                Ev::Undef { pick, score, .. } => {
+                    Ev::Undef { pick, score: score.max(2), reason: None }
+                }
+            },
+        }
+    }
+
+    /// Run clause + formula propagation to fixpoint.
+    fn propagate(&mut self, root: &IF) -> Result<Walk, Vec<Lit>> {
+        loop {
+            self.propagate_clauses()?;
+            match self.walk(root) {
+                Ev::True => return Ok(Walk::True),
+                Ev::False => {
+                    let mut r = Vec::new();
+                    self.false_lits(root, &mut r);
+                    return Err(r.iter().map(|&l| lit_neg(l)).collect());
+                }
+                Ev::Undef { pick, score: 1, reason: Some(r) } => {
+                    let implied = lit(pick, true);
+                    let mut rc = Vec::with_capacity(r.len() + 1);
+                    rc.push(implied);
+                    rc.extend(r.iter().map(|&l| lit_neg(l)));
+                    self.stats.propagations += 1;
+                    self.enqueue(implied, Reason::Local(rc))?;
+                }
+                Ev::Undef { pick, .. } => return Ok(Walk::Branch(pick)),
+            }
+        }
+    }
+
+    fn bump(&mut self, a: u32) {
+        self.activity[a as usize] += self.act_inc;
+        if self.activity[a as usize] > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// 1-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first, a highest-remaining-level literal second) and the
+    /// backjump level, or `None` when the conflict resolves to the empty
+    /// clause (unsatisfiable).
+    fn analyze(&mut self, conflict: &[Lit]) -> Option<(Vec<Lit>, u32)> {
+        let cur = self.decision_level();
+        debug_assert!(cur > 0);
+        let mut learned: Vec<Lit> = vec![0]; // slot 0: the UIP literal
+        let mut counter = 0usize;
+        let mut to_clear: Vec<u32> = Vec::new();
+        let mut idx = self.trail.len();
+        let mut pivot: Option<u32> = None;
+        let mut lits_buf: Vec<Lit> = conflict.to_vec();
+        loop {
+            for &q in &lits_buf {
+                let a = lit_atom(q);
+                if pivot == Some(a) || self.seen[a as usize] {
+                    continue;
+                }
+                if self.level_of[a as usize] == 0 {
+                    // Level-0 facts are globally implied; drop them.
+                    continue;
+                }
+                self.seen[a as usize] = true;
+                to_clear.push(a);
+                self.bump(a);
+                if self.level_of[a as usize] == cur {
+                    counter += 1;
+                } else {
+                    learned.push(q);
+                }
+            }
+            if counter == 0 {
+                // No current-level literals at all: the conflict is implied
+                // below the current level. With propagation run to fixpoint
+                // at every level this only happens when the resolvent is
+                // empty — unsatisfiable.
+                for a in to_clear {
+                    self.seen[a as usize] = false;
+                }
+                return None;
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                debug_assert!(idx > 0, "analysis ran off the trail");
+                idx -= 1;
+                if self.seen[self.trail[idx] as usize] {
+                    break;
+                }
+            }
+            let a = self.trail[idx];
+            self.seen[a as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                // `a` is the first unique implication point.
+                let v = self.value[a as usize].expect("on trail");
+                learned[0] = lit(a, !v);
+                break;
+            }
+            // Resolve with the reason of `a`.
+            pivot = Some(a);
+            lits_buf = match &self.reason[a as usize] {
+                Reason::Clause(ci) => self.clauses[*ci as usize].lits.clone(),
+                Reason::Local(lits) => lits.clone(),
+                Reason::Decision => {
+                    unreachable!("the decision is consumed last at its level")
+                }
+                Reason::None => unreachable!("assigned atom without reason"),
+            };
+        }
+        for a in to_clear {
+            self.seen[a as usize] = false;
+        }
+        if learned.len() == 1 {
+            return Some((learned, 0));
+        }
+        // Backjump level: highest level among the non-UIP literals; keep
+        // one literal of that level in the second watch slot.
+        let mut bi = 1;
+        let mut bl = self.level_of[lit_atom(learned[1]) as usize];
+        for (i, &l) in learned.iter().enumerate().skip(2) {
+            let lv = self.level_of[lit_atom(l) as usize];
+            if lv > bl {
+                bl = lv;
+                bi = i;
+            }
+        }
+        learned.swap(1, bi);
+        Some((learned, bl))
+    }
+
+    /// Unassign everything above `bl` and make it the current level.
+    fn backjump(&mut self, bl: u32) {
+        if self.decision_level() <= bl {
+            return;
+        }
+        let target = self.trail_lim[bl as usize];
+        while self.trail.len() > target {
+            let a = self.trail.pop().expect("len checked");
+            self.value[a as usize] = None;
+            self.reason[a as usize] = Reason::None;
+            self.th.pop_level();
+        }
+        self.trail_lim.truncate(bl as usize);
+        self.qhead = self.trail.len();
+    }
+
+    /// Install a learned clause and assert its UIP literal.
+    fn learn_and_assert(&mut self, learned: Vec<Lit>) -> Result<(), Vec<Lit>> {
+        self.stats.learned_clauses += 1;
+        let ci = self.clauses.len() as u32;
+        let l0 = learned[0];
+        if learned.len() >= 2 {
+            self.watches[learned[0] as usize].push(ci);
+            self.watches[learned[1] as usize].push(ci);
+        } else {
+            self.units.push((l0, ci));
+        }
+        self.clauses.push(Clause { lits: learned });
+        match self.lit_is(l0) {
+            None => self.enqueue(l0, Reason::Clause(ci)),
+            Some(true) => Ok(()),
+            Some(false) => Err(self.clauses[ci as usize].lits.clone()),
+        }
+    }
+
+    /// Re-assert learned unit literals after a restart (they carry no watch
+    /// pair, so clause propagation alone would not recover them).
+    fn reassert_units(&mut self) -> Result<(), Vec<Lit>> {
+        for i in 0..self.units.len() {
+            let (l, ci) = self.units[i];
+            match self.lit_is(l) {
+                Some(true) => {}
+                Some(false) => return Err(vec![l]),
+                None => self.enqueue(l, Reason::Clause(ci))?,
+            }
+        }
+        Ok(())
+    }
+
+    /// The `<` split atom of the first false disequality whose two split
+    /// sides are both still open, if any. A model is only valid once every
+    /// false `Eq` has a strict side asserted in the theory (the axiom
+    /// clause forces one side as soon as the other dies, so "both open" is
+    /// the only case needing a decision).
+    fn pending_eq_split(&self) -> Option<u32> {
+        for &e in &self.eq_atoms {
+            if self.value[e as usize] == Some(false) {
+                let (lo, hi) = self.splits[e as usize].expect("eq atoms have splits");
+                if self.value[lo as usize] != Some(true) && self.value[hi as usize] != Some(true)
+                {
+                    return Some(lo);
+                }
+            }
+        }
+        None
+    }
+
+    fn decide(&mut self, a: u32) -> Option<Vec<Lit>> {
+        self.stats.decisions += 1;
+        self.trail_lim.push(self.trail.len());
+        // Try the true phase first, like the DPLL core's branch order.
+        self.enqueue(lit(a, true), Reason::Decision).err()
+    }
+
+    fn search(&mut self, root: &IF) -> GroundResult {
+        let mut conflict: Option<Vec<Lit>> = None;
+        loop {
+            if let Some(c) = conflict.take() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 || c.is_empty() {
+                    return GroundResult::Unsat;
+                }
+                let Some((learned, bl)) = self.analyze(&c) else {
+                    return GroundResult::Unsat;
+                };
+                self.backjumps.push(u64::from(self.decision_level() - bl));
+                self.backjump(bl);
+                if let Err(c2) = self.learn_and_assert(learned) {
+                    conflict = Some(c2);
+                }
+                self.act_inc /= 0.95;
+                self.conflicts_since_restart += 1;
+                if conflict.is_none() && self.conflicts_since_restart >= self.restart_threshold {
+                    self.stats.restarts += 1;
+                    self.conflicts_since_restart = 0;
+                    self.luby_idx += 1;
+                    self.restart_threshold = RESTART_BASE * luby(self.luby_idx);
+                    self.backjump(0);
+                    if let Err(c2) = self.reassert_units() {
+                        conflict = Some(c2);
+                    }
+                }
+                continue;
+            }
+            match self.propagate(root) {
+                Err(c) => conflict = Some(c),
+                Ok(Walk::True) => match self.pending_eq_split() {
+                    None => return GroundResult::Sat(self.th.model()),
+                    Some(a) => {
+                        if self.stats.decisions >= self.decision_limit {
+                            return GroundResult::Unknown;
+                        }
+                        conflict = self.decide(a);
+                    }
+                },
+                Ok(Walk::Branch(a)) => {
+                    if self.stats.decisions >= self.decision_limit {
+                        return GroundResult::Unknown;
+                    }
+                    conflict = self.decide(a);
+                }
+            }
+        }
+    }
+}
+
+/// Solve a ground NNF formula with the CDCL core. Returns the result, the
+/// search stats, and the per-conflict backjump depths (for the
+/// `solver.backjump_depth` histogram).
+pub(crate) fn solve(
+    f: &Formula,
+    vars: &VarTable,
+    decision_limit: u64,
+) -> (GroundResult, SearchStats, Vec<u64>) {
+    let mut s = Cdcl::new(vars, decision_limit);
+    let root = s.lower(f);
+    let result = s.search(&root);
+    s.stats.theory_relaxations = s.th.relaxations;
+    if matches!(result, GroundResult::Unknown) {
+        s.stats.unknown_exits = 1;
+    }
+    let backjumps = std::mem::take(&mut s.backjumps);
+    (result, s.stats, backjumps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn lit_encoding_round_trips() {
+        let l = lit(7, true);
+        assert_eq!(lit_atom(l), 7);
+        assert!(lit_value(l));
+        assert_eq!(lit_atom(lit_neg(l)), 7);
+        assert!(!lit_value(lit_neg(l)));
+    }
+}

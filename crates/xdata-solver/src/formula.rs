@@ -10,7 +10,7 @@ use crate::ids::{ArrayId, QVarId};
 /// Quantifiers range over the tuple indices `0..len` of one array, mirroring
 /// the paper's CVC3 constraints like
 /// `ASSERT NOT EXISTS (i : B_INT) : (B[i].0 = C[1].0 + 10)` (§V-D).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Formula {
     True,
     False,

@@ -39,7 +39,7 @@ impl fmt::Display for VarId {
 }
 
 /// Declaration of one tuple array.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ArraySpec {
     /// Human-readable name (base relation name), used in diagnostics.
     pub name: String,

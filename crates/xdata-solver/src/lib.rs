@@ -27,10 +27,23 @@
 //! ## Solving modes (§VI-B)
 //!
 //! * [`Mode::Unfold`] — bounded quantifiers are expanded into finite
-//!   conjunctions/disjunctions up-front, then a DPLL search over the ground
+//!   conjunctions/disjunctions up-front, then a search over the ground
 //!   formula with an integer-difference-logic theory (negative-cycle
 //!   detection) decides satisfiability. This is the paper's "with
 //!   unfolding" configuration.
+//!
+//! ## Ground search cores
+//!
+//! Two interchangeable engines decide the ground formula (selected by
+//! [`SearchCore`], default [`SearchCore::Cdcl`]):
+//!
+//! * **CDCL-lite** (`cdcl` module) — conflict-driven clause learning with
+//!   1-UIP learned clauses, non-chronological backjumping, theory conflicts
+//!   explained by the difference-logic negative cycle, VSIDS-style activity
+//!   ordering (deterministically tie-broken) and Luby restarts that keep
+//!   learned clauses.
+//! * **DPLL** ([`search`] module) — the original chronological
+//!   backtracking core, kept as a baseline and differential-testing oracle.
 //! * [`Mode::Lazy`] — quantifiers stay symbolic; the solver finds a model of
 //!   the ground part, checks the quantified constraints against it, and on
 //!   violation instantiates just the violated instance and re-solves
@@ -44,6 +57,7 @@
 //! rests on this.
 
 pub mod atom;
+mod cdcl;
 pub mod eval;
 pub mod formula;
 pub mod ids;
@@ -57,4 +71,4 @@ pub use atom::{Atom, RelOp, Term};
 pub use formula::Formula;
 pub use ids::{ArrayId, ArraySpec, QVarId, VarId, VarTable};
 pub use problem::{Mode, Model, Problem, SolveOutcome, SolverStats};
-pub use search::DEFAULT_DECISION_LIMIT;
+pub use search::{SearchCore, DEFAULT_DECISION_LIMIT};

@@ -12,11 +12,11 @@ use crate::eval::{eval, forall_violation};
 use crate::formula::Formula;
 use crate::ids::{ArrayId, ArraySpec, QVarId, VarTable};
 use crate::nnf::to_nnf;
-use crate::search::{solve_ground_with_limit, GroundResult};
+use crate::search::{solve_ground_with, GroundResult, SearchCore};
 use crate::unfold::unfold;
 
 /// Quantifier-handling strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// Expand all bounded quantifiers up-front (§VI-B). Fast.
     Unfold,
@@ -36,6 +36,14 @@ pub struct Model {
 }
 
 impl Model {
+    /// Construct a model from raw `VarId`-indexed values. Used by callers
+    /// that rebuild a model from externally stored values (e.g. the solve
+    /// memo in `xdata-core`, which replays a cached assignment against an
+    /// isomorphic problem).
+    pub fn from_values(values: Vec<i64>, vars: VarTable) -> Model {
+        Model { values, vars }
+    }
+
     /// Value of `array[index].field`.
     pub fn get(&self, array: ArrayId, index: u32, field: u32) -> i64 {
         self.values[self.vars.var(array, index, field).0 as usize]
@@ -76,6 +84,10 @@ pub struct SolverStats {
     /// Ground solves that exhausted their decision budget and returned
     /// `Unknown`.
     pub unknown_exits: u64,
+    /// Clauses learned by CDCL conflict analysis (0 under the DPLL core).
+    pub learned_clauses: u64,
+    /// CDCL restarts (0 under the DPLL core).
+    pub restarts: u64,
     /// Ground sub-solves (1 in `Unfold` mode, ≥1 in `Lazy`).
     pub ground_solves: u64,
     /// Quantifier instances added by lazy instantiation.
@@ -155,10 +167,22 @@ impl Problem {
     /// [`Problem::solve`] with an explicit decision budget; exceeding it
     /// yields [`SolveOutcome::Unknown`] instead of running on.
     pub fn solve_with_limit(&self, mode: Mode, limit: u64) -> (SolveOutcome, SolverStats) {
+        self.solve_with(mode, limit, SearchCore::default())
+    }
+
+    /// Fully explicit solve: quantifier mode, decision budget, and ground
+    /// search core ([`SearchCore::Cdcl`] or the baseline
+    /// [`SearchCore::Dpll`]).
+    pub fn solve_with(
+        &self,
+        mode: Mode,
+        limit: u64,
+        core: SearchCore,
+    ) -> (SolveOutcome, SolverStats) {
         let vars = self.var_table();
         match mode {
-            Mode::Unfold => self.solve_unfold(&vars, limit),
-            Mode::Lazy => self.solve_lazy(&vars, limit),
+            Mode::Unfold => self.solve_unfold(&vars, limit, core),
+            Mode::Lazy => self.solve_lazy(&vars, limit, core),
         }
     }
 
@@ -175,18 +199,25 @@ impl Problem {
         (out, stats)
     }
 
-    fn solve_unfold(&self, vars: &VarTable, limit: u64) -> (SolveOutcome, SolverStats) {
+    fn solve_unfold(
+        &self,
+        vars: &VarTable,
+        limit: u64,
+        core: SearchCore,
+    ) -> (SolveOutcome, SolverStats) {
         let nf = Formula::and(self.constraints.iter().map(to_nnf));
         let ground = unfold(&nf, vars);
         let mut stats = SolverStats { ground_solves: 1, ground_atoms: ground.atom_count(), ..SolverStats::default() };
         xdata_obs::counter("solver.ground_solves", 1);
         xdata_obs::observe("solver.ground_atoms", stats.ground_atoms as u64);
-        let (res, s) = solve_ground_with_limit(&ground, vars, limit.saturating_sub(stats.decisions));
+        let (res, s) = solve_ground_with(&ground, vars, limit.saturating_sub(stats.decisions), core);
         stats.decisions = s.decisions;
         stats.conflicts = s.conflicts;
         stats.theory_relaxations = s.theory_relaxations;
         stats.propagations = s.propagations;
         stats.unknown_exits = s.unknown_exits;
+        stats.learned_clauses = s.learned_clauses;
+        stats.restarts = s.restarts;
         (
             match res {
                 GroundResult::Sat(values) => {
@@ -199,7 +230,12 @@ impl Problem {
         )
     }
 
-    fn solve_lazy(&self, vars: &VarTable, limit: u64) -> (SolveOutcome, SolverStats) {
+    fn solve_lazy(
+        &self,
+        vars: &VarTable,
+        limit: u64,
+        core: SearchCore,
+    ) -> (SolveOutcome, SolverStats) {
         let mut stats = SolverStats::default();
         let mut working: Vec<Formula> = Vec::new();
         // Pending quantified constraints with their instantiation history.
@@ -223,12 +259,14 @@ impl Problem {
             stats.ground_atoms = ground.atom_count();
             xdata_obs::counter("solver.ground_solves", 1);
             xdata_obs::observe("solver.ground_atoms", stats.ground_atoms as u64);
-            let (res, s) = solve_ground_with_limit(&ground, vars, limit.saturating_sub(stats.decisions));
+            let (res, s) = solve_ground_with(&ground, vars, limit.saturating_sub(stats.decisions), core);
             stats.decisions += s.decisions;
             stats.conflicts += s.conflicts;
             stats.theory_relaxations += s.theory_relaxations;
             stats.propagations += s.propagations;
             stats.unknown_exits += s.unknown_exits;
+            stats.learned_clauses += s.learned_clauses;
+            stats.restarts += s.restarts;
             let model = match res {
                 GroundResult::Unsat => return (SolveOutcome::Unsat, stats),
                 GroundResult::Unknown => return (SolveOutcome::Unknown, stats),

@@ -1,17 +1,31 @@
-//! DPLL search over ground formulas with the difference-logic theory.
+//! Ground search over quantifier-free formulas with the difference-logic
+//! theory, in two interchangeable cores.
 //!
-//! The search walks the formula under the current partial assignment of
-//! (canonicalized) atoms; when the formula is neither decided true nor
-//! false it picks an undecided atom — preferring *unit* picks, i.e. atoms
-//! inside a disjunction whose other children are already false — and
-//! branches on it, asserting the matching difference bounds into the theory.
-//! `=` decided false branches twice (`<` then `>`), which together with the
-//! NNF-time `≠` elimination keeps every theory assertion a plain bound.
+//! * [`SearchCore::Cdcl`] (the default, implemented in the `cdcl` module) —
+//!   conflict-driven clause learning "lite": theory conflicts are explained
+//!   by the difference-logic negative cycle, conflicts are analyzed to a
+//!   1-UIP learned clause, the search backjumps non-chronologically,
+//!   decisions follow an activity-bumped (VSIDS-style, deterministically
+//!   tie-broken) heuristic, and Luby-sequence restarts keep learned clauses.
+//! * [`SearchCore::Dpll`] — the original chronological-backtracking DPLL
+//!   kept as a reference implementation: it walks the formula under the
+//!   current partial assignment, prefers *unit* picks, branches on the
+//!   chosen atom and asserts the matching difference bounds into the
+//!   theory, and on conflict rewinds one decision. `xdata-bench`'s
+//!   `solver_sweep` measures one core against the other, and differential
+//!   tests cross-check their verdicts.
 //!
-//! Chronological backtracking over an exhaustive branch set makes the search
-//! complete; the theory is decidable; hence `Unsat` is a proof that no model
-//! exists — the property X-Data's completeness guarantee (§V-G) relies on
-//! to equate "no dataset" with "equivalent mutant".
+//! Both cores share the canonical atom form defined here: strict operators
+//! are absorbed into constants (`x < k ⇔ x ≤ k−1`) and two-variable atoms
+//! order their variables, so syntactically different but semantically
+//! identical atoms share one assignment slot. `=` decided false is not a
+//! single bound; DPLL branches twice (`<` then `>`) while CDCL introduces
+//! the split atoms with an axiom clause `(x = k) ∨ (x ≤ k−1) ∨ (x ≥ k+1)`.
+//!
+//! Each core is complete over the exhaustive branch set and the theory is
+//! decidable, hence `Unsat` is a proof that no model exists — the property
+//! X-Data's completeness guarantee (§V-G) relies on to equate "no dataset"
+//! with "equivalent mutant".
 
 use std::collections::HashMap;
 
@@ -25,7 +39,7 @@ use crate::theory::{bounds_for, Bound, DiffLogic};
 /// so syntactically different but semantically identical atoms share one
 /// assignment slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Key {
+pub(crate) enum Key {
     /// `x ⋈ k` with `⋈ ∈ {Eq, Le, Ge}`.
     One { x: u32, op: CanonOp, k: i64 },
     /// `x − y ⋈ k` with `x < y` and `⋈ ∈ {Eq, Le, Ge}`.
@@ -33,7 +47,7 @@ enum Key {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum CanonOp {
+pub(crate) enum CanonOp {
     Eq,
     Le,
     Ge,
@@ -50,7 +64,7 @@ fn canon_op(op: RelOp, k: i64) -> (CanonOp, i64) {
     }
 }
 
-fn canon(diff: Diff) -> Result<Key, bool> {
+pub(crate) fn canon(diff: Diff) -> Result<Key, bool> {
     match diff {
         Diff::Ground(b) => Err(b),
         Diff::OneVar { x, op, k } => {
@@ -67,34 +81,85 @@ fn canon(diff: Diff) -> Result<Key, bool> {
 }
 
 impl Key {
-    /// The branches to try when deciding this atom: `(assigned value,
-    /// difference bounds to assert)`. Exhaustive over the atom's semantics.
-    fn branches(self, zero: u32) -> Vec<(bool, Vec<Bound>)> {
-        let diff = |op: RelOp, k: i64| match self {
+    fn diff(self, op: RelOp, k: i64) -> Diff {
+        match self {
             Key::One { x, .. } => Diff::OneVar { x: crate::ids::VarId(x), op, k },
             Key::Two { x, y, .. } => {
                 Diff::TwoVar { x: crate::ids::VarId(x), y: crate::ids::VarId(y), op, k }
             }
-        };
-        let (op, k) = match self {
-            Key::One { op, k, .. } | Key::Two { op, k, .. } => (op, k),
-        };
+        }
+    }
+
+    pub(crate) fn op(self) -> CanonOp {
+        match self {
+            Key::One { op, .. } | Key::Two { op, .. } => op,
+        }
+    }
+
+    pub(crate) fn k(self) -> i64 {
+        match self {
+            Key::One { k, .. } | Key::Two { k, .. } => k,
+        }
+    }
+
+    /// The key with the same variables but a different canonical operator
+    /// and constant — used by CDCL to intern the `<`/`>` split atoms of a
+    /// disequality.
+    pub(crate) fn with_op(self, op: CanonOp, k: i64) -> Key {
+        match self {
+            Key::One { x, .. } => Key::One { x, op, k },
+            Key::Two { x, y, .. } => Key::Two { x, y, op, k },
+        }
+    }
+
+    /// The difference bounds asserted when this atom is assigned `value`,
+    /// or `None` for `Eq` assigned false (a disjunction, not a bound).
+    pub(crate) fn bounds_when(self, value: bool, zero: u32) -> Option<Vec<Bound>> {
+        let (op, k) = (self.op(), self.k());
+        match (op, value) {
+            (CanonOp::Le, true) => bounds_for(self.diff(RelOp::Le, k), true, zero),
+            (CanonOp::Le, false) => bounds_for(self.diff(RelOp::Ge, k + 1), true, zero),
+            (CanonOp::Ge, true) => bounds_for(self.diff(RelOp::Ge, k), true, zero),
+            (CanonOp::Ge, false) => bounds_for(self.diff(RelOp::Le, k - 1), true, zero),
+            (CanonOp::Eq, true) => bounds_for(self.diff(RelOp::Eq, k), true, zero),
+            (CanonOp::Eq, false) => None,
+        }
+    }
+
+    /// The branches to try when deciding this atom: `(assigned value,
+    /// difference bounds to assert)`. Exhaustive over the atom's semantics.
+    fn branches(self, zero: u32) -> Vec<(bool, Vec<Bound>)> {
+        let (op, k) = (self.op(), self.k());
         match op {
             CanonOp::Le => vec![
-                (true, bounds_for(diff(RelOp::Le, k), true, zero).expect("Le is a bound")),
-                (false, bounds_for(diff(RelOp::Ge, k + 1), true, zero).expect("Ge is a bound")),
+                (true, bounds_for(self.diff(RelOp::Le, k), true, zero).expect("Le is a bound")),
+                (false, bounds_for(self.diff(RelOp::Ge, k + 1), true, zero).expect("Ge is a bound")),
             ],
             CanonOp::Ge => vec![
-                (true, bounds_for(diff(RelOp::Ge, k), true, zero).expect("Ge is a bound")),
-                (false, bounds_for(diff(RelOp::Le, k - 1), true, zero).expect("Le is a bound")),
+                (true, bounds_for(self.diff(RelOp::Ge, k), true, zero).expect("Ge is a bound")),
+                (false, bounds_for(self.diff(RelOp::Le, k - 1), true, zero).expect("Le is a bound")),
             ],
             CanonOp::Eq => vec![
-                (true, bounds_for(diff(RelOp::Eq, k), true, zero).expect("Eq is bounds")),
-                (false, bounds_for(diff(RelOp::Le, k - 1), true, zero).expect("Le is a bound")),
-                (false, bounds_for(diff(RelOp::Ge, k + 1), true, zero).expect("Ge is a bound")),
+                (true, bounds_for(self.diff(RelOp::Eq, k), true, zero).expect("Eq is bounds")),
+                (false, bounds_for(self.diff(RelOp::Le, k - 1), true, zero).expect("Le is a bound")),
+                (false, bounds_for(self.diff(RelOp::Ge, k + 1), true, zero).expect("Ge is a bound")),
             ],
         }
     }
+}
+
+/// Which ground search engine to run. [`SearchCore::Cdcl`] is the default;
+/// [`SearchCore::Dpll`] is the chronological reference kept for
+/// benchmarking (`solver_sweep`) and differential testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchCore {
+    /// Conflict-driven clause learning with theory explanations, 1-UIP
+    /// learning, non-chronological backjumping, activity-guided decisions
+    /// and Luby restarts.
+    #[default]
+    Cdcl,
+    /// Chronological-backtracking DPLL (the pre-CDCL engine).
+    Dpll,
 }
 
 /// Search statistics for one `solve_ground` call.
@@ -103,13 +168,18 @@ pub struct SearchStats {
     pub decisions: u64,
     pub conflicts: u64,
     pub theory_relaxations: u64,
-    /// Unit propagations: decisions that were *forced* (the atom sat under
-    /// conjunctions and single-live-child disjunctions only, so its false
-    /// branches were never explored). A subset of `decisions`.
+    /// Unit propagations: assignments that were *forced* — by a clause
+    /// becoming unit (CDCL), or by the formula walk finding an atom under
+    /// conjunctions and single-live-child disjunctions only (both cores).
     pub propagations: u64,
     /// 1 when this call exhausted its decision budget and returned
     /// [`GroundResult::Unknown`], 0 otherwise — summable across calls.
     pub unknown_exits: u64,
+    /// Clauses learned from conflict analysis (CDCL only).
+    pub learned_clauses: u64,
+    /// Luby-scheduled restarts taken (CDCL only); learned clauses and
+    /// activities survive each restart.
+    pub restarts: u64,
 }
 
 /// Result of the ground search.
@@ -260,8 +330,9 @@ impl<'a> Searcher<'a> {
 /// backstop against adversarial inputs.
 pub const DEFAULT_DECISION_LIMIT: u64 = 50_000_000;
 
-/// Decide a ground NNF formula (no quantifiers, no `Ne` atoms). Returns the
-/// model as a flat `VarId`-indexed vector when satisfiable.
+/// Decide a ground NNF formula (no quantifiers, no `Ne` atoms) with the
+/// default CDCL core. Returns the model as a flat `VarId`-indexed vector
+/// when satisfiable.
 pub fn solve_ground(f: &Formula, vars: &VarTable) -> (GroundResult, SearchStats) {
     solve_ground_with_limit(f, vars, DEFAULT_DECISION_LIMIT)
 }
@@ -273,6 +344,38 @@ pub fn solve_ground_with_limit(
     vars: &VarTable,
     decision_limit: u64,
 ) -> (GroundResult, SearchStats) {
+    solve_ground_with(f, vars, decision_limit, SearchCore::default())
+}
+
+/// [`solve_ground_with_limit`] with an explicit [`SearchCore`] selection.
+pub fn solve_ground_with(
+    f: &Formula,
+    vars: &VarTable,
+    decision_limit: u64,
+    core: SearchCore,
+) -> (GroundResult, SearchStats) {
+    let (result, stats, backjumps) = match core {
+        SearchCore::Cdcl => crate::cdcl::solve(f, vars, decision_limit),
+        SearchCore::Dpll => {
+            let (r, s) = solve_dpll(f, vars, decision_limit);
+            (r, s, Vec::new())
+        }
+    };
+    // Wire the stats into the global recorder (a no-op unless a metrics
+    // sink is installed). Recorded once per ground solve, not per decision,
+    // so the instrumented hot path stays hot.
+    xdata_obs::counter("solver.decisions", stats.decisions);
+    xdata_obs::counter("solver.conflicts", stats.conflicts);
+    xdata_obs::counter("solver.propagations", stats.propagations);
+    xdata_obs::counter("solver.theory_relaxations", stats.theory_relaxations);
+    xdata_obs::counter("solver.unknown_exits", stats.unknown_exits);
+    xdata_obs::counter("solver.learned_clauses", stats.learned_clauses);
+    xdata_obs::counter("solver.restarts", stats.restarts);
+    xdata_obs::observe_all("solver.backjump_depth", &backjumps);
+    (result, stats)
+}
+
+fn solve_dpll(f: &Formula, vars: &VarTable, decision_limit: u64) -> (GroundResult, SearchStats) {
     let mut s = Searcher {
         vars,
         th: DiffLogic::new(vars.num_vars()),
@@ -288,14 +391,6 @@ pub fn solve_ground_with_limit(
     if matches!(result, GroundResult::Unknown) {
         s.stats.unknown_exits = 1;
     }
-    // Wire the stats into the global recorder (a no-op unless a metrics
-    // sink is installed). Recorded once per ground solve, not per decision,
-    // so the instrumented hot path stays hot.
-    xdata_obs::counter("solver.decisions", s.stats.decisions);
-    xdata_obs::counter("solver.conflicts", s.stats.conflicts);
-    xdata_obs::counter("solver.propagations", s.stats.propagations);
-    xdata_obs::counter("solver.theory_relaxations", s.stats.theory_relaxations);
-    xdata_obs::counter("solver.unknown_exits", s.stats.unknown_exits);
     (result, s.stats)
 }
 
@@ -307,6 +402,8 @@ mod tests {
     use crate::ids::{ArrayId, ArraySpec};
     use crate::nnf::to_nnf;
 
+    const CORES: [SearchCore; 2] = [SearchCore::Cdcl, SearchCore::Dpll];
+
     fn vars(len: u32) -> VarTable {
         VarTable::new(&[ArraySpec { name: "r".into(), len, fields: 2 }])
     }
@@ -315,24 +412,39 @@ mod tests {
         Term::field(ArrayId(0), i, f)
     }
 
+    /// Check SAT on both cores; return the CDCL model.
     fn check_sat(f: &Formula, vt: &VarTable) -> Vec<i64> {
         let nf = to_nnf(f);
-        match solve_ground(&nf, vt).0 {
-            GroundResult::Sat(m) => {
-                assert!(eval(f, &m, vt), "model does not satisfy formula: {f} / {m:?}");
-                m
+        let mut model = None;
+        for core in CORES {
+            match solve_ground_with(&nf, vt, DEFAULT_DECISION_LIMIT, core).0 {
+                GroundResult::Sat(m) => {
+                    assert!(
+                        eval(f, &m, vt),
+                        "{core:?} model does not satisfy formula: {f} / {m:?}"
+                    );
+                    if core == SearchCore::Cdcl {
+                        model = Some(m);
+                    }
+                }
+                GroundResult::Unsat => panic!("{core:?}: expected sat: {f}"),
+                GroundResult::Unknown => panic!("{core:?}: unknown: {f}"),
             }
-            GroundResult::Unsat => panic!("expected sat: {f}"),
-            GroundResult::Unknown => panic!("unknown: {f}"),
         }
+        model.expect("CDCL ran")
     }
 
     fn check_unsat(f: &Formula, vt: &VarTable) {
         let nf = to_nnf(f);
-        assert!(
-            matches!(solve_ground(&nf, vt).0, GroundResult::Unsat),
-            "expected unsat: {f}"
-        );
+        for core in CORES {
+            assert!(
+                matches!(
+                    solve_ground_with(&nf, vt, DEFAULT_DECISION_LIMIT, core).0,
+                    GroundResult::Unsat
+                ),
+                "{core:?}: expected unsat: {f}"
+            );
+        }
     }
 
     #[test]
@@ -463,29 +575,42 @@ mod tests {
                 Formula::atom(fld(0, 1), RelOp::Eq, Term::Const(9)),
             ]),
         ]);
-        let (res, stats) = solve_ground_with_limit(&to_nnf(&f), &vt, 1);
-        assert!(matches!(res, GroundResult::Unknown), "budget of 1 must exhaust");
-        assert_eq!(stats.unknown_exits, 1, "{stats:?}");
-        assert!(stats.decisions <= 1, "{stats:?}");
-        // With a real budget the same formula solves, and the counter
-        // stays at zero.
-        let (res, stats) = solve_ground_with_limit(&to_nnf(&f), &vt, 1_000);
-        assert!(matches!(res, GroundResult::Sat(_)));
-        assert_eq!(stats.unknown_exits, 0, "{stats:?}");
+        for core in CORES {
+            let (res, stats) = solve_ground_with(&to_nnf(&f), &vt, 1, core);
+            assert!(matches!(res, GroundResult::Unknown), "{core:?}: budget of 1 must exhaust");
+            assert_eq!(stats.unknown_exits, 1, "{core:?}: {stats:?}");
+            assert!(stats.decisions <= 1, "{core:?}: {stats:?}");
+            // With a real budget the same formula solves, and the counter
+            // stays at zero.
+            let (res, stats) = solve_ground_with(&to_nnf(&f), &vt, 1_000, core);
+            assert!(matches!(res, GroundResult::Sat(_)), "{core:?}");
+            assert_eq!(stats.unknown_exits, 0, "{core:?}: {stats:?}");
+        }
     }
 
     #[test]
     fn unit_picks_counted_as_propagations() {
         let vt = vars(1);
-        // A pure conjunction: every decision is forced (score 1).
+        // A pure conjunction: every assignment is forced (score 1).
         let f = Formula::and([
             Formula::atom(fld(0, 0), RelOp::Ge, Term::Const(3)),
             Formula::atom(fld(0, 1), RelOp::Eq, fld(0, 0).plus(1)),
         ]);
-        let (res, stats) = solve_ground(&to_nnf(&f), &vt);
-        assert!(matches!(res, GroundResult::Sat(_)));
-        assert!(stats.propagations >= 2, "{stats:?}");
-        assert!(stats.propagations <= stats.decisions, "{stats:?}");
+        for core in CORES {
+            let (res, stats) = solve_ground_with(&to_nnf(&f), &vt, DEFAULT_DECISION_LIMIT, core);
+            assert!(matches!(res, GroundResult::Sat(_)), "{core:?}");
+            assert!(stats.propagations >= 2, "{core:?}: {stats:?}");
+            match core {
+                // Chronological DPLL counts a unit pick as both a
+                // propagation and a decision.
+                SearchCore::Dpll => {
+                    assert!(stats.propagations <= stats.decisions, "{stats:?}")
+                }
+                // CDCL propagates units for free: a pure conjunction needs
+                // no decisions at all.
+                SearchCore::Cdcl => assert_eq!(stats.decisions, 0, "{stats:?}"),
+            }
+        }
     }
 
     #[test]
@@ -496,7 +621,12 @@ mod tests {
         let b = Formula::atom(fld(1, 0).plus(3), RelOp::Ge, fld(0, 0));
         // They are mutually consistent and collapse into one decision.
         let f = Formula::and([a, b]);
-        let (_, stats) = solve_ground(&to_nnf(&f), &vt);
-        assert!(stats.decisions <= 2, "shared key should mean ≤2 decisions, got {stats:?}");
+        for core in CORES {
+            let (_, stats) = solve_ground_with(&to_nnf(&f), &vt, DEFAULT_DECISION_LIMIT, core);
+            assert!(
+                stats.decisions <= 2,
+                "{core:?}: shared key should mean ≤2 decisions, got {stats:?}"
+            );
+        }
     }
 }

@@ -18,7 +18,18 @@
 //! edge relaxes potentials along outgoing edges; if relaxation would lower
 //! the potential of the new edge's source, a negative cycle through the new
 //! edge exists and the assertion fails. All mutations are recorded on a
-//! trail so the DPLL search can backtrack cheaply.
+//! trail so the search can backtrack cheaply.
+//!
+//! ## Conflict explanations
+//!
+//! Every edge carries an opaque *tag* (the CDCL search uses the atom index
+//! of the literal that asserted it). During relaxation the theory tracks
+//! parent pointers, so when a negative cycle is detected it can walk the
+//! cycle and return the set of tags on its edges —
+//! [`DiffLogic::assert_all_tagged`] surfaces this as `Err(tags)`. That tag
+//! set is a *theory explanation*: the conjunction of exactly those literals
+//! is already contradictory, which is what lets conflict analysis learn a
+//! clause far smaller than the full assignment.
 //!
 //! One-variable bounds (`x ⋈ k`) use a designated *zero node*; extracted
 //! models are shifted so the zero node's value is 0.
@@ -61,6 +72,14 @@ pub fn bounds_for(diff: Diff, value: bool, zero: u32) -> Option<Vec<Bound>> {
     Some(bounds)
 }
 
+/// Sort, deduplicate, and drop [`NO_TAG`] from an explanation tag set.
+fn finish_tags(mut tags: Vec<u32>) -> Vec<u32> {
+    tags.sort_unstable();
+    tags.dedup();
+    tags.retain(|&t| t != NO_TAG);
+    tags
+}
+
 #[derive(Debug)]
 enum TrailEntry {
     /// Potential of node changed from `old`.
@@ -69,17 +88,28 @@ enum TrailEntry {
     Edge { node: u32 },
 }
 
+/// Tag for edges asserted through the untagged [`DiffLogic::assert_bound`]
+/// API; such edges are omitted from explanations.
+pub const NO_TAG: u32 = u32::MAX;
+
 /// Incremental difference-logic solver with push/pop levels.
 #[derive(Debug)]
 pub struct DiffLogic {
     /// Number of graph nodes (ground vars + 1 zero node).
     n: usize,
-    /// Feasible potentials: for every edge `u → (v, w)`, `pot[v] ≤ pot[u] + w`.
+    /// Feasible potentials: for every edge `u → (v, w, _)`, `pot[v] ≤ pot[u] + w`.
     pot: Vec<i64>,
-    /// Outgoing adjacency: `adj[u]` holds `(v, w)` meaning `x_v − x_u ≤ w`.
-    adj: Vec<Vec<(u32, i64)>>,
+    /// Outgoing adjacency: `adj[u]` holds `(v, w, tag)` meaning
+    /// `x_v − x_u ≤ w`, asserted by the literal identified by `tag`.
+    adj: Vec<Vec<(u32, i64, u32)>>,
     trail: Vec<TrailEntry>,
     levels: Vec<usize>,
+    /// Parent pointers for cycle extraction: `parent[y] = (x, tag)` means
+    /// node `y`'s potential was last lowered via edge `x → y` with `tag`,
+    /// during the relaxation identified by `visit_epoch[y] == epoch`.
+    parent: Vec<(u32, u32)>,
+    visit_epoch: Vec<u64>,
+    epoch: u64,
     /// Statistics: total relaxations performed.
     pub relaxations: u64,
 }
@@ -89,7 +119,17 @@ impl DiffLogic {
     /// zero node).
     pub fn new(num_vars: u32) -> Self {
         let n = num_vars as usize + 1;
-        DiffLogic { n, pot: vec![0; n], adj: vec![Vec::new(); n], trail: Vec::new(), levels: Vec::new(), relaxations: 0 }
+        DiffLogic {
+            n,
+            pot: vec![0; n],
+            adj: vec![Vec::new(); n],
+            trail: Vec::new(),
+            levels: Vec::new(),
+            parent: vec![(0, NO_TAG); n],
+            visit_epoch: vec![0; n],
+            epoch: 0,
+            relaxations: 0,
+        }
     }
 
     /// Node id of the zero variable.
@@ -120,22 +160,35 @@ impl DiffLogic {
     /// Assert `x_v − x_u ≤ w`. Returns `false` (and leaves state unchanged)
     /// if this contradicts the current constraint set.
     pub fn assert_bound(&mut self, b: Bound) -> bool {
+        self.assert_bound_tagged(b, NO_TAG).is_ok()
+    }
+
+    /// Assert `x_v − x_u ≤ w`, recording `tag` on the new edge. On
+    /// contradiction the state is left unchanged and `Err` carries the
+    /// sorted, deduplicated tags of the edges on a negative cycle through
+    /// the new edge (including `tag` itself; [`NO_TAG`] edges are omitted).
+    pub fn assert_bound_tagged(&mut self, b: Bound, tag: u32) -> Result<(), Vec<u32>> {
         let Bound { u, v, w } = b;
         if u == v {
-            return w >= 0;
+            // A self-loop is a ground fact: `0 ≤ w`. Negative means the
+            // literal alone is contradictory — the explanation is itself.
+            return if w >= 0 { Ok(()) } else { Err(finish_tags(vec![tag])) };
         }
         let (u, v) = (u as usize, v as usize);
         if self.pot[v] <= self.pot[u] + w {
             // Already satisfied; just record the edge.
-            self.adj[u].push((v as u32, w));
+            self.adj[u].push((v as u32, w, tag));
             self.trail.push(TrailEntry::Edge { node: u as u32 });
-            return true;
+            return Ok(());
         }
         // Tentatively relax. Record a local mark so a detected negative
         // cycle can roll back the partial relaxation immediately.
         let mark = self.trail.len();
+        self.epoch += 1;
         self.trail.push(TrailEntry::Pot { node: v as u32, old: self.pot[v] });
         self.pot[v] = self.pot[u] + w;
+        self.parent[v] = (u as u32, tag);
+        self.visit_epoch[v] = self.epoch;
         let mut queue: VecDeque<u32> = VecDeque::new();
         queue.push_back(v as u32);
         while let Some(x) = queue.pop_front() {
@@ -143,37 +196,70 @@ impl DiffLogic {
             // Iterate over a snapshot length: edges never change during
             // relaxation, only potentials.
             for i in 0..self.adj[x as usize].len() {
-                let (y, wy) = self.adj[x as usize][i];
+                let (y, wy, tagy) = self.adj[x as usize][i];
                 let cand = px + wy;
                 if cand < self.pot[y as usize] {
                     if y as usize == u {
-                        // Lowering the new edge's source ⇒ negative cycle.
+                        // Lowering the new edge's source ⇒ negative cycle
+                        // u → v ⇝ x → u. Walk the parent chain from x back
+                        // to v collecting the tags on the cycle.
+                        let tags = self.cycle_tags(x, v as u32, tag, tagy);
                         self.undo_to(mark);
-                        return false;
+                        return Err(tags);
                     }
                     self.relaxations += 1;
                     self.trail.push(TrailEntry::Pot { node: y, old: self.pot[y as usize] });
                     self.pot[y as usize] = cand;
+                    self.parent[y as usize] = (x, tagy);
+                    self.visit_epoch[y as usize] = self.epoch;
                     queue.push_back(y);
                 }
             }
         }
-        self.adj[u].push((v as u32, w));
+        self.adj[u].push((v as u32, w, tag));
         self.trail.push(TrailEntry::Edge { node: u as u32 });
-        true
+        Ok(())
+    }
+
+    /// Tags of the edges on the negative cycle `u → v ⇝ x → u`: the new
+    /// edge's `tag`, the closing edge's `tag_close`, and the parent-chain
+    /// tags from `x` back to `v`. If the parent chain loops before reaching
+    /// `v` (queue-based relaxation can form parent cycles precisely when a
+    /// negative cycle exists) the walk stops after `n` steps — the collected
+    /// superset still contains a negative cycle, so it remains a sound
+    /// explanation.
+    fn cycle_tags(&self, x: u32, v: u32, tag: u32, tag_close: u32) -> Vec<u32> {
+        let mut tags = vec![tag, tag_close];
+        let mut cur = x;
+        let mut steps = 0;
+        while cur != v && steps <= self.n && self.visit_epoch[cur as usize] == self.epoch {
+            let (p, t) = self.parent[cur as usize];
+            tags.push(t);
+            cur = p;
+            steps += 1;
+        }
+        finish_tags(tags)
     }
 
     /// Assert all bounds of a literal; on failure the partial assertion is
     /// rolled back (caller still owns its push/pop level).
     pub fn assert_all(&mut self, bounds: &[Bound]) -> bool {
+        self.assert_all_tagged(bounds, NO_TAG).is_ok()
+    }
+
+    /// [`DiffLogic::assert_all`] with a tag for every edge of the literal;
+    /// on contradiction returns the explanation tags (see
+    /// [`DiffLogic::assert_bound_tagged`]) with the partial assertion rolled
+    /// back.
+    pub fn assert_all_tagged(&mut self, bounds: &[Bound], tag: u32) -> Result<(), Vec<u32>> {
         let mark = self.trail.len();
         for b in bounds {
-            if !self.assert_bound(*b) {
+            if let Err(tags) = self.assert_bound_tagged(*b, tag) {
                 self.undo_to(mark);
-                return false;
+                return Err(tags);
             }
         }
-        true
+        Ok(())
     }
 
     /// Extract a model: values for every ground variable, shifted so the
@@ -287,6 +373,54 @@ mod tests {
         // x < 5 false ⇒ x >= 5 ⇒ zero - x <= -5
         let nb = bounds_for(d, false, 7).unwrap();
         assert_eq!(nb, vec![Bound { u: 0, v: 7, w: -5 }]);
+    }
+
+    #[test]
+    fn explanation_names_the_cycle_edges() {
+        let mut t = DiffLogic::new(4);
+        // Tags 10..13 form a chain; tag 99 closes a negative cycle.
+        assert!(t.assert_all_tagged(&[le(0, 1, 1)], 10).is_ok());
+        assert!(t.assert_all_tagged(&[le(1, 2, 1)], 11).is_ok());
+        assert!(t.assert_all_tagged(&[le(2, 3, 1)], 12).is_ok());
+        // An irrelevant edge elsewhere must not appear in the explanation.
+        let z = t.zero();
+        assert!(t.assert_all_tagged(&[Bound { u: z, v: 0, w: 100 }], 50).is_ok());
+        let err = t.assert_all_tagged(&[le(3, 0, -4)], 99).unwrap_err();
+        assert_eq!(err, vec![10, 11, 12, 99]);
+        // State rolled back: the zero-weight closure still fits.
+        assert!(t.assert_bound(le(3, 0, -3)));
+    }
+
+    #[test]
+    fn explanation_for_two_edge_cycle() {
+        let mut t = DiffLogic::new(2);
+        assert!(t.assert_all_tagged(&[le(1, 0, -1)], 7).is_ok());
+        let err = t.assert_all_tagged(&[le(0, 1, -1)], 8).unwrap_err();
+        assert_eq!(err, vec![7, 8]);
+    }
+
+    #[test]
+    fn explanation_for_self_contradictory_literal() {
+        let mut t = DiffLogic::new(1);
+        let err = t.assert_all_tagged(&[le(0, 0, -1)], 3).unwrap_err();
+        assert_eq!(err, vec![3]);
+    }
+
+    #[test]
+    fn untagged_edges_are_omitted_from_explanations() {
+        let mut t = DiffLogic::new(2);
+        assert!(t.assert_bound(le(1, 0, -1)));
+        let err = t.assert_all_tagged(&[le(0, 1, -1)], 4).unwrap_err();
+        assert_eq!(err, vec![4]);
+    }
+
+    #[test]
+    fn eq_literal_both_edges_share_one_tag() {
+        let mut t = DiffLogic::new(2);
+        // x0 = x1 under tag 5, then x0 < x1 under tag 6.
+        assert!(t.assert_all_tagged(&[le(0, 1, 0), le(1, 0, 0)], 5).is_ok());
+        let err = t.assert_all_tagged(&[le(1, 0, -1)], 6).unwrap_err();
+        assert_eq!(err, vec![5, 6]);
     }
 
     #[test]

@@ -9,6 +9,10 @@ cargo build --release --offline
 cargo test -q --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Doc gate: every crate must document cleanly — broken intra-doc links,
+# bare URLs and other rustdoc lints fail the build.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
 # Metrics-schema gate: the library-level tests assert every canonical
 # counter/histogram/span key is present and that the timing-stripped
 # report is byte-identical across --jobs values.
@@ -26,7 +30,9 @@ trap 'rm -f "$M1" "$M4"' EXIT
     --query "$Q" --jobs 4 --metrics-json "$M4" > /dev/null
 for key in solver.decisions solver.conflicts solver.propagations \
     solver.theory_relaxations solver.unknown_exits \
+    solver.learned_clauses solver.restarts solver.backjump_depth \
     core.skeleton_cache.hit core.skeleton_cache.miss \
+    core.solve_memo.hit core.solve_memo.miss \
     kill.killed.join timings_ns; do
     grep -q "\"$key\"" "$M1" || { echo "ci: metrics key $key missing" >&2; exit 1; }
 done

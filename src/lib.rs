@@ -24,16 +24,64 @@
 //! }
 //! ```
 //!
-//! The heavy lifting lives in the member crates, re-exported here:
+//! # Pipeline
 //!
-//! * [`catalog`] — schemata, values, constraints, domains;
-//! * [`sql`] — the SQL parser for the paper's query class;
-//! * [`relalg`] — normalization, equivalence classes, the mutation space;
-//! * [`solver`] — the constraint solver (the paper used CVC3);
-//! * [`engine`] — the executor used to check which mutants a dataset kills;
-//! * [`core`] — the generation algorithms themselves;
-//! * [`obs`] — the zero-dependency tracing/metrics layer over the
+//! A query flows **parse → normalize → mutate → constrain → solve →
+//! kill**, each stage owned by one member crate (re-exported here):
+//!
+//! * [`sql`] — *parse*: lexer + recursive-descent parser for the paper's
+//!   query class, plus `CREATE TABLE` DDL;
+//! * [`catalog`] — schemata, SQL values with NULL/3VL, PK/FK constraints,
+//!   attribute domains;
+//! * [`relalg`] — *normalize* and *mutate*: equivalence classes of
+//!   equi-joined attributes, enumeration of equivalent join trees, the
+//!   three mutant generators with canonical-form dedup;
+//! * [`core`] — *constrain*: the paper's Algorithms 1–4 plan one target
+//!   per mutant group and encode it as constraints over tuple-array
+//!   variables (PK functional dependencies, FK `∀∃`, query + kill
+//!   conditions), then materialize models into datasets;
+//! * [`solver`] — *solve*: a conflict-driven (CDCL-lite) search over
+//!   integer difference logic — theory-explained conflicts, 1-UIP
+//!   learning, backjumping, Luby restarts — standing in for the paper's
+//!   CVC3;
+//! * [`engine`] — *kill*: an in-memory bag-semantics executor runs the
+//!   original and every mutant on each dataset and reports which dataset
+//!   kills which mutant;
+//! * [`obs`] — the zero-dependency tracing/metrics layer over the whole
 //!   plan→solve→kill pipeline (`--metrics-json`, `--trace`).
+//!
+//! # Tuning generation
+//!
+//! [`XData`] builder methods cover the common knobs; the full set lives on
+//! [`core::GenOptions`]:
+//!
+//! ```
+//! use xdata::core::GenOptions;
+//! use xdata::solver::{Mode, SearchCore};
+//!
+//! let opts = GenOptions { jobs: 4, ..GenOptions::default() };
+//! assert_eq!(opts.mode, Mode::Unfold);       // §VI-B fast configuration
+//! assert_eq!(opts.core, SearchCore::Cdcl);   // conflict-driven ground core
+//! assert!(opts.decision_limit > 1_000_000);  // budget exhaustion ⇒ skip-with-reason
+//! ```
+//!
+//! # Using the solver directly
+//!
+//! Constraint problems can be posed straight to the solver layer:
+//!
+//! ```
+//! use xdata::solver::{Atom, Formula, Mode, Problem, RelOp, SolveOutcome, Term};
+//!
+//! let mut p = Problem::new();
+//! let r = p.add_array("r", 1, 2); // one tuple with two fields
+//! let (x, y) = (Term::field(r, 0, 0), Term::field(r, 0, 1));
+//! p.assert(Formula::Atom(Atom::new(x, RelOp::Lt, y)));
+//! p.assert(Formula::Atom(Atom::new(y, RelOp::Le, Term::Const(10))));
+//! match p.solve(Mode::Unfold).0 {
+//!     SolveOutcome::Sat(m) => assert!(m.get(r, 0, 0) < m.get(r, 0, 1)),
+//!     other => panic!("expected a model, got {other:?}"),
+//! }
+//! ```
 
 use std::fmt;
 

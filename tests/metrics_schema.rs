@@ -65,6 +65,38 @@ fn report_contains_every_canonical_key() {
     assert!(order.windows(2).all(|w| w[0] < w[1]), "top-level keys out of order");
 }
 
+/// The reverse inclusion of `report_contains_every_canonical_key`: an
+/// instrumentation site recording a counter or histogram that is not in
+/// the `xdata_obs::names` registry fails here, so the canonical lists and
+/// the recorded key set cannot silently desynchronize in either direction.
+#[test]
+fn recorded_keys_are_all_canonical() {
+    let _g = lock();
+    let report = evaluate_with_jobs(1);
+    for name in report.counters.keys() {
+        assert!(
+            obs::ALL_COUNTERS.contains(name),
+            "counter {name} is recorded but missing from xdata_obs::names::ALL_COUNTERS"
+        );
+    }
+    for name in report.histograms.keys() {
+        assert!(
+            obs::ALL_HISTOGRAMS.contains(name),
+            "histogram {name} is recorded but missing from xdata_obs::names::ALL_HISTOGRAMS"
+        );
+    }
+    for path in report.spans.keys() {
+        assert!(
+            obs::PHASE_SPANS.contains(&path.as_str()),
+            "span {path} is recorded but missing from xdata_obs::names::PHASE_SPANS"
+        );
+    }
+    // The registry itself must stay sorted — preseeding relies on it for
+    // the report's stable key order and reviewers rely on it for diffs.
+    assert!(obs::ALL_COUNTERS.windows(2).all(|w| w[0] < w[1]), "ALL_COUNTERS not sorted");
+    assert!(obs::ALL_HISTOGRAMS.windows(2).all(|w| w[0] < w[1]), "ALL_HISTOGRAMS not sorted");
+}
+
 #[test]
 fn pipeline_actually_records() {
     let _g = lock();
