@@ -33,9 +33,11 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::{Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use xdata_catalog::{DomainCatalog, Schema, Value};
+use xdata_par::CancelToken;
 use xdata_relalg::{AttrRef, NormQuery, Operand, SelectSpec};
 use xdata_sql::CompareOp;
 use xdata_solver::{Atom, Formula, Mode, Model, Problem, RelOp, SolveOutcome, SolverStats, Term};
@@ -58,6 +60,22 @@ pub fn generate(
     domains: &DomainCatalog,
     opts: &GenOptions,
 ) -> Result<TestSuite, GenError> {
+    let cancel = CancelToken::for_deadline_ms(opts.deadline_ms);
+    generate_cancellable(query, schema, domains, opts, &cancel)
+}
+
+/// [`generate`] under a caller-supplied [`CancelToken`] (typically the
+/// suite-level deadline token also spanning the kill evaluation). When the
+/// token trips mid-run the suite completes *partially*: targets never
+/// started or abandoned mid-solve come back as [`SkipReason::Timeout`]
+/// skips, attributed by label — nothing is silently dropped.
+pub fn generate_cancellable(
+    query: &NormQuery,
+    schema: &Schema,
+    domains: &DomainCatalog,
+    opts: &GenOptions,
+    cancel: &CancelToken,
+) -> Result<TestSuite, GenError> {
     let _gen_span = xdata_obs::span("generate");
     // Preprocessing beyond what normalization did: make sure every string
     // literal in the query is dictionary-coded.
@@ -75,12 +93,18 @@ pub fn generate(
         gen.plan()
     };
     xdata_obs::counter("core.targets.planned", plan.len() as u64);
-    let outcomes = xdata_par::try_par_map(opts.jobs, &plan, |_, item| gen.run_item(item))?;
+    let outcomes =
+        xdata_par::par_map_cancel(opts.jobs, &plan, cancel, |_, item| gen.run_item(item, cancel));
     let mut suite = TestSuite::default();
     for (item, outcome) in plan.into_iter().zip(outcomes) {
         match outcome {
-            ItemOutcome::Dataset(d) => suite.datasets.push(d),
-            ItemOutcome::Skipped(reason) => {
+            // The suite deadline tripped before this target was claimed.
+            None => suite
+                .skipped
+                .push(SkippedTarget { label: item.label, reason: SkipReason::Timeout }),
+            Some(Err(e)) => return Err(e),
+            Some(Ok(ItemOutcome::Dataset(d))) => suite.datasets.push(d),
+            Some(Ok(ItemOutcome::Skipped(reason))) => {
                 suite.skipped.push(SkippedTarget { label: item.label, reason })
             }
         }
@@ -89,6 +113,13 @@ pub fn generate(
     // order-preserved outcomes — deterministic for every `jobs` value.
     xdata_obs::counter("core.targets.solved", suite.datasets.len() as u64);
     xdata_obs::counter("core.targets.skipped", suite.skipped.len() as u64);
+    let timed_out =
+        suite.skipped.iter().filter(|s| matches!(s.reason, SkipReason::Timeout)).count();
+    let faulted =
+        suite.skipped.iter().filter(|s| matches!(s.reason, SkipReason::Fault { .. })).count();
+    xdata_obs::counter("core.targets.timed_out", timed_out as u64);
+    xdata_obs::counter("core.targets.faulted", faulted as u64);
+    xdata_obs::counter("core.partial_suites", u64::from(suite.is_partial()));
     for d in &suite.datasets {
         let rows = d.dataset.total_tuples() as u64;
         xdata_obs::counter("core.rows_emitted", rows);
@@ -236,6 +267,8 @@ enum Target {
     Equivalent,
     /// The decision budget ran out before a verdict.
     GaveUp { decisions: u64 },
+    /// The cancellation token tripped before a verdict.
+    TimedOut,
 }
 
 /// Outcome of one solve attempt (one ladder of repair capacities).
@@ -243,6 +276,7 @@ enum SolveRes {
     Dataset(GeneratedDataset),
     Unsat,
     GaveUp { decisions: u64 },
+    TimedOut,
 }
 
 /// Cross-target memo over complete solve calls.
@@ -285,6 +319,9 @@ impl MemoOutcome {
             SolveOutcome::Sat(m) => MemoOutcome::Sat(m.values().to_vec()),
             SolveOutcome::Unsat => MemoOutcome::Unsat,
             SolveOutcome::Unknown => MemoOutcome::Unknown,
+            // `solve_memoized` filters Cancelled before capturing: a
+            // withdrawn time budget is not a verdict and must not be reused.
+            SolveOutcome::Cancelled => unreachable!("Cancelled outcomes are never memoized"),
         }
     }
 
@@ -296,6 +333,31 @@ impl MemoOutcome {
             MemoOutcome::Unsat => SolveOutcome::Unsat,
             MemoOutcome::Unknown => SolveOutcome::Unknown,
         }
+    }
+}
+
+/// Lock a mutex tolerating poison: the protected maps are only ever
+/// mutated by whole-entry insert/remove, so a panic on another thread
+/// cannot leave them in a torn state worth refusing to read.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Drop guard owning a [`MemoEntry::Pending`] claim: unless defused with
+/// [`std::mem::forget`], dropping it removes the claim and wakes every
+/// thread waiting on the key. This is the memo's unwind safety — a panic
+/// (or a `Cancelled` early return) in the computing thread releases the
+/// key instead of leaving waiters parked forever on the condvar.
+struct PendingGuard<'m> {
+    memo: &'m SolveMemo,
+    key: (u64, u64),
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut map = lock_ignore_poison(&self.memo.map);
+        map.remove(&self.key);
+        self.memo.done.notify_all();
     }
 }
 
@@ -499,25 +561,64 @@ impl<'a> Gen<'a> {
 
     /// Execute one plan item. Pure function of the item (given the query,
     /// schema, domains and options), so execution order cannot influence
-    /// any result — the determinism guarantee rests here.
-    fn run_item(&self, item: &PlanItem) -> Result<ItemOutcome, GenError> {
+    /// any result — the determinism guarantee rests here. Degradation is
+    /// contained per item: a tripped token becomes a [`SkipReason::Timeout`]
+    /// skip, a panicking solve (chaos-injected or a genuine bug) is caught
+    /// and becomes [`SkipReason::Fault`] — neither can take down the suite.
+    fn run_item(&self, item: &PlanItem, cancel: &CancelToken) -> Result<ItemOutcome, GenError> {
         let _solve_span = xdata_obs::span_with("generate/solve", || item.label.clone());
-        match &item.work {
-            Work::Skip(reason) => Ok(ItemOutcome::Skipped(reason.clone())),
-            Work::Solve(TargetSpec::Aggregate { a, copies }) => {
-                self.solve_aggregate(&item.label, *a, *copies)
+        if let Work::Skip(reason) = &item.work {
+            return Ok(ItemOutcome::Skipped(reason.clone()));
+        }
+        // The target token trips when the suite token does *or* when the
+        // per-target budget runs out; cancelling it never touches siblings.
+        let token = cancel.child_for_deadline_ms(self.opts.per_target_deadline_ms);
+        if self.opts.faults.should_expire(&item.label) {
+            // Synthetic expiry: deterministic (schedule-independent) and
+            // carrying no wall-clock latency sample.
+            token.cancel();
+        }
+        if token.is_cancelled() {
+            return Ok(ItemOutcome::Skipped(SkipReason::Timeout));
+        }
+        if self.opts.faults.should_unknown(&item.label) {
+            // A forced Unknown exit takes the same road a blown decision
+            // budget takes, without spending any decisions.
+            return Ok(ItemOutcome::Skipped(SkipReason::Budget { decisions: 0 }));
+        }
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if self.opts.faults.should_panic(&item.label) {
+                panic!("chaos: injected panic at `{}`", item.label);
             }
-            Work::Solve(spec) => {
-                let target = self.solve_target(spec.copies(), &item.label, &|b| {
-                    self.assert_spec(b, spec)
-                })?;
-                Ok(match target {
-                    Target::Dataset(d) => ItemOutcome::Dataset(d),
-                    Target::Equivalent => ItemOutcome::Skipped(SkipReason::Equivalent),
-                    Target::GaveUp { decisions } => {
-                        ItemOutcome::Skipped(SkipReason::Budget { decisions })
-                    }
-                })
+            match &item.work {
+                Work::Solve(TargetSpec::Aggregate { a, copies }) => {
+                    self.solve_aggregate(&item.label, *a, *copies, &token)
+                }
+                Work::Solve(spec) => {
+                    let target = self.solve_target(spec.copies(), &item.label, &token, &|b| {
+                        self.assert_spec(b, spec)
+                    })?;
+                    Ok(match target {
+                        Target::Dataset(d) => ItemOutcome::Dataset(d),
+                        Target::Equivalent => ItemOutcome::Skipped(SkipReason::Equivalent),
+                        Target::GaveUp { decisions } => {
+                            ItemOutcome::Skipped(SkipReason::Budget { decisions })
+                        }
+                        Target::TimedOut => ItemOutcome::Skipped(SkipReason::Timeout),
+                    })
+                }
+                Work::Skip(_) => unreachable!("handled above"),
+            }
+        }));
+        match attempt {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                Ok(ItemOutcome::Skipped(SkipReason::Fault { message }))
             }
         }
     }
@@ -683,6 +784,7 @@ impl<'a> Gen<'a> {
         label: &str,
         a: AttrRef,
         copies: u32,
+        cancel: &CancelToken,
     ) -> Result<ItemOutcome, GenError> {
         let SelectSpec::Aggregation { group_by, having, .. } = &self.query.select else {
             unreachable!("aggregate target implies aggregation");
@@ -696,7 +798,7 @@ impl<'a> Gen<'a> {
         // third value).
         let mut enabled = [true; 5]; // [POS_STRONG, POS_WEAK, S3, S1, S2]
         loop {
-            let target = self.solve_target(copies, label, &|b| {
+            let target = self.solve_target(copies, label, cancel, &|b| {
                 self.assert_aggregate_conds(b, group_by, having, a, copies, enabled)
             })?;
             match target {
@@ -706,6 +808,8 @@ impl<'a> Gen<'a> {
                     // (larger-feasible-space) retries: report it now.
                     return Ok(ItemOutcome::Skipped(SkipReason::Budget { decisions }));
                 }
+                // No time left for the relaxation ladder either.
+                Target::TimedOut => return Ok(ItemOutcome::Skipped(SkipReason::Timeout)),
                 Target::Equivalent => {
                     // Relax the next enabled optional set.
                     if let Some(i) = enabled.iter().position(|e| *e) {
@@ -724,7 +828,10 @@ impl<'a> Gen<'a> {
     /// arrays plus `genDBConstraints`, quantifiers pre-expanded in unfold
     /// mode. Built once under the lock, cloned per use.
     fn skeleton(&self, copies: u32, cap: u32) -> Result<ConstraintBuilder<'a>, GenError> {
-        let mut map = self.skeletons.lock().expect("skeleton lock");
+        // Poison-tolerant: a chaos-injected panic on a sibling target must
+        // not wedge every later skeleton lookup (the cached builders are
+        // only ever inserted whole, so the data is valid regardless).
+        let mut map = lock_ignore_poison(&self.skeletons);
         if let Some(b) = map.get(&(copies, cap)) {
             // Hit/miss totals are deterministic across thread counts: the
             // lock is held across build-and-insert, so each (copies, cap)
@@ -754,6 +861,7 @@ impl<'a> Gen<'a> {
         &self,
         copies: u32,
         label: &str,
+        cancel: &CancelToken,
         f: &dyn Fn(&mut ConstraintBuilder<'_>) -> Result<(), GenError>,
     ) -> Result<Target, GenError> {
         let with_input = self.opts.input_db.is_some();
@@ -763,25 +871,44 @@ impl<'a> Gen<'a> {
             // paper's §VI-A recovery path is "retry data generation after
             // removing these constraints" anyway — so both Unsat and a
             // blown budget fall through to the unconstrained attempt.
-            match self.solve_once(copies, label, f, true)? {
+            match self.solve_once(copies, label, cancel, f, true)? {
                 SolveRes::Dataset(ds) => return Ok(Target::Dataset(ds)),
+                // A tripped token is latched: the unconstrained attempt
+                // would exit immediately too, so report the timeout now.
+                SolveRes::TimedOut => return Ok(Target::TimedOut),
                 SolveRes::Unsat | SolveRes::GaveUp { .. } => {}
             }
         }
-        match self.solve_once(copies, label, f, false)? {
+        match self.solve_once(copies, label, cancel, f, false)? {
             SolveRes::Dataset(ds) => Ok(Target::Dataset(ds)),
             SolveRes::Unsat => Ok(Target::Equivalent),
             SolveRes::GaveUp { decisions } => Ok(Target::GaveUp { decisions }),
+            SolveRes::TimedOut => Ok(Target::TimedOut),
         }
     }
 
     /// Solve with the cross-target memo: the first thread to see a
     /// structural key computes; duplicates (concurrent or later) reuse the
     /// stored verdict, model values and stats.
-    fn solve_memoized(&self, problem: &Problem, limit: u64) -> (SolveOutcome, SolverStats) {
+    ///
+    /// Two degradation rules keep the memo honest under cancellation and
+    /// chaos:
+    /// * a [`SolveOutcome::Cancelled`] result is **never stored** — it is a
+    ///   withdrawn time budget, not a verdict, and caching it would poison
+    ///   structurally identical targets that still have time;
+    /// * the `Pending` claim is dropped (and waiters woken) on *any* exit
+    ///   from the computing thread, including a panic unwinding through —
+    ///   so a chaos-killed solve can never deadlock the threads parked on
+    ///   its key.
+    fn solve_memoized(
+        &self,
+        problem: &Problem,
+        limit: u64,
+        cancel: &CancelToken,
+    ) -> (SolveOutcome, SolverStats) {
         let key = memo_key(problem, self.opts, limit);
         {
-            let mut map = self.memo.map.lock().expect("solve memo");
+            let mut map = lock_ignore_poison(&self.memo.map);
             loop {
                 match map.get(&key) {
                     None => {
@@ -790,7 +917,11 @@ impl<'a> Gen<'a> {
                         break;
                     }
                     Some(MemoEntry::Pending) => {
-                        map = self.memo.done.wait(map).expect("solve memo");
+                        map = self
+                            .memo
+                            .done
+                            .wait(map)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
                     Some(MemoEntry::Done(v)) => {
                         xdata_obs::counter("core.solve_memo.hit", 1);
@@ -799,10 +930,20 @@ impl<'a> Gen<'a> {
                 }
             }
         }
-        let (out, stats) = problem.solve_with(self.opts.mode, limit, self.opts.core);
+        // From here until the entry is resolved, this thread owns the
+        // Pending claim; the guard releases it on every exit path.
+        let guard = PendingGuard { memo: &self.memo, key };
+        let (out, stats) = problem.solve_cancel(self.opts.mode, limit, self.opts.core, cancel);
+        if matches!(out, SolveOutcome::Cancelled) {
+            // Not a verdict: drop the claim (guard wakes the waiters; the
+            // next arriver recomputes under its own time budget).
+            drop(guard);
+            return (out, stats);
+        }
         let value = MemoValue { outcome: MemoOutcome::capture(&out), stats };
-        let mut map = self.memo.map.lock().expect("solve memo");
+        let mut map = lock_ignore_poison(&self.memo.map);
         map.insert(key, MemoEntry::Done(value));
+        std::mem::forget(guard); // entry resolved; nothing to clean up
         self.memo.done.notify_all();
         drop(map);
         (out, stats)
@@ -812,6 +953,7 @@ impl<'a> Gen<'a> {
         &self,
         copies: u32,
         label: &str,
+        cancel: &CancelToken,
         f: &dyn Fn(&mut ConstraintBuilder<'_>) -> Result<(), GenError>,
         use_input: bool,
     ) -> Result<SolveRes, GenError> {
@@ -821,6 +963,11 @@ impl<'a> Gen<'a> {
         // full capacity means "no such dataset" (equivalent mutants).
         let mut agg_stats = xdata_solver::SolverStats::default();
         for (rung, cap) in crate::builder::REPAIR_LADDER.iter().enumerate() {
+            // Between rungs is the natural bail-out point: skeleton cloning
+            // and constraint building are wasted work once the token trips.
+            if cancel.is_cancelled() {
+                return Ok(SolveRes::TimedOut);
+            }
             let b = if use_input {
                 // Input constraints must precede gen_db_constraints (they
                 // mark pinned relations whose enumerated domain constraints
@@ -848,7 +995,7 @@ impl<'a> Gen<'a> {
             } else {
                 self.opts.decision_limit
             };
-            let (out, stats) = self.solve_memoized(&b.problem, limit);
+            let (out, stats) = self.solve_memoized(&b.problem, limit, cancel);
             agg_stats.decisions += stats.decisions;
             agg_stats.conflicts += stats.conflicts;
             agg_stats.theory_relaxations += stats.theory_relaxations;
@@ -856,6 +1003,7 @@ impl<'a> Gen<'a> {
             agg_stats.unknown_exits += stats.unknown_exits;
             agg_stats.learned_clauses += stats.learned_clauses;
             agg_stats.restarts += stats.restarts;
+            agg_stats.cancel_checks += stats.cancel_checks;
             agg_stats.ground_solves += stats.ground_solves;
             agg_stats.instantiations += stats.instantiations;
             agg_stats.ground_atoms = agg_stats.ground_atoms.max(stats.ground_atoms);
@@ -877,6 +1025,7 @@ impl<'a> Gen<'a> {
                 SolveOutcome::Unknown => {
                     return Ok(SolveRes::GaveUp { decisions: agg_stats.decisions })
                 }
+                SolveOutcome::Cancelled => return Ok(SolveRes::TimedOut),
             }
         }
         Ok(SolveRes::Unsat)
@@ -1013,6 +1162,7 @@ pub fn total_stats(suite: &TestSuite) -> SolverStats {
         t.unknown_exits += d.stats.unknown_exits;
         t.learned_clauses += d.stats.learned_clauses;
         t.restarts += d.stats.restarts;
+        t.cancel_checks += d.stats.cancel_checks;
         t.ground_solves += d.stats.ground_solves;
         t.instantiations += d.stats.instantiations;
         t.ground_atoms += d.stats.ground_atoms;
@@ -1022,6 +1172,7 @@ pub fn total_stats(suite: &TestSuite) -> SolverStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::suite::{FaultPlan, SkipReason};
     use xdata_catalog::university;
     use xdata_relalg::normalize;
     use xdata_sql::parse_query;
@@ -1396,5 +1547,134 @@ mod tests {
                 |s: &TestSuite| s.skipped.iter().map(|k| k.label.clone()).collect::<Vec<_>>();
             assert_eq!(skips(&seq), skips(&par), "jobs={jobs}");
         }
+    }
+
+    // ----- Cancellation & chaos unit tests --------------------------------
+
+    fn gen_with(sql: &str, opts: &GenOptions) -> TestSuite {
+        let schema = university::schema();
+        let q = normalize(&parse_query(sql).unwrap(), &schema).unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        generate(&q, &schema, &domains, opts).unwrap()
+    }
+
+    const CHAOS_SQL: &str =
+        "SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50000";
+
+    #[test]
+    fn injected_panic_becomes_fault_skip() {
+        let opts = GenOptions {
+            faults: FaultPlan { panic_targets: vec!["original".into()], ..FaultPlan::default() },
+            ..GenOptions::default()
+        };
+        let suite = gen_with(CHAOS_SQL, &opts);
+        let fault = suite
+            .skipped
+            .iter()
+            .find(|s| matches!(s.reason, SkipReason::Fault { .. }))
+            .expect("panic target skipped as Fault");
+        assert!(fault.label.contains("original"));
+        match &fault.reason {
+            SkipReason::Fault { message } => assert!(message.contains("injected panic")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(suite.is_partial());
+        // Only the faulted target is missing; the rest solved.
+        assert!(!suite.datasets.is_empty());
+    }
+
+    #[test]
+    fn injected_unknown_becomes_budget_skip() {
+        let opts = GenOptions {
+            faults: FaultPlan {
+                unknown_targets: vec!["dataset with `>`".into()],
+                ..FaultPlan::default()
+            },
+            ..GenOptions::default()
+        };
+        let suite = gen_with(CHAOS_SQL, &opts);
+        let hit = suite
+            .skipped
+            .iter()
+            .find(|s| s.label.contains("dataset with `>`"))
+            .expect("unknown target skipped");
+        assert_eq!(hit.reason, SkipReason::Budget { decisions: 0 });
+        assert!(suite.is_partial());
+    }
+
+    #[test]
+    fn injected_expiry_becomes_timeout_skip_and_stays_local() {
+        let opts = GenOptions {
+            faults: FaultPlan {
+                expire_targets: vec!["dataset with `=`".into()],
+                ..FaultPlan::default()
+            },
+            ..GenOptions::default()
+        };
+        let suite = gen_with(CHAOS_SQL, &opts);
+        let hit = suite
+            .skipped
+            .iter()
+            .find(|s| s.label.contains("dataset with `=`"))
+            .expect("expire target skipped");
+        assert_eq!(hit.reason, SkipReason::Timeout);
+        // The synthetic expiry cancelled a *child* token: the sibling
+        // comparison targets still solved.
+        assert!(suite.datasets.iter().any(|d| d.label.contains("dataset with `<`")));
+        assert!(suite.datasets.iter().any(|d| d.label.contains("dataset with `>`")));
+    }
+
+    #[test]
+    fn zero_per_target_deadline_times_out_everything() {
+        let opts = GenOptions { per_target_deadline_ms: Some(0), ..GenOptions::default() };
+        let suite = gen_with(CHAOS_SQL, &opts);
+        assert!(suite.datasets.is_empty());
+        assert!(suite.is_partial());
+        // Every *solvable* target timed out; plan-time skips (EmptyP etc.)
+        // keep their own reasons.
+        assert!(suite.skipped.iter().any(|s| s.reason == SkipReason::Timeout));
+        for s in &suite.skipped {
+            assert!(
+                matches!(
+                    s.reason,
+                    SkipReason::Timeout | SkipReason::EmptyP | SkipReason::Equivalent
+                ),
+                "unexpected reason for {}: {:?}",
+                s.label,
+                s.reason
+            );
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_suite_token_times_out_all_targets() {
+        let schema = university::schema();
+        let q = normalize(&parse_query(CHAOS_SQL).unwrap(), &schema).unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        let token = CancelToken::new();
+        token.cancel();
+        let suite =
+            generate_cancellable(&q, &schema, &domains, &GenOptions::default(), &token).unwrap();
+        assert!(suite.datasets.is_empty());
+        assert!(suite.skipped.iter().any(|s| s.reason == SkipReason::Timeout));
+    }
+
+    #[test]
+    fn generous_deadlines_change_nothing() {
+        let plain = gen_with(CHAOS_SQL, &GenOptions::default());
+        let timed = gen_with(
+            CHAOS_SQL,
+            &GenOptions {
+                deadline_ms: Some(3_600_000),
+                per_target_deadline_ms: Some(3_600_000),
+                ..GenOptions::default()
+            },
+        );
+        assert_eq!(plain.datasets.len(), timed.datasets.len());
+        for (a, b) in plain.datasets.iter().zip(&timed.datasets) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.dataset, b.dataset);
+        }
+        assert!(!timed.is_partial());
     }
 }

@@ -43,13 +43,16 @@ pub mod minimize;
 pub mod suite;
 
 pub use error::GenError;
-pub use generate::generate;
+pub use generate::{generate, generate_cancellable};
 pub use minimize::minimize_suite;
-pub use suite::{GenOptions, GeneratedDataset, SuiteStats, TestSuite};
+pub use suite::{
+    FaultPlan, GenOptions, GeneratedDataset, SkipReason, SkippedTarget, SuiteStats, TestSuite,
+};
+pub use xdata_par::CancelToken;
 
 /// Re-export of the evaluation loop (suite × mutation space → kill matrix).
 pub mod kill {
     pub use xdata_engine::kill::{
-        execute_mutant, kill_report, kill_report_jobs, kills, KillReport,
+        execute_mutant, kill_report, kill_report_cancel, kill_report_jobs, kills, KillReport,
     };
 }

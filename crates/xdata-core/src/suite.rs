@@ -31,6 +31,19 @@ pub struct GenOptions {
     /// Ground search core: conflict-driven (the default) or the original
     /// chronological DPLL, kept as a baseline for `solver_sweep`.
     pub core: SearchCore,
+    /// Wall-clock budget in milliseconds for the whole generation run.
+    /// When it expires the suite completes *partially*: targets not yet
+    /// finished are reported as [`SkipReason::Timeout`], never silently
+    /// dropped. `None` (the default) means no suite deadline.
+    pub deadline_ms: Option<u64>,
+    /// Wall-clock budget in milliseconds for each individual target. A
+    /// target whose solve outlives it becomes a [`SkipReason::Timeout`]
+    /// skip while the rest of the suite proceeds normally. `None` (the
+    /// default) means no per-target deadline.
+    pub per_target_deadline_ms: Option<u64>,
+    /// Deterministic fault injection for the chaos harness (empty by
+    /// default — zero cost in production). See [`FaultPlan`].
+    pub faults: FaultPlan,
 }
 
 impl Default for GenOptions {
@@ -42,7 +55,65 @@ impl Default for GenOptions {
             jobs: 1,
             decision_limit: xdata_solver::DEFAULT_DECISION_LIMIT,
             core: SearchCore::default(),
+            deadline_ms: None,
+            per_target_deadline_ms: None,
+            faults: FaultPlan::default(),
         }
+    }
+}
+
+/// Deterministic fault injection, matched against target labels.
+///
+/// The chaos harness's entry point: each list holds substrings matched
+/// against every plan item's label (`"aggregate"`, `"comparison 0"`, …).
+/// A matching target deterministically misbehaves in the named way,
+/// regardless of thread schedule — which is what lets the chaos tests
+/// assert byte-identical partial suites across `--jobs` values:
+///
+/// * [`FaultPlan::panic_targets`] — the solve panics mid-flight; the
+///   generator isolates it into a [`SkipReason::Fault`] skip.
+/// * [`FaultPlan::unknown_targets`] — the solve reports a blown decision
+///   budget ([`SkipReason::Budget`]) without doing any work.
+/// * [`FaultPlan::expire_targets`] — the target's deadline "expires"
+///   synthetically (the token is cancelled without any wall-clock wait),
+///   producing a [`SkipReason::Timeout`] skip.
+///
+/// An empty plan (the default) injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Targets whose solve panics.
+    pub panic_targets: Vec<String>,
+    /// Targets whose solve exits `Unknown` (budget-style giving up).
+    pub unknown_targets: Vec<String>,
+    /// Targets whose cancellation token trips synthetically at solve entry.
+    pub expire_targets: Vec<String>,
+}
+
+impl FaultPlan {
+    /// Whether any fault is configured at all (fast path for production).
+    pub fn is_empty(&self) -> bool {
+        self.panic_targets.is_empty()
+            && self.unknown_targets.is_empty()
+            && self.expire_targets.is_empty()
+    }
+
+    fn matches(list: &[String], label: &str) -> bool {
+        list.iter().any(|pat| label.contains(pat.as_str()))
+    }
+
+    /// Should `label`'s solve panic?
+    pub fn should_panic(&self, label: &str) -> bool {
+        Self::matches(&self.panic_targets, label)
+    }
+
+    /// Should `label`'s solve exit `Unknown`?
+    pub fn should_unknown(&self, label: &str) -> bool {
+        Self::matches(&self.unknown_targets, label)
+    }
+
+    /// Should `label`'s deadline expire synthetically?
+    pub fn should_expire(&self, label: &str) -> bool {
+        Self::matches(&self.expire_targets, label)
     }
 }
 
@@ -80,6 +151,34 @@ pub enum SkipReason {
         /// Decisions spent before giving up (summed over the repair ladder).
         decisions: u64,
     },
+    /// The wall-clock deadline ([`GenOptions::deadline_ms`] or
+    /// [`GenOptions::per_target_deadline_ms`]) expired before the target's
+    /// solve finished. Like [`SkipReason::Budget`] this says nothing about
+    /// the mutants — rerun with a bigger time budget.
+    Timeout,
+    /// The target's solve panicked (a solver bug, or injected by the chaos
+    /// [`FaultPlan`]). The panic was isolated to this one target; the rest
+    /// of the suite is unaffected.
+    Fault {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl SkipReason {
+    /// Whether this skip is a *degradation* — the pipeline gave up for
+    /// resource or robustness reasons ([`SkipReason::Budget`],
+    /// [`SkipReason::Timeout`], [`SkipReason::Fault`]) — as opposed to a
+    /// genuine equivalence verdict ([`SkipReason::Equivalent`],
+    /// [`SkipReason::EmptyP`]). A suite with any degradation skip is
+    /// *partial*: its surviving mutants are unresolved, not proven
+    /// equivalent.
+    pub fn is_degradation(&self) -> bool {
+        matches!(
+            self,
+            SkipReason::Budget { .. } | SkipReason::Timeout | SkipReason::Fault { .. }
+        )
+    }
 }
 
 impl fmt::Display for SkipReason {
@@ -90,6 +189,8 @@ impl fmt::Display for SkipReason {
             SkipReason::Budget { decisions } => {
                 write!(f, "solver gave up after {decisions} decisions (budget exhausted)")
             }
+            SkipReason::Timeout => write!(f, "deadline expired before a verdict (timeout)"),
+            SkipReason::Fault { message } => write!(f, "solve panicked: {message}"),
         }
     }
 }
@@ -137,6 +238,15 @@ impl TestSuite {
     /// intuitive" claim is about this number.
     pub fn max_dataset_size(&self) -> usize {
         self.datasets.iter().map(|d| d.dataset.total_tuples()).max().unwrap_or(0)
+    }
+
+    /// Whether any target was skipped for a degradation reason (budget,
+    /// timeout, fault). A partial suite's kill verdicts are still sound for
+    /// the datasets it *does* contain, but a surviving mutant is
+    /// *unresolved*, not proven equivalent — the skipped targets might have
+    /// killed it.
+    pub fn is_partial(&self) -> bool {
+        self.skipped.iter().any(|s| s.reason.is_degradation())
     }
 }
 

@@ -5,6 +5,7 @@
 //! execution of the original query" (§I).
 
 use xdata_catalog::{Dataset, Schema};
+use xdata_par::CancelToken;
 use xdata_relalg::mutation::{
     apply_agg_mutant, apply_cmp_mutant, apply_distinct_mutant, apply_having_agg_mutant,
     apply_having_cmp_mutant,
@@ -59,6 +60,11 @@ pub fn kills(q: &NormQuery, m: &Mutant, db: &Dataset, schema: &Schema) -> Result
 pub struct KillReport {
     /// Per-mutant: index of the first dataset that killed it, if any.
     pub killed_by: Vec<Option<usize>>,
+    /// Mutant indices whose evaluation was cancelled (the deadline expired
+    /// before their verdict). They are neither killed nor surviving — an
+    /// unevaluated mutant is *unresolved*, and [`KillReport::surviving`]
+    /// excludes it. Empty unless the run was cancelled mid-report.
+    pub unevaluated: Vec<usize>,
     pub total_mutants: usize,
 }
 
@@ -67,8 +73,15 @@ impl KillReport {
         self.killed_by.iter().filter(|k| k.is_some()).count()
     }
 
+    /// Mutants that were evaluated against every dataset and killed by
+    /// none — the equivalence candidates (unevaluated mutants are not
+    /// survivors; they simply have no verdict).
     pub fn surviving(&self) -> impl Iterator<Item = usize> + '_ {
-        self.killed_by.iter().enumerate().filter(|(_, k)| k.is_none()).map(|(i, _)| i)
+        self.killed_by
+            .iter()
+            .enumerate()
+            .filter(|(i, k)| k.is_none() && !self.unevaluated.contains(i))
+            .map(|(i, _)| i)
     }
 }
 
@@ -96,27 +109,69 @@ pub fn kill_report_jobs(
     schema: &Schema,
     jobs: usize,
 ) -> Result<KillReport, EngineError> {
+    kill_report_cancel(q, space, suite, schema, jobs, &CancelToken::new())
+}
+
+/// [`kill_report_jobs`] honoring a cancellation token: when `cancel` trips
+/// (a pipeline-level deadline expired), mutants without a verdict yet land
+/// in [`KillReport::unevaluated`] instead of blocking the report. Verdicts
+/// already computed are kept — cancellation never invalidates them.
+pub fn kill_report_cancel(
+    q: &NormQuery,
+    space: &MutationSpace,
+    suite: &[&Dataset],
+    schema: &Schema,
+    jobs: usize,
+    cancel: &CancelToken,
+) -> Result<KillReport, EngineError> {
     let _kill_span = xdata_obs::span("kill");
     let originals: Vec<ResultSet> = {
         let _orig_span = xdata_obs::span("kill/originals");
         suite.iter().map(|db| execute_query(q, db, schema)).collect::<Result<_, _>>()?
     };
     let mutants: Vec<_> = space.iter().collect();
-    let killed_by = xdata_par::try_par_map(jobs, &mutants, |mi, m| {
+    let verdicts = xdata_par::par_map_cancel(jobs, &mutants, cancel, |mi, m| {
         let _shard_span = xdata_obs::span_with("kill/mutant", || format!("#{mi} {}", m.describe(q)));
         for (di, db) in suite.iter().enumerate() {
-            let mutated = execute_mutant(q, m, db, schema)?;
+            if cancel.is_cancelled() {
+                return Err(None);
+            }
+            let mutated = match execute_mutant(q, m, db, schema) {
+                Ok(r) => r,
+                Err(e) => return Err(Some(e)),
+            };
             if mutated != originals[di] {
                 return Ok(Some(di));
             }
         }
         Ok(None)
-    })?;
+    });
+    // Unpack: a `None` slot (worker never claimed it) or an in-flight
+    // cancellation (`Err(None)`) is an unevaluated mutant; a real executor
+    // error propagates as before.
+    let mut killed_by = Vec::with_capacity(mutants.len());
+    let mut unevaluated = Vec::new();
+    for (mi, v) in verdicts.into_iter().enumerate() {
+        match v {
+            Some(Ok(verdict)) => killed_by.push(verdict),
+            Some(Err(Some(e))) => return Err(e),
+            Some(Err(None)) | None => {
+                unevaluated.push(mi);
+                killed_by.push(None);
+            }
+        }
+    }
     // Per-mutant-class tallies, recorded from the order-preserved verdicts
     // on the calling thread — deterministic for every `jobs` value.
+    // Unevaluated mutants are neither killed nor survived: they count only
+    // toward `kill.unevaluated`.
     xdata_obs::counter("kill.datasets", suite.len() as u64);
     xdata_obs::counter("kill.mutants", mutants.len() as u64);
-    for (m, verdict) in mutants.iter().zip(&killed_by) {
+    xdata_obs::counter("kill.unevaluated", unevaluated.len() as u64);
+    for (mi, (m, verdict)) in mutants.iter().zip(&killed_by).enumerate() {
+        if unevaluated.contains(&mi) {
+            continue;
+        }
         let (killed_name, survived_name) = match m {
             Mutant::Join(_) => ("kill.killed.join", "kill.survived.join"),
             Mutant::Cmp(_) => ("kill.killed.cmp", "kill.survived.cmp"),
@@ -127,7 +182,7 @@ pub fn kill_report_jobs(
         };
         xdata_obs::counter(if verdict.is_some() { killed_name } else { survived_name }, 1);
     }
-    Ok(KillReport { killed_by, total_mutants: space.len() })
+    Ok(KillReport { killed_by, unevaluated, total_mutants: space.len() })
 }
 
 #[cfg(test)]
@@ -228,6 +283,32 @@ mod tests {
         d2.push("instructor", vec![Value::Int(1), Value::Str("A".into()), Value::Int(1), Value::Int(100)]);
         d2.push("instructor", vec![Value::Int(2), Value::Str("B".into()), Value::Int(1), Value::Int(200)]);
         assert!(!kills(&q, &Mutant::Agg(sum_distinct.clone()), &d2, &schema).unwrap());
+    }
+
+    /// A pre-cancelled token yields a report with every mutant unevaluated:
+    /// nothing killed, nothing surviving — no false equivalence claims.
+    #[test]
+    fn cancelled_report_marks_all_unevaluated() {
+        let (q, schema) = setup("SELECT * FROM instructor i, teaches t WHERE i.id = t.id");
+        let space = mutation_space(&q, MutationOptions::default());
+        let mut d = Dataset::new();
+        d.push("instructor", vec![Value::Int(1), Value::Str("A".into()), Value::Int(1), Value::Int(1)]);
+        let token = CancelToken::new();
+        token.cancel();
+        for jobs in [1, 4] {
+            let report =
+                kill_report_cancel(&q, &space, &[&d], &schema, jobs, &token).unwrap();
+            assert_eq!(report.total_mutants, space.len(), "jobs={jobs}");
+            assert_eq!(report.unevaluated.len(), space.len(), "jobs={jobs}");
+            assert_eq!(report.killed_count(), 0, "jobs={jobs}");
+            assert_eq!(report.surviving().count(), 0, "jobs={jobs}");
+        }
+        // A live token changes nothing relative to the plain report.
+        let plain = kill_report(&q, &space, &[&d], &schema).unwrap();
+        let live =
+            kill_report_cancel(&q, &space, &[&d], &schema, 1, &CancelToken::new()).unwrap();
+        assert_eq!(plain.killed_by, live.killed_by);
+        assert!(live.unevaluated.is_empty());
     }
 
     #[test]

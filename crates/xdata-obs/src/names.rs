@@ -11,14 +11,17 @@
 /// `xdata-solver` (per ground solve), `core.*` by `xdata-core::generate`,
 /// `kill.*` by `xdata-engine::kill_report_jobs`.
 pub const ALL_COUNTERS: &[&str] = &[
+    "core.partial_suites",
     "core.rows_emitted",
     "core.skeleton_cache.hit",
     "core.skeleton_cache.miss",
     "core.solve_memo.hit",
     "core.solve_memo.miss",
+    "core.targets.faulted",
     "core.targets.planned",
     "core.targets.skipped",
     "core.targets.solved",
+    "core.targets.timed_out",
     "kill.datasets",
     "kill.killed.agg",
     "kill.killed.cmp",
@@ -33,6 +36,8 @@ pub const ALL_COUNTERS: &[&str] = &[
     "kill.survived.having_agg",
     "kill.survived.having_cmp",
     "kill.survived.join",
+    "kill.unevaluated",
+    "solver.cancel_checks",
     "solver.conflicts",
     "solver.decisions",
     "solver.ground_solves",
@@ -45,9 +50,16 @@ pub const ALL_COUNTERS: &[&str] = &[
     "solver.unknown_exits",
 ];
 
-/// Every canonical histogram.
-pub const ALL_HISTOGRAMS: &[&str] =
-    &["core.dataset_rows", "solver.backjump_depth", "solver.ground_atoms"];
+/// Every canonical histogram. `solver.cancel_latency` (nanoseconds past a
+/// wall-clock deadline when the cooperative check noticed) only receives
+/// samples when a *real* deadline expires — synthetic chaos cancellation
+/// records nothing, keeping fault-injected runs byte-comparable.
+pub const ALL_HISTOGRAMS: &[&str] = &[
+    "core.dataset_rows",
+    "solver.backjump_depth",
+    "solver.cancel_latency",
+    "solver.ground_atoms",
+];
 
 /// Every canonical span path (the pipeline phases).
 pub const PHASE_SPANS: &[&str] =

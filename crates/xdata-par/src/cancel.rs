@@ -1,0 +1,269 @@
+//! Cooperative cancellation: an atomic flag plus an optional wall-clock
+//! deadline, shareable across threads.
+//!
+//! A [`CancelToken`] is the pipeline's one mechanism for "stop early":
+//! explicit cancellation (`token.cancel()`), a wall-clock deadline
+//! ([`CancelToken::with_deadline`]), or both. Tokens form a parent/child
+//! tree — [`CancelToken::child_with_deadline`] derives a token that trips
+//! when *either* its own (tighter) deadline passes or any ancestor is
+//! cancelled — which is exactly the suite-deadline / per-target-deadline
+//! split `xdata-core::generate` needs.
+//!
+//! Checking is **cooperative and cheap**: [`CancelToken::is_cancelled`] is
+//! a relaxed atomic load on the hot path; the `Instant` comparison runs
+//! only until the first expiry, after which the result is latched into the
+//! flag. Nothing ever blocks, and cancellation is monotonic — once a token
+//! reports cancelled it reports cancelled forever.
+//!
+//! ## Determinism note
+//!
+//! A token cancelled *synthetically* (via [`CancelToken::cancel`], e.g. by
+//! the chaos fault plan) trips at the first check, making downstream
+//! behaviour schedule-independent. A *wall-clock* deadline trips whenever
+//! the clock says so, which is inherently nondeterministic: callers that
+//! promise byte-identical output across thread counts only keep that
+//! promise for runs whose deadlines never fire (or fire synthetically).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                // Latch: later checks skip the clock read.
+                self.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        if let Some(p) = &self.parent {
+            if p.is_cancelled() {
+                self.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The earliest expired wall-clock deadline on the ancestor chain,
+    /// if any deadline has actually passed.
+    fn expired_deadline(&self) -> Option<Instant> {
+        let now = Instant::now();
+        let own = self.deadline.filter(|d| now >= *d);
+        let up = self.parent.as_ref().and_then(|p| p.expired_deadline());
+        match (own, up) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Shareable cancellation token: atomic flag + optional `Instant` deadline
+/// (+ optional parent). Cloning shares the same state; use
+/// [`CancelToken::child_with_deadline`] for a derived token with a tighter
+/// budget.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that never expires on its own (cancel explicitly or not at
+    /// all).
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A token that trips `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                parent: None,
+            }),
+        }
+    }
+
+    /// Convenience for `Option<u64>`-millisecond option fields: `None`
+    /// yields a never-expiring token.
+    pub fn for_deadline_ms(ms: Option<u64>) -> CancelToken {
+        match ms {
+            None => CancelToken::new(),
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        }
+    }
+
+    /// A child token with no deadline of its own: it trips when `self` is
+    /// cancelled, but cancelling the child leaves the parent (and the
+    /// child's siblings) untouched — the isolation the per-target chaos
+    /// expiry relies on.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// A child token that trips when `self` is cancelled **or** its own
+    /// deadline (`timeout` from now) passes — cancelling the child leaves
+    /// the parent untouched.
+    pub fn child_with_deadline(&self, timeout: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// Child with an optional millisecond budget; `None` yields a plain
+    /// [`CancelToken::child`] (no own deadline, still isolated from the
+    /// parent).
+    pub fn child_for_deadline_ms(&self, ms: Option<u64>) -> CancelToken {
+        match ms {
+            None => self.child(),
+            Some(ms) => self.child_with_deadline(Duration::from_millis(ms)),
+        }
+    }
+
+    /// Cancel explicitly (idempotent). Synthetic cancellation carries no
+    /// wall-clock latency — see [`CancelToken::overshoot`].
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this token (or any ancestor) is cancelled or past deadline.
+    /// Hot-path cheap: one relaxed load once tripped.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.is_cancelled()
+    }
+
+    /// How far past the (earliest expired) wall-clock deadline we are, or
+    /// `None` when no real deadline has passed — i.e. the token was
+    /// cancelled synthetically or not at all. This is the
+    /// `solver.cancel_latency` measurement: the gap between "the deadline
+    /// passed" and "the cooperative check noticed".
+    pub fn overshoot(&self) -> Option<Duration> {
+        self.inner.expired_deadline().map(|d| Instant::now().saturating_duration_since(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.overshoot().is_none());
+    }
+
+    #[test]
+    fn explicit_cancel_trips_and_latches() {
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(t.is_cancelled());
+        // Synthetic cancellation has no wall-clock overshoot.
+        assert!(t.overshoot().is_none());
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+        assert!(t.overshoot().is_some(), "a real deadline passed");
+    }
+
+    #[test]
+    fn generous_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.overshoot().is_none());
+    }
+
+    #[test]
+    fn child_trips_on_parent_cancel() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Duration::from_secs(3600));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled(), "parent cancellation reaches the child");
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn child_deadline_does_not_trip_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Duration::from_millis(0));
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child expiry must not propagate up");
+    }
+
+    #[test]
+    fn for_deadline_ms_none_never_expires() {
+        assert!(!CancelToken::for_deadline_ms(None).is_cancelled());
+        assert!(CancelToken::for_deadline_ms(Some(0)).is_cancelled());
+    }
+
+    #[test]
+    fn child_for_deadline_ms_none_is_isolated_child() {
+        let parent = CancelToken::new();
+        let child = parent.child_for_deadline_ms(None);
+        // Cancelling the child must not reach the parent…
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel leaked to the parent");
+        // …while parent cancellation reaches a (fresh) child.
+        let child2 = parent.child_for_deadline_ms(None);
+        parent.cancel();
+        assert!(child2.is_cancelled());
+    }
+
+    #[test]
+    fn tokens_cross_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || u.cancel());
+        });
+        assert!(t.is_cancelled());
+    }
+}

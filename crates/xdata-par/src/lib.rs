@@ -18,6 +18,16 @@
 //! `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()` for every
 //! `jobs`, provided `f` is a pure function of its arguments. Nothing about
 //! scheduling order can leak into the result vector.
+//!
+//! The [`cancel`] module provides the pipeline's cooperative
+//! [`CancelToken`] (atomic flag + optional deadline); [`par_map_cancel`]
+//! honours it with an early exit: workers stop claiming items once the
+//! token trips, and the unprocessed slots come back as `None` so the
+//! caller can attribute every skipped item instead of losing it.
+
+pub mod cancel;
+
+pub use cancel::CancelToken;
 
 use std::num::NonZeroUsize;
 use std::panic::AssertUnwindSafe;
@@ -51,9 +61,40 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_cancel(jobs, items, &CancelToken::new(), f)
+        .into_iter()
+        .map(|r| r.expect("never-cancelled par_map left a slot unprocessed"))
+        .collect()
+}
+
+/// [`par_map`] with cooperative early exit: once `cancel` trips, workers
+/// stop claiming new items (items already in flight run to completion) and
+/// every unprocessed slot is returned as `None`, preserving positional
+/// attribution — callers know exactly *which* items were abandoned.
+///
+/// With a never-tripping token this is exactly [`par_map`]. With a
+/// synthetically cancelled token (tripped before the call) no item runs at
+/// all. A wall-clock deadline may trip mid-run, in which case *which*
+/// slots are `None` depends on scheduling — callers that need determinism
+/// must only rely on the already-computed (`Some`) results being pure.
+pub fn par_map_cancel<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    cancel: &CancelToken,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let jobs = resolve_jobs(jobs).min(items.len());
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| if cancel.is_cancelled() { None } else { Some(f(i, x)) })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     // A panic in `f` is caught at the item, recorded with its index, and
@@ -69,7 +110,7 @@ where
                 s.spawn(|| {
                     let mut out = Vec::new();
                     loop {
-                        if poisoned.load(Ordering::Relaxed) {
+                        if poisoned.load(Ordering::Relaxed) || cancel.is_cancelled() {
                             break;
                         }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -102,8 +143,9 @@ where
             .unwrap_or_else(|| "<non-string panic payload>".to_string());
         panic!("par_map worker panicked on item {i}: {msg}");
     }
-    // Scatter back into input order. Every index appears exactly once
-    // (the cursor hands each out once), so all slots fill.
+    // Scatter back into input order. The cursor hands each index out at
+    // most once; indices never claimed (cancellation tripped first) stay
+    // `None`.
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     for part in parts {
         for (i, r) in part {
@@ -111,7 +153,7 @@ where
             slots[i] = Some(r);
         }
     }
-    slots.into_iter().map(|r| r.expect("par_map slot unfilled")).collect()
+    slots
 }
 
 /// [`par_map`] over fallible tasks: short-circuits to the **first** error in
@@ -244,6 +286,51 @@ mod tests {
         let msg = payload.downcast_ref::<String>().expect("formatted message");
         assert!(msg.starts_with("par_map worker panicked on item "), "{msg}");
         assert!(msg.contains("all fail"), "payload text lost: {msg}");
+    }
+
+    #[test]
+    fn cancel_before_start_processes_nothing() {
+        let items: Vec<u32> = (0..64).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        for jobs in [1, 4] {
+            let got = par_map_cancel(jobs, &items, &token, |_, x| *x);
+            assert_eq!(got.len(), items.len(), "jobs={jobs}");
+            assert!(got.iter().all(Option::is_none), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn live_token_is_transparent() {
+        let items: Vec<u32> = (0..64).collect();
+        for jobs in [1, 4] {
+            let got = par_map_cancel(jobs, &items, &CancelToken::new(), |_, x| x * 2);
+            let flat: Vec<u32> = got.into_iter().map(Option::unwrap).collect();
+            assert_eq!(flat, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancel_keeps_completed_prefix_pure() {
+        // A task cancels the token partway through; whatever subset
+        // completed must hold correct values in the correct slots.
+        let items: Vec<u32> = (0..256).collect();
+        let token = CancelToken::new();
+        let got = par_map_cancel(4, &items, &token, |i, x| {
+            if i == 10 {
+                token.cancel();
+            }
+            x * 3
+        });
+        assert_eq!(got.len(), items.len());
+        let done = got.iter().enumerate().filter_map(|(i, r)| r.map(|v| (i, v)));
+        let mut completed = 0usize;
+        for (i, v) in done {
+            assert_eq!(v, items[i] * 3, "slot {i} holds a wrong value");
+            completed += 1;
+        }
+        assert!(completed >= 1, "the cancelling task itself completed");
+        assert!(completed < items.len(), "cancellation must abandon some items");
     }
 
     #[test]

@@ -43,9 +43,11 @@
 
 use std::collections::HashMap;
 
+use xdata_par::CancelToken;
+
 use crate::formula::Formula;
 use crate::ids::VarTable;
-use crate::search::{canon, CanonOp, GroundResult, Key, SearchStats};
+use crate::search::{canon, CanonOp, GroundResult, Key, SearchStats, CANCEL_CHECK_INTERVAL};
 use crate::theory::DiffLogic;
 
 /// A literal: atom index shifted left, low bit = assigned value.
@@ -160,6 +162,9 @@ struct Cdcl<'a> {
     watches: Vec<Vec<u32>>,
     stats: SearchStats,
     decision_limit: u64,
+    cancel: &'a CancelToken,
+    /// Main-loop iterations since start, for the cancellation cadence.
+    steps: u64,
     /// Backjump depth (levels unwound) per conflict, for the
     /// `solver.backjump_depth` histogram.
     backjumps: Vec<u64>,
@@ -169,7 +174,7 @@ struct Cdcl<'a> {
 }
 
 impl<'a> Cdcl<'a> {
-    fn new(vars: &'a VarTable, decision_limit: u64) -> Self {
+    fn new(vars: &'a VarTable, decision_limit: u64, cancel: &'a CancelToken) -> Self {
         Cdcl {
             vars,
             th: DiffLogic::new(vars.num_vars()),
@@ -191,6 +196,8 @@ impl<'a> Cdcl<'a> {
             watches: Vec::new(),
             stats: SearchStats::default(),
             decision_limit,
+            cancel,
+            steps: 0,
             backjumps: Vec::new(),
             luby_idx: 1,
             conflicts_since_restart: 0,
@@ -766,6 +773,13 @@ impl<'a> Cdcl<'a> {
     fn search(&mut self, root: &IF) -> GroundResult {
         let mut conflict: Option<Vec<Lit>> = None;
         loop {
+            if self.steps.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                self.stats.cancel_checks += 1;
+                if self.cancel.is_cancelled() {
+                    return GroundResult::Cancelled;
+                }
+            }
+            self.steps += 1;
             if let Some(c) = conflict.take() {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 || c.is_empty() {
@@ -822,8 +836,9 @@ pub(crate) fn solve(
     f: &Formula,
     vars: &VarTable,
     decision_limit: u64,
+    cancel: &CancelToken,
 ) -> (GroundResult, SearchStats, Vec<u64>) {
-    let mut s = Cdcl::new(vars, decision_limit);
+    let mut s = Cdcl::new(vars, decision_limit, cancel);
     let root = s.lower(f);
     let result = s.search(&root);
     s.stats.theory_relaxations = s.th.relaxations;

@@ -55,6 +55,15 @@
 //! Both modes are sound and complete for this language, so `Unsat` really
 //! means "no such dataset exists" — the completeness guarantee of §V-G
 //! rests on this.
+//!
+//! ## Cancellation
+//!
+//! Every solve entry point has a `_cancel` variant threading an
+//! [`xdata_par::CancelToken`] into the hot loops: both cores check the
+//! token every [`search::CANCEL_CHECK_INTERVAL`] steps and exit with
+//! `Cancelled` once it trips (wall-clock deadline or explicit request).
+//! `Cancelled` is *not* a verdict — it says the caller withdrew its time
+//! budget, so it must never be cached or treated as `Unsat`.
 
 pub mod atom;
 mod cdcl;
@@ -71,4 +80,5 @@ pub use atom::{Atom, RelOp, Term};
 pub use formula::Formula;
 pub use ids::{ArrayId, ArraySpec, QVarId, VarId, VarTable};
 pub use problem::{Mode, Model, Problem, SolveOutcome, SolverStats};
-pub use search::{SearchCore, DEFAULT_DECISION_LIMIT};
+pub use search::{SearchCore, CANCEL_CHECK_INTERVAL, DEFAULT_DECISION_LIMIT};
+pub use xdata_par::CancelToken;

@@ -8,11 +8,13 @@
 
 use std::collections::HashSet;
 
+use xdata_par::CancelToken;
+
 use crate::eval::{eval, forall_violation};
 use crate::formula::Formula;
 use crate::ids::{ArrayId, ArraySpec, QVarId, VarTable};
 use crate::nnf::to_nnf;
-use crate::search::{solve_ground_with, GroundResult, SearchCore};
+use crate::search::{solve_ground_cancel, GroundResult, SearchCore};
 use crate::unfold::unfold;
 
 /// Quantifier-handling strategy.
@@ -65,6 +67,12 @@ pub enum SolveOutcome {
     Unsat,
     /// Resource limit hit (never observed on the paper's workloads).
     Unknown,
+    /// The caller's [`CancelToken`] tripped — a wall-clock deadline expired
+    /// or cancellation was requested — before a verdict. Distinct from
+    /// [`SolveOutcome::Unknown`]: the *search* did not give up, the caller
+    /// withdrew its time budget, so the result says nothing about
+    /// satisfiability and must not be cached as a verdict.
+    Cancelled,
 }
 
 impl SolveOutcome {
@@ -88,6 +96,8 @@ pub struct SolverStats {
     pub learned_clauses: u64,
     /// CDCL restarts (0 under the DPLL core).
     pub restarts: u64,
+    /// Cooperative cancellation checks in the hot loops.
+    pub cancel_checks: u64,
     /// Ground sub-solves (1 in `Unfold` mode, ≥1 in `Lazy`).
     pub ground_solves: u64,
     /// Quantifier instances added by lazy instantiation.
@@ -179,10 +189,24 @@ impl Problem {
         limit: u64,
         core: SearchCore,
     ) -> (SolveOutcome, SolverStats) {
+        self.solve_cancel(mode, limit, core, &CancelToken::new())
+    }
+
+    /// [`Problem::solve_with`] under a [`CancelToken`]: both quantifier
+    /// modes run their ground solves with cooperative cancellation, and the
+    /// lazy instantiation loop additionally checks the token between
+    /// rounds. A tripped token yields [`SolveOutcome::Cancelled`].
+    pub fn solve_cancel(
+        &self,
+        mode: Mode,
+        limit: u64,
+        core: SearchCore,
+        cancel: &CancelToken,
+    ) -> (SolveOutcome, SolverStats) {
         let vars = self.var_table();
         match mode {
-            Mode::Unfold => self.solve_unfold(&vars, limit, core),
-            Mode::Lazy => self.solve_lazy(&vars, limit, core),
+            Mode::Unfold => self.solve_unfold(&vars, limit, core, cancel),
+            Mode::Lazy => self.solve_lazy(&vars, limit, core, cancel),
         }
     }
 
@@ -204,13 +228,15 @@ impl Problem {
         vars: &VarTable,
         limit: u64,
         core: SearchCore,
+        cancel: &CancelToken,
     ) -> (SolveOutcome, SolverStats) {
         let nf = Formula::and(self.constraints.iter().map(to_nnf));
         let ground = unfold(&nf, vars);
         let mut stats = SolverStats { ground_solves: 1, ground_atoms: ground.atom_count(), ..SolverStats::default() };
         xdata_obs::counter("solver.ground_solves", 1);
         xdata_obs::observe("solver.ground_atoms", stats.ground_atoms as u64);
-        let (res, s) = solve_ground_with(&ground, vars, limit.saturating_sub(stats.decisions), core);
+        let (res, s) =
+            solve_ground_cancel(&ground, vars, limit.saturating_sub(stats.decisions), core, cancel);
         stats.decisions = s.decisions;
         stats.conflicts = s.conflicts;
         stats.theory_relaxations = s.theory_relaxations;
@@ -218,6 +244,7 @@ impl Problem {
         stats.unknown_exits = s.unknown_exits;
         stats.learned_clauses = s.learned_clauses;
         stats.restarts = s.restarts;
+        stats.cancel_checks = s.cancel_checks;
         (
             match res {
                 GroundResult::Sat(values) => {
@@ -225,6 +252,7 @@ impl Problem {
                 }
                 GroundResult::Unsat => SolveOutcome::Unsat,
                 GroundResult::Unknown => SolveOutcome::Unknown,
+                GroundResult::Cancelled => SolveOutcome::Cancelled,
             },
             stats,
         )
@@ -235,6 +263,7 @@ impl Problem {
         vars: &VarTable,
         limit: u64,
         core: SearchCore,
+        cancel: &CancelToken,
     ) -> (SolveOutcome, SolverStats) {
         let mut stats = SolverStats::default();
         let mut working: Vec<Formula> = Vec::new();
@@ -254,12 +283,18 @@ impl Problem {
             }
         }
         loop {
+            // The per-round check catches cancellation during the (possibly
+            // large) unfold/instantiation work between ground solves.
+            if cancel.is_cancelled() {
+                return (SolveOutcome::Cancelled, stats);
+            }
             stats.ground_solves += 1;
             let ground = Formula::and(working.iter().cloned());
             stats.ground_atoms = ground.atom_count();
             xdata_obs::counter("solver.ground_solves", 1);
             xdata_obs::observe("solver.ground_atoms", stats.ground_atoms as u64);
-            let (res, s) = solve_ground_with(&ground, vars, limit.saturating_sub(stats.decisions), core);
+            let (res, s) =
+                solve_ground_cancel(&ground, vars, limit.saturating_sub(stats.decisions), core, cancel);
             stats.decisions += s.decisions;
             stats.conflicts += s.conflicts;
             stats.theory_relaxations += s.theory_relaxations;
@@ -267,9 +302,11 @@ impl Problem {
             stats.unknown_exits += s.unknown_exits;
             stats.learned_clauses += s.learned_clauses;
             stats.restarts += s.restarts;
+            stats.cancel_checks += s.cancel_checks;
             let model = match res {
                 GroundResult::Unsat => return (SolveOutcome::Unsat, stats),
                 GroundResult::Unknown => return (SolveOutcome::Unknown, stats),
+                GroundResult::Cancelled => return (SolveOutcome::Cancelled, stats),
                 GroundResult::Sat(m) => m,
             };
             // One instantiation per round, as incremental quantifier

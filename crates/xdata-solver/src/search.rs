@@ -29,6 +29,8 @@
 
 use std::collections::HashMap;
 
+use xdata_par::CancelToken;
+
 use crate::atom::{Diff, RelOp};
 use crate::formula::Formula;
 use crate::ids::VarTable;
@@ -180,6 +182,11 @@ pub struct SearchStats {
     /// Luby-scheduled restarts taken (CDCL only); learned clauses and
     /// activities survive each restart.
     pub restarts: u64,
+    /// Cooperative cancellation checks performed in the hot loop (one
+    /// every [`CANCEL_CHECK_INTERVAL`] search steps). Deterministic for a
+    /// deterministic solve: the step count is a function of the formula,
+    /// not the schedule.
+    pub cancel_checks: u64,
 }
 
 /// Result of the ground search.
@@ -189,7 +196,19 @@ pub enum GroundResult {
     /// Decision limit exceeded — never observed on X-Data workloads, but
     /// surfaced rather than looping forever on adversarial inputs.
     Unknown,
+    /// The [`CancelToken`] tripped (deadline expired or explicit cancel)
+    /// before a verdict. Unlike [`GroundResult::Unknown`] this says the
+    /// *caller* ran out of wall-clock budget, not that the search ran out
+    /// of decisions.
+    Cancelled,
 }
+
+/// Search steps between cooperative [`CancelToken`] checks. Small enough
+/// that a 1 ms per-target deadline is honoured promptly (one step is a
+/// handful of propagations), large enough that the `Instant` read
+/// disappears in the noise. The check also runs at step 0, so a token that
+/// is already tripped (synthetic chaos expiry) exits before any work.
+pub const CANCEL_CHECK_INTERVAL: u64 = 64;
 
 struct Searcher<'a> {
     vars: &'a VarTable,
@@ -197,6 +216,9 @@ struct Searcher<'a> {
     assign: HashMap<Key, bool>,
     stats: SearchStats,
     decision_limit: u64,
+    cancel: &'a CancelToken,
+    /// Search steps since start, for the cancellation check cadence.
+    steps: u64,
 }
 
 enum Ev {
@@ -288,6 +310,13 @@ impl<'a> Searcher<'a> {
     }
 
     fn dpll(&mut self, root: &Formula) -> Option<GroundResult> {
+        if self.steps.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+            self.stats.cancel_checks += 1;
+            if self.cancel.is_cancelled() {
+                return Some(GroundResult::Cancelled);
+            }
+        }
+        self.steps += 1;
         match self.eval_pick(root) {
             Ev::True => Some(GroundResult::Sat(self.th.model())),
             Ev::False => None,
@@ -354,10 +383,27 @@ pub fn solve_ground_with(
     decision_limit: u64,
     core: SearchCore,
 ) -> (GroundResult, SearchStats) {
+    solve_ground_cancel(f, vars, decision_limit, core, &CancelToken::new())
+}
+
+/// [`solve_ground_with`] under a [`CancelToken`]: the hot loop of either
+/// core checks the token every [`CANCEL_CHECK_INTERVAL`] steps and exits
+/// with [`GroundResult::Cancelled`] once it trips. When the token carries a
+/// real wall-clock deadline, the overshoot (gap between expiry and the
+/// check noticing) lands in the `solver.cancel_latency` histogram;
+/// synthetic cancellation records nothing, keeping chaos-test metrics
+/// deterministic.
+pub fn solve_ground_cancel(
+    f: &Formula,
+    vars: &VarTable,
+    decision_limit: u64,
+    core: SearchCore,
+    cancel: &CancelToken,
+) -> (GroundResult, SearchStats) {
     let (result, stats, backjumps) = match core {
-        SearchCore::Cdcl => crate::cdcl::solve(f, vars, decision_limit),
+        SearchCore::Cdcl => crate::cdcl::solve(f, vars, decision_limit, cancel),
         SearchCore::Dpll => {
-            let (r, s) = solve_dpll(f, vars, decision_limit);
+            let (r, s) = solve_dpll(f, vars, decision_limit, cancel);
             (r, s, Vec::new())
         }
     };
@@ -371,17 +417,32 @@ pub fn solve_ground_with(
     xdata_obs::counter("solver.unknown_exits", stats.unknown_exits);
     xdata_obs::counter("solver.learned_clauses", stats.learned_clauses);
     xdata_obs::counter("solver.restarts", stats.restarts);
+    xdata_obs::counter("solver.cancel_checks", stats.cancel_checks);
     xdata_obs::observe_all("solver.backjump_depth", &backjumps);
+    if matches!(result, GroundResult::Cancelled) {
+        if let Some(over) = cancel.overshoot() {
+            // Only a real wall-clock expiry has a latency; synthetic
+            // (chaos) cancellation must not perturb the metrics report.
+            xdata_obs::observe("solver.cancel_latency", over.as_nanos() as u64);
+        }
+    }
     (result, stats)
 }
 
-fn solve_dpll(f: &Formula, vars: &VarTable, decision_limit: u64) -> (GroundResult, SearchStats) {
+fn solve_dpll(
+    f: &Formula,
+    vars: &VarTable,
+    decision_limit: u64,
+    cancel: &CancelToken,
+) -> (GroundResult, SearchStats) {
     let mut s = Searcher {
         vars,
         th: DiffLogic::new(vars.num_vars()),
         assign: HashMap::new(),
         stats: SearchStats::default(),
         decision_limit,
+        cancel,
+        steps: 0,
     };
     let result = match s.dpll(f) {
         Some(r) => r,
@@ -429,6 +490,7 @@ mod tests {
                 }
                 GroundResult::Unsat => panic!("{core:?}: expected sat: {f}"),
                 GroundResult::Unknown => panic!("{core:?}: unknown: {f}"),
+                GroundResult::Cancelled => panic!("{core:?}: cancelled: {f}"),
             }
         }
         model.expect("CDCL ran")
@@ -610,6 +672,40 @@ mod tests {
                 // no decisions at all.
                 SearchCore::Cdcl => assert_eq!(stats.decisions, 0, "{stats:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_exits_before_any_work() {
+        let vt = vars(1);
+        let f = Formula::and([
+            Formula::or([
+                Formula::atom(fld(0, 0), RelOp::Eq, Term::Const(1)),
+                Formula::atom(fld(0, 0), RelOp::Eq, Term::Const(7)),
+            ]),
+            Formula::atom(fld(0, 0), RelOp::Gt, Term::Const(3)),
+        ]);
+        for core in CORES {
+            let token = CancelToken::new();
+            token.cancel();
+            let (res, stats) =
+                solve_ground_cancel(&to_nnf(&f), &vt, DEFAULT_DECISION_LIMIT, core, &token);
+            assert!(matches!(res, GroundResult::Cancelled), "{core:?}");
+            assert_eq!(stats.decisions, 0, "{core:?}: cancelled before any decision");
+            assert!(stats.cancel_checks >= 1, "{core:?}: the step-0 check must run");
+        }
+    }
+
+    #[test]
+    fn live_token_changes_nothing() {
+        let vt = vars(1);
+        let f = Formula::atom(fld(0, 0), RelOp::Ge, Term::Const(3));
+        for core in CORES {
+            let token = CancelToken::new();
+            let (res, stats) =
+                solve_ground_cancel(&to_nnf(&f), &vt, DEFAULT_DECISION_LIMIT, core, &token);
+            assert!(matches!(res, GroundResult::Sat(_)), "{core:?}");
+            assert!(stats.cancel_checks >= 1, "{core:?}: checks still counted");
         }
     }
 

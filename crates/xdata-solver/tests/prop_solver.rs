@@ -109,6 +109,7 @@ fn solver_matches_brute_force() {
                 assert!(!oracle, "case {case}: solver UNSAT but oracle SAT for {f}")
             }
             SolveOutcome::Unknown => panic!("case {case}: unexpected Unknown"),
+            SolveOutcome::Cancelled => panic!("case {case}: unexpected Cancelled"),
         }
     }
 }

@@ -18,6 +18,36 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 # report is byte-identical across --jobs values.
 cargo test -q --offline --test metrics_schema
 
+# Chaos gate: deterministic fault injection (injected panics, forced
+# Unknown exits, synthetic deadline expiry) must yield byte-identical
+# partial suites and stripped metrics across --jobs values, with every
+# skip attributed.
+cargo test -q --offline --features chaos --test chaos
+
+# Doc-link gate: every backticked metric key named in DESIGN.md must
+# exist in the canonical registry (crates/xdata-obs/src/names.rs), so
+# the design doc's consolidated key table cannot drift from the code.
+for key in $(grep -o '`\(core\|solver\|kill\)\.[a-z_.]*`' DESIGN.md \
+        | tr -d '\`' | sed 's/\.$//' | sort -u); do
+    case "$key" in
+        # Brace-expanded table rows list their members explicitly below.
+        kill.killed|kill.survived) continue ;;
+    esac
+    grep -q "\"$key" crates/xdata-obs/src/names.rs || {
+        echo "ci: DESIGN.md names metric key $key, missing from xdata-obs names registry" >&2
+        exit 1
+    }
+done
+for class in join cmp agg having_cmp having_agg distinct; do
+    for verdict in killed survived; do
+        grep -q "\"kill.$verdict.$class\"" crates/xdata-obs/src/names.rs || {
+            echo "ci: kill.$verdict.$class missing from xdata-obs names registry" >&2
+            exit 1
+        }
+    done
+done
+echo "ci: DESIGN.md metric keys all present in the registry"
+
 # End-to-end check of the CLI surface on the paper's running example:
 # generate with --metrics-json under two thread counts, require the
 # canonical keys, and require the timing-stripped reports identical.

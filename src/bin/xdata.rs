@@ -14,6 +14,15 @@
 //!   --jobs N          worker threads for generation and kill checking
 //!                     (default 1; 0 = one per core; output is identical
 //!                     for every value)
+//!   --timeout-ms N    wall-clock budget for the whole run; on expiry the
+//!                     suite completes partially (unfinished targets are
+//!                     reported as timed-out skips, never dropped)
+//!   --target-timeout-ms N
+//!                     wall-clock budget per solve target; a target that
+//!                     outlives it is skipped while the rest proceed
+//!   --decision-limit N
+//!                     solver decision budget per target (exhaustion is a
+//!                     budget skip, not an error)
 //!   --use-input-db    restrict generated tuples to the script's INSERTs
 //!   --minimize        prune datasets that add no kills (greedy set cover)
 //!   --no-full-outer   exclude mutations to FULL OUTER JOIN (paper's eval)
@@ -39,6 +48,9 @@ struct Args {
     candidate: Option<String>,
     mode: Mode,
     jobs: usize,
+    timeout_ms: Option<u64>,
+    target_timeout_ms: Option<u64>,
+    decision_limit: Option<u64>,
     use_input_db: bool,
     minimize: bool,
     include_full: bool,
@@ -54,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
         candidate: None,
         mode: Mode::Unfold,
         jobs: 1,
+        timeout_ms: None,
+        target_timeout_ms: None,
+        decision_limit: None,
         use_input_db: false,
         minimize: false,
         include_full: true,
@@ -82,6 +97,22 @@ fn parse_args() -> Result<Args, String> {
             "--jobs" => {
                 let n = it.next().ok_or("--jobs needs a thread count")?;
                 args.jobs = n.parse().map_err(|_| format!("--jobs: invalid count `{n}`"))?;
+            }
+            "--timeout-ms" => {
+                let n = it.next().ok_or("--timeout-ms needs a millisecond count")?;
+                args.timeout_ms =
+                    Some(n.parse().map_err(|_| format!("--timeout-ms: invalid count `{n}`"))?);
+            }
+            "--target-timeout-ms" => {
+                let n = it.next().ok_or("--target-timeout-ms needs a millisecond count")?;
+                args.target_timeout_ms = Some(
+                    n.parse().map_err(|_| format!("--target-timeout-ms: invalid count `{n}`"))?,
+                );
+            }
+            "--decision-limit" => {
+                let n = it.next().ok_or("--decision-limit needs a decision count")?;
+                args.decision_limit =
+                    Some(n.parse().map_err(|_| format!("--decision-limit: invalid count `{n}`"))?);
             }
             "--candidate" => args.candidate = Some(it.next().ok_or("--candidate needs SQL")?),
             "--use-input-db" => args.use_input_db = true,
@@ -127,6 +158,15 @@ fn dispatch(args: &Args) -> Result<(), String> {
     let sql = args.query.as_deref().ok_or("--query is required")?;
 
     let mut xd = XData::new(schema.clone()).with_mode(args.mode).with_jobs(args.jobs);
+    if let Some(ms) = args.timeout_ms {
+        xd = xd.with_deadline_ms(ms);
+    }
+    if let Some(ms) = args.target_timeout_ms {
+        xd = xd.with_target_deadline_ms(ms);
+    }
+    if let Some(limit) = args.decision_limit {
+        xd = xd.with_decision_limit(limit);
+    }
     if args.use_input_db {
         if data.is_empty() {
             return Err("--use-input-db: the schema script has no INSERT statements".into());
@@ -163,11 +203,28 @@ fn dispatch(args: &Args) -> Result<(), String> {
                 report.killed_count(),
                 space.len() - report.killed_count()
             );
+            // A surviving mutant only *proves* equivalence when every
+            // planned target produced a dataset; with degradation skips
+            // (budget/timeout/fault) the verdict is merely "unresolved".
+            let partial = run.suite.is_partial();
+            if !run.suite.skipped.is_empty() {
+                println!("skipped targets:");
+                for s in &run.suite.skipped {
+                    println!("  {} — {}", s.label, s.reason);
+                }
+            }
             let mutants: Vec<Mutant> = space.iter().collect();
             for (mi, killer) in report.killed_by.iter().enumerate() {
+                let desc = mutants[mi].describe(&run.query);
                 match killer {
-                    Some(d) => println!("  killed by #{d}: {}", mutants[mi].describe(&run.query)),
-                    None => println!("  SURVIVES (equivalent): {}", mutants[mi].describe(&run.query)),
+                    Some(d) => println!("  killed by #{d}: {desc}"),
+                    None if report.unevaluated.contains(&mi) => {
+                        println!("  UNEVALUATED (deadline expired): {desc}");
+                    }
+                    None if partial => {
+                        println!("  SURVIVES (unresolved: suite is partial): {desc}");
+                    }
+                    None => println!("  SURVIVES (equivalent): {desc}"),
                 }
             }
             Ok(())

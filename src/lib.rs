@@ -94,8 +94,9 @@ pub use xdata_solver as solver;
 pub use xdata_sql as sql;
 
 use xdata_catalog::{Dataset, DomainCatalog, Schema};
-use xdata_core::{generate, GenOptions, TestSuite};
-use xdata_engine::kill::{kill_report_jobs, KillReport};
+use xdata_core::{generate_cancellable, FaultPlan, GenOptions, TestSuite};
+use xdata_engine::kill::{kill_report_cancel, KillReport};
+use xdata_par::CancelToken;
 use xdata_relalg::mutation::{mutation_space, MutationOptions};
 use xdata_relalg::{normalize, MutationSpace, NormQuery};
 
@@ -203,6 +204,36 @@ impl XData {
         self
     }
 
+    /// Wall-clock budget in milliseconds for the whole pipeline. When it
+    /// expires, generation finishes *partially* (unfinished targets become
+    /// [`core::SkipReason::Timeout`] skips) and [`XData::evaluate`] marks
+    /// still-unverdicted mutants unevaluated rather than blocking.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.options.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Wall-clock budget in milliseconds per solve target; a target that
+    /// outlives it is skipped with [`core::SkipReason::Timeout`] while the
+    /// rest of the suite proceeds.
+    pub fn with_target_deadline_ms(mut self, ms: u64) -> Self {
+        self.options.per_target_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Decision budget per solve call (exhaustion ⇒
+    /// [`core::SkipReason::Budget`] skip).
+    pub fn with_decision_limit(mut self, limit: u64) -> Self {
+        self.options.decision_limit = limit;
+        self
+    }
+
+    /// Install a deterministic fault-injection plan (the chaos harness).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.options.faults = faults;
+        self
+    }
+
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -213,23 +244,46 @@ impl XData {
 
     /// Parse, normalize and generate the test suite for `sql`.
     pub fn generate_for(&self, sql: &str) -> Result<Run, XDataError> {
+        let cancel = CancelToken::for_deadline_ms(self.options.deadline_ms);
+        self.generate_cancellable(sql, &cancel)
+    }
+
+    fn generate_cancellable(&self, sql: &str, cancel: &CancelToken) -> Result<Run, XDataError> {
         let ast = xdata_sql::parse_query(sql)?;
         let query = normalize(&ast, &self.schema)?;
-        let suite = generate(&query, &self.schema, &self.domains, &self.options)?;
+        let suite =
+            generate_cancellable(&query, &self.schema, &self.domains, &self.options, cancel)?;
         Ok(Run { query, suite })
     }
 
     /// Run the full evaluation loop of §VI-C: generate the suite, enumerate
     /// the mutation space, and report which datasets kill which mutants.
+    ///
+    /// One cancellation token spans the *whole* pipeline: the
+    /// [`XData::with_deadline_ms`] budget covers generation *and* kill
+    /// checking. Once it expires, unfinished generation targets become
+    /// [`core::SkipReason::Timeout`] skips and mutants without a verdict
+    /// yet land in [`KillReport::unevaluated`] — verdicts already computed
+    /// are kept. Per-target deadlines
+    /// ([`XData::with_target_deadline_ms`]) only ever skip individual
+    /// targets; the kill phase still runs in full on the datasets that
+    /// survive.
     pub fn evaluate(
         &self,
         sql: &str,
         mopts: MutationOptions,
     ) -> Result<(Run, MutationSpace, KillReport), XDataError> {
-        let run = self.generate_for(sql)?;
+        let cancel = CancelToken::for_deadline_ms(self.options.deadline_ms);
+        let run = self.generate_cancellable(sql, &cancel)?;
         let space = run.mutants(mopts);
-        let report =
-            kill_report_jobs(&run.query, &space, &run.suite.data(), &self.schema, self.options.jobs)?;
+        let report = kill_report_cancel(
+            &run.query,
+            &space,
+            &run.suite.data(),
+            &self.schema,
+            self.options.jobs,
+            &cancel,
+        )?;
         Ok((run, space, report))
     }
 
