@@ -1,26 +1,47 @@
-//! CDCL vs DPLL ground-core comparison over the Table I workload.
+//! Ground-core comparison — DPLL baseline, fresh CDCL, and the
+//! incremental assumption-based CDCL session — over an expanded workload:
+//! the Table I chains (2..=6 relations, all relevant FKs), a
+//! selection-augmented chain, the deep 7-relation chain, wide star
+//! queries, and seeded random join schemas (the same generator as
+//! `tests/random_schemas.rs`).
 //!
-//! Runs suite generation for each Table I chain query (2..=6 relations,
-//! all relevant FKs) plus a selection-augmented chain under both search
-//! cores, records per-core wall time, the `generate/solve` span total and
-//! the solver counters (learned clauses, restarts, backjumps, solve-memo
-//! hits), verifies the two cores agree on every verdict, and writes
-//! `results/BENCH_solver.json`.
+//! For each workload the sweep records per-config wall time, the
+//! `generate/solve` span total and the solver counters (learned clauses,
+//! restarts, clause-DB churn, session reuse), verifies that all three
+//! configurations agree on every verdict (dataset labels and skip
+//! counts), checks that the session configuration produces byte-identical
+//! suites for every `--jobs` value, and writes
+//! `results/BENCH_solver.json` with a per-shape and total
+//! fresh-vs-incremental solve-span comparison.
 //!
 //! ```sh
 //! cargo run -p xdata-bench --release --bin solver_sweep
 //! ```
+//!
+//! Environment knobs (used by the CI smoke leg):
+//! `XDATA_MAX_RELS` caps the chain length (default 6);
+//! `XDATA_STAR_SPOKES` caps the widest star (default 5);
+//! `XDATA_RANDOM_CASES` sets the random-schema count (default 6);
+//! `XDATA_SWEEP_OUT` overrides the output path.
 
-use xdata_bench::{chain_schema, chain_sql, median_time, relevant_fk_count};
+use xdata_bench::{
+    chain_schema, chain_sql, median_time, random_join_cases, relevant_fk_count, star_schema,
+    star_sql,
+};
 use xdata_catalog::DomainCatalog;
 use xdata_core::{generate, GenOptions};
 use xdata_relalg::normalize;
 use xdata_solver::SearchCore;
 use xdata_sql::parse_query;
 
-const CORES: [SearchCore; 2] = [SearchCore::Dpll, SearchCore::Cdcl];
+/// The three measured configurations, in baseline-first order.
+const CONFIGS: [(&str, SearchCore, bool); 3] = [
+    ("dpll", SearchCore::Dpll, false),
+    ("cdcl", SearchCore::Cdcl, false),
+    ("session", SearchCore::Cdcl, true),
+];
 
-/// Everything measured for one (query, core) cell.
+/// Everything measured for one (query, config) cell.
 #[derive(Default, Clone)]
 struct Cell {
     gen_ms: f64,
@@ -30,38 +51,34 @@ struct Cell {
     propagations: u64,
     learned_clauses: u64,
     restarts: u64,
-    backjumped_levels: u64,
     memo_hit: u64,
     memo_miss: u64,
     unknown_exits: u64,
+    assumption_solves: u64,
+    reused_clauses: u64,
+    phase_saves: u64,
+    clause_db_dropped: u64,
 }
 
 struct Row {
     name: String,
     datasets: usize,
     skipped: usize,
-    cells: [Cell; CORES.len()],
+    cells: [Cell; CONFIGS.len()],
 }
 
-fn core_name(c: SearchCore) -> &'static str {
-    match c {
-        SearchCore::Dpll => "dpll",
-        SearchCore::Cdcl => "cdcl",
-    }
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 fn main() {
-    let max_rels: usize = std::env::var("XDATA_MAX_RELS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(6);
+    let max_rels = env_usize("XDATA_MAX_RELS", 6);
+    let star_spokes = env_usize("XDATA_STAR_SPOKES", 5);
+    let random_cases = env_usize("XDATA_RANDOM_CASES", 6);
 
-    // Table I chains plus one selection-augmented chain: the added
-    // constant comparison brings comparison-operator targets (and with
-    // them the `=`/`<`/`>` datasets whose `>` case exercises the solve
-    // memo against the original-query target).
     let mut workloads: Vec<(String, String, xdata_catalog::Schema)> = Vec::new();
-    for k in 2..=max_rels {
+    // Table I chains with all relevant FKs, plus the deep 7-relation chain.
+    for k in 2..=max_rels.clamp(2, 7) {
         let fks = relevant_fk_count(k);
         workloads.push((
             format!("chain-{}join-{}fk", k - 1, fks),
@@ -69,21 +86,44 @@ fn main() {
             chain_schema(k, fks),
         ));
     }
+    if max_rels >= 7 || std::env::var("XDATA_MAX_RELS").is_err() {
+        let fks = relevant_fk_count(7);
+        workloads.push((
+            format!("deep-chain-{}join-{}fk", 6, fks),
+            chain_sql(7),
+            chain_schema(7, fks),
+        ));
+    }
+    // A selection-augmented chain: the constant comparison brings
+    // comparison-operator targets (whose `>` case exercises the solve
+    // memo against the original-query target).
     {
-        let k = 3;
+        let k = 3.min(max_rels.max(2));
         let fks = relevant_fk_count(k);
-        let sql = chain_sql(k).replace(
-            "WHERE",
-            "WHERE instructor.salary > 50000 AND",
-        );
+        let sql = chain_sql(k).replace("WHERE", "WHERE instructor.salary > 50000 AND");
         workloads.push((format!("chain-{}join-sel", k - 1), sql, chain_schema(k, fks)));
     }
+    // Wide stars: many same-shape targets over one hub.
+    let mut spoke_counts = vec![2];
+    if star_spokes > 2 {
+        spoke_counts.push(star_spokes);
+    }
+    for n in spoke_counts {
+        workloads.push((format!("star-{n}spoke"), star_sql(n), star_schema(n)));
+    }
+    // Seeded random schemas (same generator family as the fuzz tests).
+    for case in random_join_cases(0x5c4ea, random_cases) {
+        workloads.push((case.name, case.sql, case.schema));
+    }
 
-    println!("solver core sweep (DPLL baseline vs CDCL) over {} workloads", workloads.len());
     println!(
-        "{:>18} {:>5} | {:>10} {:>10} | {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8}",
-        "query", "core", "gen ms", "solve ms", "decisions", "conflicts", "learned", "restarts",
-        "memo.hit", "unknown",
+        "solver core sweep (dpll / fresh cdcl / incremental session) over {} workloads",
+        workloads.len()
+    );
+    println!(
+        "{:>22} {:>8} | {:>10} {:>10} | {:>9} {:>9} | {:>8} {:>8} {:>9} {:>8}",
+        "query", "config", "gen ms", "solve ms", "decisions", "conflicts", "learned", "memo.hit",
+        "asm.slv", "reused",
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -91,10 +131,10 @@ fn main() {
         let q = normalize(&parse_query(sql).unwrap(), schema).unwrap();
         let domains = DomainCatalog::defaults(schema);
 
-        let mut cells: [Cell; CORES.len()] = Default::default();
+        let mut cells: [Cell; CONFIGS.len()] = Default::default();
         let mut shapes: Vec<(usize, usize, Vec<String>)> = Vec::new();
-        for (ci, &core) in CORES.iter().enumerate() {
-            let opts = GenOptions { core, ..GenOptions::default() };
+        for (ci, &(cname, core, incremental)) in CONFIGS.iter().enumerate() {
+            let opts = GenOptions { core, incremental, ..GenOptions::default() };
 
             // Counter + span pass: one instrumented run.
             xdata_obs::install();
@@ -109,14 +149,13 @@ fn main() {
                 propagations: report.counter("solver.propagations"),
                 learned_clauses: report.counter("solver.learned_clauses"),
                 restarts: report.counter("solver.restarts"),
-                backjumped_levels: report
-                    .histograms
-                    .get("solver.backjump_depth")
-                    .map(|h| h.sum)
-                    .unwrap_or(0),
                 memo_hit: report.counter("core.solve_memo.hit"),
                 memo_miss: report.counter("core.solve_memo.miss"),
                 unknown_exits: report.counter("solver.unknown_exits"),
+                assumption_solves: report.counter("solver.session.assumption_solves"),
+                reused_clauses: report.counter("solver.session.reused_clauses"),
+                phase_saves: report.counter("solver.phase_saves"),
+                clause_db_dropped: report.counter("solver.clause_db.dropped"),
                 ..Cell::default()
             };
 
@@ -133,29 +172,57 @@ fn main() {
                 suite.datasets.iter().map(|d| d.label.clone()).collect(),
             ));
             println!(
-                "{:>18} {:>5} | {:>10.1} {:>10.1} | {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8}",
+                "{:>22} {:>8} | {:>10.1} {:>10.1} | {:>9} {:>9} | {:>8} {:>8} {:>9} {:>8}",
                 name,
-                core_name(core),
+                cname,
                 cell.gen_ms,
                 cell.solve_span_ms,
                 cell.decisions,
                 cell.conflicts,
                 cell.learned_clauses,
-                cell.restarts,
                 cell.memo_hit,
-                cell.unknown_exits,
+                cell.assumption_solves,
+                cell.reused_clauses,
             );
             cells[ci] = cell;
         }
 
-        // Verdict parity: both cores must produce the same suite shape —
-        // same dataset labels, same skip count. (Models may legitimately
-        // differ; validity is covered by the generator's own checks.)
-        assert_eq!(shapes[0].0, shapes[1].0, "{name}: dataset count differs across cores");
-        assert_eq!(shapes[0].1, shapes[1].1, "{name}: skip count differs across cores");
-        assert_eq!(shapes[0].2, shapes[1].2, "{name}: dataset labels differ across cores");
+        // Verdict parity: all three configurations must produce the same
+        // suite shape — same dataset labels, same skip count. (Models may
+        // legitimately differ; validity is covered by the generator's own
+        // checks and `tests/session_parity.rs`.)
+        for (ci, &(cname, ..)) in CONFIGS.iter().enumerate().skip(1) {
+            assert_eq!(shapes[0].0, shapes[ci].0, "{name}: dataset count differs ({cname})");
+            assert_eq!(shapes[0].1, shapes[ci].1, "{name}: skip count differs ({cname})");
+            assert_eq!(shapes[0].2, shapes[ci].2, "{name}: dataset labels differ ({cname})");
+        }
 
-        rows.push(Row { name: name.clone(), datasets: shapes[1].0, skipped: shapes[1].1, cells });
+        rows.push(Row { name: name.clone(), datasets: shapes[0].0, skipped: shapes[0].1, cells });
+    }
+
+    // Determinism spot-check: the session configuration must produce a
+    // byte-identical suite for every --jobs value on a representative
+    // multi-target workload.
+    {
+        let (_, sql, schema) = &workloads[workloads.len() - 1];
+        let q = normalize(&parse_query(sql).unwrap(), schema).unwrap();
+        let domains = DomainCatalog::defaults(schema);
+        let base = generate(&q, schema, &domains, &GenOptions::default()).unwrap();
+        for jobs in [2usize, 4, 0] {
+            let par = generate(
+                &q,
+                schema,
+                &domains,
+                &GenOptions { jobs, ..GenOptions::default() },
+            )
+            .unwrap();
+            assert_eq!(base.datasets.len(), par.datasets.len(), "jobs={jobs}");
+            for (a, b) in base.datasets.iter().zip(&par.datasets) {
+                assert_eq!(a.label, b.label, "jobs={jobs}");
+                assert_eq!(a.dataset, b.dataset, "jobs={jobs}: session suite diverged");
+            }
+        }
+        println!("\nsession suites byte-identical across --jobs 1/2/4/0");
     }
 
     let total = |ci: usize, f: &dyn Fn(&Cell) -> f64| -> f64 {
@@ -163,35 +230,46 @@ fn main() {
     };
     let dpll_solve = total(0, &|c| c.solve_span_ms);
     let cdcl_solve = total(1, &|c| c.solve_span_ms);
+    let session_solve = total(2, &|c| c.solve_span_ms);
+    let speedup = cdcl_solve / session_solve.max(1e-9);
     println!(
-        "\ntotal solve-span: dpll {dpll_solve:.1} ms, cdcl {cdcl_solve:.1} ms ({:.2}x)",
-        dpll_solve / cdcl_solve.max(1e-9)
+        "total solve-span: dpll {dpll_solve:.1} ms, fresh cdcl {cdcl_solve:.1} ms, \
+         session {session_solve:.1} ms (session {speedup:.2}x vs fresh cdcl)"
     );
 
     // Hand-rolled JSON: the workspace deliberately has no serde.
     let mut json = String::from("{\n");
-    json.push_str("  \"workload\": \"Table I chain queries (all relevant FKs) + selection-augmented chain\",\n");
+    json.push_str(
+        "  \"workload\": \"Table I chains (all relevant FKs) + deep chain + selection chain + \
+         wide stars + seeded random schemas\",\n",
+    );
     json.push_str(&format!(
-        "  \"cores\": [{}],\n",
-        CORES.map(|c| format!("\"{}\"", core_name(c))).join(", ")
+        "  \"configs\": [{}],\n",
+        CONFIGS.map(|(n, ..)| format!("\"{n}\"")).join(", ")
     ));
     json.push_str(&format!(
-        "  \"total_solve_span_ms\": {{\"dpll\": {dpll_solve:.3}, \"cdcl\": {cdcl_solve:.3}}},\n"
+        "  \"total_solve_span_ms\": {{\"dpll\": {dpll_solve:.3}, \"cdcl\": {cdcl_solve:.3}, \
+         \"session\": {session_solve:.3}}},\n"
     ));
+    json.push_str(&format!("  \"session_speedup_vs_cdcl\": {speedup:.3},\n"));
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let shape_speedup =
+            r.cells[1].solve_span_ms / r.cells[2].solve_span_ms.max(1e-9);
         json.push_str(&format!(
-            "    {{\"query\": \"{}\", \"datasets\": {}, \"skipped\": {},\n",
-            r.name, r.datasets, r.skipped
+            "    {{\"query\": \"{}\", \"datasets\": {}, \"skipped\": {}, \
+             \"session_speedup_vs_cdcl\": {:.3},\n",
+            r.name, r.datasets, r.skipped, shape_speedup
         ));
-        for (ci, &core) in CORES.iter().enumerate() {
+        for (ci, &(cname, ..)) in CONFIGS.iter().enumerate() {
             let c = &r.cells[ci];
             json.push_str(&format!(
                 "     \"{}\": {{\"generate_ms\": {:.3}, \"solve_span_ms\": {:.3}, \
                  \"decisions\": {}, \"conflicts\": {}, \"propagations\": {}, \
-                 \"learned_clauses\": {}, \"restarts\": {}, \"backjumped_levels\": {}, \
-                 \"memo_hit\": {}, \"memo_miss\": {}, \"unknown_exits\": {}}}{}\n",
-                core_name(core),
+                 \"learned_clauses\": {}, \"restarts\": {}, \"memo_hit\": {}, \
+                 \"memo_miss\": {}, \"unknown_exits\": {}, \"assumption_solves\": {}, \
+                 \"reused_clauses\": {}, \"phase_saves\": {}, \"clause_db_dropped\": {}}}{}\n",
+                cname,
                 c.gen_ms,
                 c.solve_span_ms,
                 c.decisions,
@@ -199,20 +277,27 @@ fn main() {
                 c.propagations,
                 c.learned_clauses,
                 c.restarts,
-                c.backjumped_levels,
                 c.memo_hit,
                 c.memo_miss,
                 c.unknown_exits,
-                if ci + 1 == CORES.len() { "}" } else { "," },
+                c.assumption_solves,
+                c.reused_clauses,
+                c.phase_saves,
+                c.clause_db_dropped,
+                if ci + 1 == CONFIGS.len() { "}" } else { "," },
             ));
         }
         json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
     json.push_str("  ]\n}\n");
 
-    let out = std::path::Path::new("results/BENCH_solver.json");
+    let out_path =
+        std::env::var("XDATA_SWEEP_OUT").unwrap_or_else(|_| "results/BENCH_solver.json".into());
+    let out = std::path::Path::new(&out_path);
     if let Some(dir) = out.parent() {
-        std::fs::create_dir_all(dir).expect("create results dir");
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
     }
     std::fs::write(out, &json).expect("write BENCH_solver.json");
     println!("wrote {} ({} workloads)", out.display(), rows.len());

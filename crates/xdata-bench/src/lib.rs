@@ -16,7 +16,7 @@
 
 use std::time::{Duration, Instant};
 
-use xdata_catalog::{university, DomainCatalog, Schema};
+use xdata_catalog::{university, Attribute, DomainCatalog, Relation, Schema, SplitMix64, SqlType};
 use xdata_core::{generate, GenOptions, TestSuite};
 use xdata_engine::kill::kill_report;
 use xdata_relalg::mutation::{mutation_space, MutationOptions};
@@ -86,6 +86,120 @@ pub fn chain_schema(k: usize, n_fks: usize) -> Schema {
         schema.add_foreign_key(&from, &fc, &to, &tc).expect("valid kept FK");
     }
     schema
+}
+
+/// SQL for a wide *star* query: `n` spoke relations each equi-joined to a
+/// shared hub on its key — many targets over one skeleton shape, the
+/// workload incremental sessions are built for (complements the deep
+/// chains of [`chain_sql`]).
+pub fn star_sql(n: usize) -> String {
+    assert!(n >= 1, "a star needs at least one spoke");
+    let mut from = vec!["hub".to_string()];
+    let mut conds = Vec::new();
+    for i in 0..n {
+        from.push(format!("s{i}"));
+        conds.push(format!("s{i}.hub_id = hub.id"));
+    }
+    format!("SELECT * FROM {} WHERE {}", from.join(", "), conds.join(" AND "))
+}
+
+/// Schema for [`star_sql`]: a `hub` relation plus `n` spokes, each with a
+/// foreign key into the hub.
+pub fn star_schema(n: usize) -> Schema {
+    let mut s = Schema::new();
+    let hub_attrs =
+        vec![Attribute::new("id", SqlType::Int), Attribute::new("payload", SqlType::Int)];
+    s.add_relation(Relation::new("hub", hub_attrs, &["id"]).expect("hub relation"))
+        .expect("add hub");
+    for i in 0..n {
+        let attrs = vec![
+            Attribute::new("id", SqlType::Int),
+            Attribute::new("hub_id", SqlType::Int),
+            Attribute::new("weight", SqlType::Int),
+        ];
+        let name = format!("s{i}");
+        s.add_relation(Relation::new(name.clone(), attrs, &["id"]).expect("spoke relation"))
+            .expect("add spoke");
+        s.add_foreign_key(&name, &["hub_id"], "hub", &["id"]).expect("spoke FK");
+    }
+    s
+}
+
+/// One seeded random join workload (mirrors the generator in
+/// `tests/random_schemas.rs`): relations `r0..rn` with a random acyclic
+/// FK graph, joined along the FK edges (isolated relations fall back to a
+/// shared-id join).
+pub struct RandomJoinCase {
+    pub name: String,
+    pub sql: String,
+    pub schema: Schema,
+}
+
+/// Deterministically generate `count` random join cases from `seed`.
+pub fn random_join_cases(seed: u64, count: usize) -> Vec<RandomJoinCase> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|case| {
+            let n = 2 + rng.below(3);
+            let extra_attrs: Vec<usize> = (0..n).map(|_| rng.below(3)).collect();
+            let mut all_edges = Vec::new();
+            for i in 1..n {
+                for j in 0..i {
+                    all_edges.push((i, j));
+                }
+            }
+            let fk_edges = rng.subset(&all_edges);
+
+            let mut schema = Schema::new();
+            for (i, extra) in extra_attrs.iter().enumerate() {
+                let mut attrs = vec![Attribute::new("id", SqlType::Int)];
+                for j in 0..n {
+                    if fk_edges.contains(&(i, j)) {
+                        attrs.push(Attribute::new(format!("r{j}_id"), SqlType::Int));
+                    }
+                }
+                for k in 0..*extra {
+                    attrs.push(Attribute::new(format!("a{k}"), SqlType::Int));
+                }
+                schema
+                    .add_relation(Relation::new(format!("r{i}"), attrs, &["id"]).expect("relation"))
+                    .expect("add relation");
+            }
+            for (i, j) in &fk_edges {
+                schema
+                    .add_foreign_key(
+                        &format!("r{i}"),
+                        &[&format!("r{j}_id")],
+                        &format!("r{j}"),
+                        &["id"],
+                    )
+                    .expect("FK");
+            }
+
+            let mut conds: Vec<String> =
+                fk_edges.iter().map(|(i, j)| format!("r{i}.r{j}_id = r{j}.id")).collect();
+            let mut linked = vec![false; n];
+            for (i, j) in &fk_edges {
+                linked[*i] = true;
+                linked[*j] = true;
+            }
+            for (i, is_linked) in linked.iter().enumerate().skip(1) {
+                if !is_linked {
+                    conds.push(format!("r{i}.id = r0.id"));
+                }
+            }
+            if conds.is_empty() {
+                conds.push("r0.id = r1.id".into());
+            }
+            let from: Vec<String> = (0..n).map(|i| format!("r{i}")).collect();
+            let sql = format!("SELECT * FROM {} WHERE {}", from.join(", "), conds.join(" AND "));
+            RandomJoinCase {
+                name: format!("random-{case}-{n}rel-{}fk", fk_edges.len()),
+                sql,
+                schema,
+            }
+        })
+        .collect()
 }
 
 /// One evaluation row: generate with the given mode, time it, count
@@ -234,6 +348,27 @@ mod tests {
     fn indent_json_pads_continuation_lines() {
         let doc = "{\n  \"a\": 1\n}\n";
         assert_eq!(indent_json(doc, "    "), "{\n      \"a\": 1\n    }");
+    }
+
+    #[test]
+    fn star_shapes() {
+        let s = star_sql(3);
+        assert!(s.contains("hub, s0, s1, s2"));
+        assert_eq!(s.matches(" AND ").count(), 2);
+        let schema = star_schema(3);
+        assert_eq!(schema.foreign_keys().len(), 3);
+        assert!(schema.relation("s2").is_some());
+    }
+
+    #[test]
+    fn random_cases_are_deterministic() {
+        let a = random_join_cases(0x5c4ea, 4);
+        let b = random_join_cases(0x5c4ea, 4);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.sql, y.sql);
+        }
     }
 
     #[test]

@@ -34,13 +34,16 @@
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::panic::AssertUnwindSafe;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use xdata_catalog::{DomainCatalog, Schema, Value};
 use xdata_par::CancelToken;
 use xdata_relalg::{AttrRef, NormQuery, Operand, SelectSpec};
 use xdata_sql::CompareOp;
-use xdata_solver::{Atom, Formula, Mode, Model, Problem, RelOp, SolveOutcome, SolverStats, Term};
+use xdata_solver::{
+    Atom, Formula, Mode, Model, Problem, RelOp, SearchCore, SolveOutcome, SolveSession,
+    SolverStats, Term,
+};
 
 use crate::builder::ConstraintBuilder;
 use crate::error::GenError;
@@ -86,6 +89,8 @@ pub fn generate_cancellable(
         domains: &domains,
         opts,
         skeletons: Mutex::new(BTreeMap::new()),
+        sessions: Mutex::new(BTreeMap::new()),
+        gate: TurnGate::default(),
         memo: SolveMemo::default(),
     };
     let plan = {
@@ -93,8 +98,27 @@ pub fn generate_cancellable(
         gen.plan()
     };
     xdata_obs::counter("core.targets.planned", plan.len() as u64);
-    let outcomes =
-        xdata_par::par_map_cancel(opts.jobs, &plan, cancel, |_, item| gen.run_item(item, cancel));
+    // Plan-order sequence numbers for the session turn gate: one class per
+    // `copies` value, numbering exactly the targets that will touch that
+    // class's incremental sessions. `None` (plan-time skips, or sessions
+    // disabled) runs ungated.
+    let turns: Vec<Option<(u32, usize)>> = {
+        let mut next: HashMap<u32, usize> = HashMap::new();
+        plan.iter()
+            .map(|item| match &item.work {
+                Work::Solve(spec) if gen.sessions_enabled() => {
+                    let seq = next.entry(spec.copies()).or_insert(0);
+                    let s = *seq;
+                    *seq += 1;
+                    Some((spec.copies(), s))
+                }
+                _ => None,
+            })
+            .collect()
+    };
+    let outcomes = xdata_par::par_map_cancel(opts.jobs, &plan, cancel, |idx, item| {
+        gen.run_item(item, turns[idx], cancel)
+    });
     let mut suite = TestSuite::default();
     for (item, outcome) in plan.into_iter().zip(outcomes) {
         match outcome {
@@ -257,8 +281,75 @@ struct Gen<'a> {
     /// database constraints built (and unfolded, in unfold mode) once, then
     /// cloned per target.
     skeletons: Mutex<BTreeMap<(u32, u32), ConstraintBuilder<'a>>>,
+    /// Incremental solving sessions keyed like [`Gen::skeletons`]: the
+    /// skeleton is lowered into a long-lived CDCL engine once and each
+    /// eligible target solves under assumptions, retaining learned clauses
+    /// across targets (see [`SolveSession`]). Access is serialized into
+    /// plan order by [`Gen::gate`].
+    sessions: Mutex<BTreeMap<(u32, u32), Arc<SolveSession>>>,
+    /// Plan-order turn gate over session-eligible targets (see [`TurnGate`]).
+    gate: TurnGate,
     /// Cross-target solve memo (see the module docs).
     memo: SolveMemo,
+}
+
+/// Serializes session-eligible targets of one skeleton class (`copies`
+/// value) into plan order, whatever the thread schedule.
+///
+/// An incremental session's results depend on the order targets reach it —
+/// learned clauses and saved phases carry over — so unordered access would
+/// make the suite vary with `--jobs`. The gate pins the order: each
+/// eligible target gets a plan-time sequence number within its class and
+/// waits its turn. No deadlock is possible because `par_map_cancel` workers
+/// claim items through a monotonic cursor: every predecessor of a waiting
+/// item is already claimed, and the lowest unfinished sequence of a class
+/// is by construction never waiting.
+#[derive(Default)]
+struct TurnGate {
+    state: Mutex<HashMap<u32, usize>>,
+    advanced: Condvar,
+}
+
+impl TurnGate {
+    /// Block until `seq` is `class`'s current turn. Returns `false` —
+    /// without claiming the turn — if `cancel` trips while queued; waiters
+    /// behind the bailed item poll the token the same way, so the skipped
+    /// advance cannot strand them.
+    fn wait_for(&self, class: u32, seq: usize, cancel: &CancelToken) -> bool {
+        let mut st = lock_ignore_poison(&self.state);
+        loop {
+            if *st.entry(class).or_insert(0) >= seq {
+                return true;
+            }
+            if cancel.is_cancelled() {
+                return false;
+            }
+            let (g, _) = self
+                .advanced
+                .wait_timeout(st, std::time::Duration::from_millis(5))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = g;
+        }
+    }
+
+    fn advance(&self, class: u32) {
+        let mut st = lock_ignore_poison(&self.state);
+        *st.entry(class).or_insert(0) += 1;
+        self.advanced.notify_all();
+    }
+}
+
+/// Drop guard passing the class turn on every exit from a gated item —
+/// normal completion, a timeout skip, or a chaos panic unwinding through.
+struct TurnGuard<'g> {
+    gate: &'g TurnGate,
+    class: u32,
+}
+
+impl Drop for TurnGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.advance(self.class);
+    }
 }
 
 /// Outcome of one targeted constraint set.
@@ -565,11 +656,31 @@ impl<'a> Gen<'a> {
     /// contained per item: a tripped token becomes a [`SkipReason::Timeout`]
     /// skip, a panicking solve (chaos-injected or a genuine bug) is caught
     /// and becomes [`SkipReason::Fault`] — neither can take down the suite.
-    fn run_item(&self, item: &PlanItem, cancel: &CancelToken) -> Result<ItemOutcome, GenError> {
+    fn run_item(
+        &self,
+        item: &PlanItem,
+        turn: Option<(u32, usize)>,
+        cancel: &CancelToken,
+    ) -> Result<ItemOutcome, GenError> {
         let _solve_span = xdata_obs::span_with("generate/solve", || item.label.clone());
         if let Work::Skip(reason) = &item.work {
             return Ok(ItemOutcome::Skipped(reason.clone()));
         }
+        // Session-eligible targets take their class's turn in plan order:
+        // the incremental session carries learned state between targets, so
+        // pinning the access order is what keeps every `--jobs` value
+        // byte-identical. Targets of different classes still run in
+        // parallel; ungated targets are unaffected.
+        let _turn_guard = match turn {
+            Some((class, seq)) => {
+                if !self.gate.wait_for(class, seq, cancel) {
+                    // The suite token tripped while queued.
+                    return Ok(ItemOutcome::Skipped(SkipReason::Timeout));
+                }
+                Some(TurnGuard { gate: &self.gate, class })
+            }
+            None => None,
+        };
         // The target token trips when the suite token does *or* when the
         // per-target budget runs out; cancelling it never touches siblings.
         let token = cancel.child_for_deadline_ms(self.opts.per_target_deadline_ms);
@@ -853,6 +964,32 @@ impl<'a> Gen<'a> {
         Ok(b)
     }
 
+    /// Whether this run routes eligible solves through incremental
+    /// sessions. Sessions need the CDCL core (assumption solving is a CDCL
+    /// mechanism), unfold mode (the skeleton must be ground to lower once),
+    /// and no input database (input constraints precede the skeleton, so no
+    /// shared prefix exists).
+    fn sessions_enabled(&self) -> bool {
+        self.opts.incremental
+            && self.opts.core == SearchCore::Cdcl
+            && self.opts.mode == Mode::Unfold
+            && self.opts.input_db.is_none()
+    }
+
+    /// The shared incremental session for a `(copies, repair_cap)` skeleton
+    /// shape: built from the cached skeleton once, then reused — under the
+    /// turn gate — by every eligible target of that shape.
+    fn session(&self, copies: u32, cap: u32) -> Result<Arc<SolveSession>, GenError> {
+        let mut map = lock_ignore_poison(&self.sessions);
+        if let Some(s) = map.get(&(copies, cap)) {
+            return Ok(Arc::clone(s));
+        }
+        let skel = self.skeleton(copies, cap)?;
+        let s = Arc::new(SolveSession::new(&skel.problem));
+        map.insert((copies, cap), Arc::clone(&s));
+        Ok(s)
+    }
+
     /// Build constraints via `f`, add database (and input-database)
     /// constraints, solve, materialize. Implements the paper's retry:
     /// when input-database constraints make the set inconsistent, solve
@@ -905,6 +1042,7 @@ impl<'a> Gen<'a> {
         problem: &Problem,
         limit: u64,
         cancel: &CancelToken,
+        session: Option<&SolveSession>,
     ) -> (SolveOutcome, SolverStats) {
         let key = memo_key(problem, self.opts, limit);
         {
@@ -933,7 +1071,13 @@ impl<'a> Gen<'a> {
         // From here until the entry is resolved, this thread owns the
         // Pending claim; the guard releases it on every exit path.
         let guard = PendingGuard { memo: &self.memo, key };
-        let (out, stats) = problem.solve_cancel(self.opts.mode, limit, self.opts.core, cancel);
+        let (out, stats) = match session {
+            // The incremental road: only this target's delta constraints
+            // are lowered; the engine arrives warm with everything learned
+            // from the shape's earlier targets.
+            Some(s) => s.solve_delta(problem, limit, cancel),
+            None => problem.solve_cancel(self.opts.mode, limit, self.opts.core, cancel),
+        };
         if matches!(out, SolveOutcome::Cancelled) {
             // Not a verdict: drop the claim (guard wakes the waiters; the
             // next arriver recomputes under its own time budget).
@@ -995,7 +1139,12 @@ impl<'a> Gen<'a> {
             } else {
                 self.opts.decision_limit
             };
-            let (out, stats) = self.solve_memoized(&b.problem, limit, cancel);
+            let session = if !use_input && self.sessions_enabled() {
+                Some(self.session(copies, *cap)?)
+            } else {
+                None
+            };
+            let (out, stats) = self.solve_memoized(&b.problem, limit, cancel, session.as_deref());
             agg_stats.decisions += stats.decisions;
             agg_stats.conflicts += stats.conflicts;
             agg_stats.theory_relaxations += stats.theory_relaxations;

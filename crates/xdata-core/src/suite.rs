@@ -31,6 +31,15 @@ pub struct GenOptions {
     /// Ground search core: conflict-driven (the default) or the original
     /// chronological DPLL, kept as a baseline for `solver_sweep`.
     pub core: SearchCore,
+    /// Solve targets through one incremental CDCL session per constraint
+    /// skeleton shape (the default): the skeleton is lowered once, each
+    /// target runs under per-target assumptions, and learned clauses,
+    /// branching activities and saved phases carry over between targets.
+    /// Only effective with [`SearchCore::Cdcl`] in [`Mode::Unfold`] and no
+    /// [`GenOptions::input_db`]; other configurations solve each target
+    /// from scratch. Set `false` to force fresh solves (the
+    /// `--search-core cdcl` baseline).
+    pub incremental: bool,
     /// Wall-clock budget in milliseconds for the whole generation run.
     /// When it expires the suite completes *partially*: targets not yet
     /// finished are reported as [`SkipReason::Timeout`], never silently
@@ -55,6 +64,7 @@ impl Default for GenOptions {
             jobs: 1,
             decision_limit: xdata_solver::DEFAULT_DECISION_LIMIT,
             core: SearchCore::default(),
+            incremental: true,
             deadline_ms: None,
             per_target_deadline_ms: None,
             faults: FaultPlan::default(),

@@ -38,13 +38,18 @@ pub const ALL_COUNTERS: &[&str] = &[
     "kill.survived.join",
     "kill.unevaluated",
     "solver.cancel_checks",
+    "solver.clause_db.dropped",
+    "solver.clause_db.kept",
     "solver.conflicts",
     "solver.decisions",
     "solver.ground_solves",
     "solver.instantiations",
     "solver.learned_clauses",
+    "solver.phase_saves",
     "solver.propagations",
     "solver.restarts",
+    "solver.session.assumption_solves",
+    "solver.session.reused_clauses",
     "solver.theory_relaxations",
     "solver.unfold_expansions",
     "solver.unknown_exits",
@@ -58,6 +63,7 @@ pub const ALL_HISTOGRAMS: &[&str] = &[
     "core.dataset_rows",
     "solver.backjump_depth",
     "solver.cancel_latency",
+    "solver.clause_lbd",
     "solver.ground_atoms",
 ];
 

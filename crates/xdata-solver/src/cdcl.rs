@@ -37,9 +37,31 @@
 //!   [`RESTART_BASE`] conflicts) and keep learned clauses, activities and
 //!   level-0 units, so each restart re-descends with everything learned.
 //!
-//! Learned clauses are never deleted: X-Data's per-target problems are
-//! small enough that the clause database stays tiny, and retention keeps
-//! the engine deterministic and simple.
+//! ## Incremental sessions
+//!
+//! A one-shot [`solve`] builds the engine, searches, and drops it. The
+//! [`crate::session`] module instead keeps one engine alive across a whole
+//! family of near-identical problems: the shared skeleton is lowered once,
+//! each target's delta constraints are guarded by a fresh
+//! [`Key::Selector`] atom (`¬selectorᵢ ∨ deltaᵢ`), and each solve runs
+//! under **assumptions** — one decision level per registered selector,
+//! asserting exactly the current target's selector true. Because the
+//! guards are ordinary parts of one monolithic formula, every clause
+//! learned while solving one target is globally valid for all the others,
+//! so learned clauses, VSIDS activities, and saved phases all carry over.
+//! An assumption found false at establishment time is *analyzed*
+//! ([`Cdcl::analyze_final`]) into a failed-assumption core rather than
+//! treated as a search conflict: the target is unsatisfiable, the session
+//! stays healthy.
+//!
+//! Retention is bounded: learned clauses are tagged with their LBD
+//! (literal block distance) at learn time, and sessions periodically age
+//! the database ([`Cdcl::reduce_db`]), tombstoning the worst half of the
+//! removable learned clauses (high LBD first). Axioms, glue clauses
+//! (LBD ≤ 2), units, and reason clauses of level-0 facts are never
+//! dropped. One-shot solves never reach the reduction threshold, so their
+//! behavior is byte-identical to the pre-session engine; phase saving is
+//! likewise gated to sessions ([`Cdcl::use_saved_phases`]).
 
 use std::collections::HashMap;
 
@@ -51,9 +73,9 @@ use crate::search::{canon, CanonOp, GroundResult, Key, SearchStats, CANCEL_CHECK
 use crate::theory::DiffLogic;
 
 /// A literal: atom index shifted left, low bit = assigned value.
-type Lit = u32;
+pub(crate) type Lit = u32;
 
-fn lit(atom: u32, value: bool) -> Lit {
+pub(crate) fn lit(atom: u32, value: bool) -> Lit {
     (atom << 1) | value as u32
 }
 fn lit_atom(l: Lit) -> u32 {
@@ -103,12 +125,22 @@ enum Reason {
 
 struct Clause {
     lits: Vec<Lit>,
+    /// Literal block distance at learn time (0 for axioms): the number of
+    /// distinct non-root decision levels in the clause. Low LBD ("glue")
+    /// clauses connect few levels and are kept forever by the reducer.
+    lbd: u64,
+    /// True for clauses from conflict analysis, false for Eq-split axioms.
+    /// Only learned clauses are eligible for clause-DB reduction.
+    learned: bool,
+    /// Tombstone set by [`Cdcl::reduce_db`]; dead clauses are skipped and
+    /// lazily dropped from watch lists during propagation.
+    dead: bool,
 }
 
 /// The input formula lowered to dense atom indices. Canonicalization and
 /// hash lookups happen once, in [`Cdcl::lower`]; the walk/evaluation hot
 /// path then runs on plain array indexing.
-enum IF {
+pub(crate) enum IF {
     True,
     False,
     Atom(u32),
@@ -133,8 +165,12 @@ enum Ev {
     Undef { pick: u32, score: u32, reason: Option<Vec<Lit>> },
 }
 
-struct Cdcl<'a> {
-    vars: &'a VarTable,
+/// The CDCL engine. One-shot solves ([`solve`]) build and drop it; the
+/// incremental session ([`crate::session`]) owns one long-lived instance,
+/// which is why it owns its [`VarTable`] and [`CancelToken`] instead of
+/// borrowing them.
+pub(crate) struct Cdcl {
+    vars: VarTable,
     th: DiffLogic,
     /// Canonical key → dense atom index, assigned in traversal order.
     index: HashMap<Key, u32>,
@@ -162,22 +198,45 @@ struct Cdcl<'a> {
     watches: Vec<Vec<u32>>,
     stats: SearchStats,
     decision_limit: u64,
-    cancel: &'a CancelToken,
+    cancel: CancelToken,
     /// Main-loop iterations since start, for the cancellation cadence.
     steps: u64,
     /// Backjump depth (levels unwound) per conflict, for the
     /// `solver.backjump_depth` histogram.
     backjumps: Vec<u64>,
+    /// LBD of each clause learned this solve, for the `solver.clause_lbd`
+    /// histogram.
+    lbds: Vec<u64>,
     luby_idx: u64,
     conflicts_since_restart: u64,
     restart_threshold: u64,
+    /// Last saved polarity per atom, recorded on unassignment. Only honored
+    /// when `use_saved_phases` is set (incremental sessions): one-shot
+    /// solves keep the seed engine's always-true-first descent.
+    saved_phase: Vec<Option<bool>>,
+    use_saved_phases: bool,
+    /// Assumption literals for the current solve, one decision level each,
+    /// established in order before any free decision is made.
+    assumptions: Vec<Lit>,
+    /// Set when `search` returned [`GroundResult::Unsat`] *independently of
+    /// the assumptions* (level-0 conflict or empty resolvent): the formula
+    /// itself is unsatisfiable and a session can poison itself.
+    global_unsat: bool,
+    /// The failed-assumption core from the most recent assumption-rejected
+    /// solve: a subset of the assumption literals (plus the failed literal
+    /// itself) whose conjunction the formula refutes.
+    failed_core: Vec<Lit>,
+    /// `th.relaxations` at the start of the current solve, so per-solve
+    /// stats report a delta rather than a session-lifetime total.
+    relax_start: u64,
 }
 
-impl<'a> Cdcl<'a> {
-    fn new(vars: &'a VarTable, decision_limit: u64, cancel: &'a CancelToken) -> Self {
+impl Cdcl {
+    pub(crate) fn new(vars: VarTable, decision_limit: u64, cancel: CancelToken) -> Self {
+        let num_vars = vars.num_vars();
         Cdcl {
             vars,
-            th: DiffLogic::new(vars.num_vars()),
+            th: DiffLogic::new(num_vars),
             index: HashMap::new(),
             keys: Vec::new(),
             splits: Vec::new(),
@@ -199,9 +258,16 @@ impl<'a> Cdcl<'a> {
             cancel,
             steps: 0,
             backjumps: Vec::new(),
+            lbds: Vec::new(),
             luby_idx: 1,
             conflicts_since_restart: 0,
             restart_threshold: RESTART_BASE * luby(1),
+            saved_phase: Vec::new(),
+            use_saved_phases: false,
+            assumptions: Vec::new(),
+            global_unsat: false,
+            failed_core: Vec::new(),
+            relax_start: 0,
         }
     }
 
@@ -218,6 +284,7 @@ impl<'a> Cdcl<'a> {
         self.reason.push(Reason::None);
         self.seen.push(false);
         self.activity.push(0.0);
+        self.saved_phase.push(None);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         if key.op() == CanonOp::Eq {
@@ -249,7 +316,7 @@ impl<'a> Cdcl<'a> {
         let lits = vec![l_lo, l_hi, lit(a, true)];
         self.watches[l_lo as usize].push(ci);
         self.watches[l_hi as usize].push(ci);
-        self.clauses.push(Clause { lits });
+        self.clauses.push(Clause { lits, lbd: 0, learned: false, dead: false });
         // `a` is false; the pre-existing assignments of lo/hi decide
         // whether the new clause is already unit or false.
         match (self.lit_is(l_lo), self.lit_is(l_hi)) {
@@ -272,7 +339,7 @@ impl<'a> Cdcl<'a> {
         match f {
             Formula::True => IF::True,
             Formula::False => IF::False,
-            Formula::Atom(a) => match canon(a.to_diff(self.vars)) {
+            Formula::Atom(a) => match canon(a.to_diff(&self.vars)) {
                 Err(true) => IF::True,
                 Err(false) => IF::False,
                 Ok(key) => IF::Atom(self.intern(key)),
@@ -350,6 +417,12 @@ impl<'a> Cdcl<'a> {
                 let ci = ws[i];
                 {
                     let c = &mut self.clauses[ci as usize];
+                    if c.dead {
+                        // Tombstoned by clause-DB reduction: drop the stale
+                        // watch entry lazily, here.
+                        ws.swap_remove(i);
+                        continue;
+                    }
                     if c.lits[0] == p {
                         c.lits.swap(0, 1);
                     }
@@ -704,6 +777,10 @@ impl<'a> Cdcl<'a> {
         let target = self.trail_lim[bl as usize];
         while self.trail.len() > target {
             let a = self.trail.pop().expect("len checked");
+            // Phase saving: remember the polarity this atom last held, so a
+            // session's next descent can retry it (gated by
+            // `use_saved_phases` at decision time).
+            self.saved_phase[a as usize] = self.value[a as usize];
             self.value[a as usize] = None;
             self.reason[a as usize] = Reason::None;
             self.th.pop_level();
@@ -712,8 +789,22 @@ impl<'a> Cdcl<'a> {
         self.qhead = self.trail.len();
     }
 
+    /// Literal block distance of a (learned) clause: distinct non-root
+    /// decision levels among its literals, computed at learn time (before
+    /// the backjump unassigns the UIP).
+    fn clause_lbd(&self, lits: &[Lit]) -> u64 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|&l| self.level_of[lit_atom(l) as usize])
+            .filter(|&lv| lv != 0)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u64
+    }
+
     /// Install a learned clause and assert its UIP literal.
-    fn learn_and_assert(&mut self, learned: Vec<Lit>) -> Result<(), Vec<Lit>> {
+    fn learn_and_assert(&mut self, learned: Vec<Lit>, lbd: u64) -> Result<(), Vec<Lit>> {
         self.stats.learned_clauses += 1;
         let ci = self.clauses.len() as u32;
         let l0 = learned[0];
@@ -723,7 +814,7 @@ impl<'a> Cdcl<'a> {
         } else {
             self.units.push((l0, ci));
         }
-        self.clauses.push(Clause { lits: learned });
+        self.clauses.push(Clause { lits: learned, lbd, learned: true, dead: false });
         match self.lit_is(l0) {
             None => self.enqueue(l0, Reason::Clause(ci)),
             Some(true) => Ok(()),
@@ -766,8 +857,80 @@ impl<'a> Cdcl<'a> {
     fn decide(&mut self, a: u32) -> Option<Vec<Lit>> {
         self.stats.decisions += 1;
         self.trail_lim.push(self.trail.len());
-        // Try the true phase first, like the DPLL core's branch order.
-        self.enqueue(lit(a, true), Reason::Decision).err()
+        // Try the true phase first, like the DPLL core's branch order —
+        // unless this is a session solve and the atom has a saved phase
+        // from an earlier descent, in which case re-descend with that.
+        let phase = if self.use_saved_phases {
+            match self.saved_phase[a as usize] {
+                Some(p) => {
+                    self.stats.phase_saves += 1;
+                    p
+                }
+                None => true,
+            }
+        } else {
+            true
+        };
+        self.enqueue(lit(a, phase), Reason::Decision).err()
+    }
+
+    /// Walk `failed`'s implication graph down to the assumption decisions
+    /// that entail its negation: the returned *failed-assumption core*
+    /// (`failed` plus a subset of the established assumption literals) is a
+    /// set whose conjunction the formula refutes. Called when assumption
+    /// establishment finds `failed` already assigned false; every decision
+    /// on the trail at that point is itself an assumption.
+    fn analyze_final(&mut self, failed: Lit) -> Vec<Lit> {
+        let mut core = vec![failed];
+        if self.decision_level() == 0 {
+            // Refuted by level-0 facts alone: the core is the literal
+            // itself (e.g. a learned unit clause killed this selector).
+            return core;
+        }
+        let a0 = lit_atom(failed);
+        self.seen[a0 as usize] = true;
+        let mut to_clear = vec![a0];
+        let base = self.trail_lim[0];
+        for i in (base..self.trail.len()).rev() {
+            let a = self.trail[i];
+            if !self.seen[a as usize] {
+                continue;
+            }
+            match &self.reason[a as usize] {
+                Reason::Decision => {
+                    // Establishment runs before any free decision, so a
+                    // Decision-reasoned trail literal here is an assumption.
+                    let v = self.value[a as usize].expect("on trail");
+                    core.push(lit(a, v));
+                }
+                Reason::Clause(ci) => {
+                    let lits = self.clauses[*ci as usize].lits.clone();
+                    for l in lits {
+                        let la = lit_atom(l);
+                        if la != a && self.level_of[la as usize] > 0 && !self.seen[la as usize]
+                        {
+                            self.seen[la as usize] = true;
+                            to_clear.push(la);
+                        }
+                    }
+                }
+                Reason::Local(lits) => {
+                    for l in lits.clone() {
+                        let la = lit_atom(l);
+                        if la != a && self.level_of[la as usize] > 0 && !self.seen[la as usize]
+                        {
+                            self.seen[la as usize] = true;
+                            to_clear.push(la);
+                        }
+                    }
+                }
+                Reason::None => unreachable!("assigned atom without reason"),
+            }
+        }
+        for a in to_clear {
+            self.seen[a as usize] = false;
+        }
+        core
     }
 
     fn search(&mut self, root: &IF) -> GroundResult {
@@ -783,14 +946,20 @@ impl<'a> Cdcl<'a> {
             if let Some(c) = conflict.take() {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 || c.is_empty() {
+                    // Conflicting at level 0 means the formula itself (not
+                    // any assumption) is refuted.
+                    self.global_unsat = true;
                     return GroundResult::Unsat;
                 }
                 let Some((learned, bl)) = self.analyze(&c) else {
+                    self.global_unsat = true;
                     return GroundResult::Unsat;
                 };
+                let lbd = self.clause_lbd(&learned);
+                self.lbds.push(lbd);
                 self.backjumps.push(u64::from(self.decision_level() - bl));
                 self.backjump(bl);
-                if let Err(c2) = self.learn_and_assert(learned) {
+                if let Err(c2) = self.learn_and_assert(learned, lbd) {
                     conflict = Some(c2);
                 }
                 self.act_inc /= 0.95;
@@ -809,36 +978,208 @@ impl<'a> Cdcl<'a> {
             }
             match self.propagate(root) {
                 Err(c) => conflict = Some(c),
-                Ok(Walk::True) => match self.pending_eq_split() {
-                    None => return GroundResult::Sat(self.th.model()),
-                    Some(a) => {
-                        if self.stats.decisions >= self.decision_limit {
-                            return GroundResult::Unknown;
+                Ok(walk) => {
+                    // Establish pending assumptions — one decision level
+                    // per assumption, in order — before honoring the walk
+                    // verdict (which may hinge on still-unassigned
+                    // selectors). Propagation runs to fixpoint between
+                    // establishments, preserving the invariant conflict
+                    // analysis relies on (any conflict involves a
+                    // current-level literal). Assumptions are not counted
+                    // as decisions and not budget-checked, so budget
+                    // verdicts stay comparable with fresh solves.
+                    if (self.decision_level() as usize) < self.assumptions.len() {
+                        let l = self.assumptions[self.decision_level() as usize];
+                        match self.lit_is(l) {
+                            Some(true) => {
+                                // Already implied: open an empty level so
+                                // level index keeps matching assumption
+                                // index.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            Some(false) => {
+                                // The formula (under the earlier
+                                // assumptions) refutes this assumption:
+                                // unsatisfiable for this target only.
+                                self.failed_core = self.analyze_final(l);
+                                return GroundResult::Unsat;
+                            }
+                            None => {
+                                self.trail_lim.push(self.trail.len());
+                                conflict = self.enqueue(l, Reason::Decision).err();
+                            }
                         }
-                        conflict = self.decide(a);
+                        continue;
                     }
-                },
-                Ok(Walk::Branch(a)) => {
-                    if self.stats.decisions >= self.decision_limit {
-                        return GroundResult::Unknown;
+                    match walk {
+                        Walk::True => match self.pending_eq_split() {
+                            None => return GroundResult::Sat(self.th.model()),
+                            Some(a) => {
+                                if self.stats.decisions >= self.decision_limit {
+                                    return GroundResult::Unknown;
+                                }
+                                conflict = self.decide(a);
+                            }
+                        },
+                        Walk::Branch(a) => {
+                            if self.stats.decisions >= self.decision_limit {
+                                return GroundResult::Unknown;
+                            }
+                            conflict = self.decide(a);
+                        }
                     }
-                    conflict = self.decide(a);
                 }
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Incremental-session API (used by `crate::session`).
+    // ------------------------------------------------------------------
+
+    /// Lower a ground formula into the engine's dense atom space. Sessions
+    /// call this once for the skeleton and once per target delta.
+    pub(crate) fn lower_formula(&mut self, f: &Formula) -> IF {
+        self.lower(f)
+    }
+
+    /// Intern the selector atom for target `id` and return its dense index.
+    pub(crate) fn intern_selector(&mut self, id: u32) -> u32 {
+        self.intern(Key::Selector { id })
+    }
+
+    /// Reset per-solve state: stats, step counter, histograms, budget, and
+    /// the cancellation token. Retained across solves: atoms, clauses,
+    /// learned units, VSIDS activities, saved phases, level-0 trail, and
+    /// the theory state — that retention is the whole point of a session.
+    pub(crate) fn begin_solve(
+        &mut self,
+        decision_limit: u64,
+        cancel: CancelToken,
+        assumptions: Vec<Lit>,
+    ) {
+        debug_assert_eq!(self.decision_level(), 0, "begin_solve above level 0");
+        self.stats = SearchStats::default();
+        self.steps = 0;
+        self.backjumps.clear();
+        self.lbds.clear();
+        self.decision_limit = decision_limit;
+        self.cancel = cancel;
+        self.assumptions = assumptions;
+        self.use_saved_phases = true;
+        self.luby_idx = 1;
+        self.conflicts_since_restart = 0;
+        self.restart_threshold = RESTART_BASE * luby(1);
+        self.relax_start = self.th.relaxations;
+    }
+
+    /// Run the search for the current target (after [`Cdcl::begin_solve`])
+    /// and return the engine to level 0, keeping everything learned. The
+    /// model (if any) is captured before unwinding.
+    pub(crate) fn solve_current(&mut self, root: &IF) -> GroundResult {
+        let result = self.search(root);
+        self.backjump(0);
+        self.stats.theory_relaxations = self.th.relaxations - self.relax_start;
+        if matches!(result, GroundResult::Unknown) {
+            self.stats.unknown_exits = 1;
+        }
+        debug_assert_eq!(
+            self.th.depth(),
+            self.trail.len(),
+            "one theory level per trail entry (session handback invariant)"
+        );
+        result
+    }
+
+    /// Age the learned-clause database: when more than
+    /// [`REDUCE_THRESHOLD`] removable learned clauses have accumulated,
+    /// tombstone the worst half (highest LBD first; oldest first among
+    /// ties). Protected and never dropped: axioms, glue clauses (LBD ≤ 2),
+    /// learned units, and reason clauses of current (level-0) trail
+    /// literals. Sessions call this between targets, at level 0; one-shot
+    /// solves never reach the threshold.
+    pub(crate) fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0, "reduce_db above level 0");
+        let mut protected = vec![false; self.clauses.len()];
+        for &a in &self.trail {
+            if let Reason::Clause(ci) = self.reason[a as usize] {
+                protected[ci as usize] = true;
+            }
+        }
+        let mut removable: Vec<(u64, u32)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(ci, c)| {
+                c.learned && !c.dead && c.lits.len() >= 2 && c.lbd > 2 && !protected[*ci]
+            })
+            .map(|(ci, c)| (c.lbd, ci as u32))
+            .collect();
+        if removable.len() <= REDUCE_THRESHOLD {
+            return;
+        }
+        // Keep low-LBD and recent: sort so the tail holds high-LBD clauses,
+        // oldest first among equals, and tombstone that tail.
+        removable.sort_by_key(|&(lbd, ci)| (lbd, std::cmp::Reverse(ci)));
+        let drop_n = removable.len() / 2;
+        for &(_, ci) in &removable[removable.len() - drop_n..] {
+            let c = &mut self.clauses[ci as usize];
+            c.dead = true;
+            // Reclaim the literal storage now; watch-list entries are
+            // dropped lazily during propagation.
+            c.lits = Vec::new();
+        }
+        self.stats.clause_db_dropped = drop_n as u64;
+        self.stats.clause_db_kept = self.live_learned_clauses() as u64;
+    }
+
+    /// Learned clauses currently alive (not tombstoned).
+    pub(crate) fn live_learned_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learned && !c.dead).count()
+    }
+
+    /// Number of interned atoms.
+    pub(crate) fn atom_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub(crate) fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    pub(crate) fn backjumps(&self) -> &[u64] {
+        &self.backjumps
+    }
+
+    pub(crate) fn lbds(&self) -> &[u64] {
+        &self.lbds
+    }
+
+    pub(crate) fn global_unsat(&self) -> bool {
+        self.global_unsat
+    }
+
+    pub(crate) fn failed_core(&self) -> &[Lit] {
+        &self.failed_core
+    }
 }
 
-/// Solve a ground NNF formula with the CDCL core. Returns the result, the
-/// search stats, and the per-conflict backjump depths (for the
-/// `solver.backjump_depth` histogram).
+/// Removable learned clauses tolerated before [`Cdcl::reduce_db`] ages the
+/// database. Far above what any single X-Data target learns, so one-shot
+/// solves behave exactly as before sessions existed.
+const REDUCE_THRESHOLD: usize = 512;
+
+/// Solve a ground NNF formula with a fresh one-shot CDCL engine. Returns
+/// the result, the search stats, the per-conflict backjump depths (for the
+/// `solver.backjump_depth` histogram), and the learned-clause LBDs (for
+/// `solver.clause_lbd`).
 pub(crate) fn solve(
     f: &Formula,
     vars: &VarTable,
     decision_limit: u64,
     cancel: &CancelToken,
-) -> (GroundResult, SearchStats, Vec<u64>) {
-    let mut s = Cdcl::new(vars, decision_limit, cancel);
+) -> (GroundResult, SearchStats, Vec<u64>, Vec<u64>) {
+    let mut s = Cdcl::new(vars.clone(), decision_limit, cancel.clone());
     let root = s.lower(f);
     let result = s.search(&root);
     s.stats.theory_relaxations = s.th.relaxations;
@@ -846,7 +1187,8 @@ pub(crate) fn solve(
         s.stats.unknown_exits = 1;
     }
     let backjumps = std::mem::take(&mut s.backjumps);
-    (result, s.stats, backjumps)
+    let lbds = std::mem::take(&mut s.lbds);
+    (result, s.stats, backjumps, lbds)
 }
 
 #[cfg(test)]

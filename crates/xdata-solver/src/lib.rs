@@ -56,6 +56,16 @@
 //! means "no such dataset exists" — the completeness guarantee of §V-G
 //! rests on this.
 //!
+//! ## Incremental sessions
+//!
+//! X-Data solves families of near-identical problems: dozens of targets
+//! per query share one constraint skeleton and differ only in small
+//! deltas. [`SolveSession`] lowers the skeleton once and solves each
+//! target under assumptions (selector-guarded deltas), retaining learned
+//! clauses, branching activities, and saved phases across targets — see
+//! the [`session`] module docs for the encoding and its soundness
+//! argument.
+//!
 //! ## Cancellation
 //!
 //! Every solve entry point has a `_cancel` variant threading an
@@ -73,6 +83,7 @@ pub mod ids;
 pub mod nnf;
 pub mod problem;
 pub mod search;
+pub mod session;
 pub mod theory;
 pub mod unfold;
 
@@ -81,4 +92,5 @@ pub use formula::Formula;
 pub use ids::{ArrayId, ArraySpec, QVarId, VarId, VarTable};
 pub use problem::{Mode, Model, Problem, SolveOutcome, SolverStats};
 pub use search::{SearchCore, CANCEL_CHECK_INTERVAL, DEFAULT_DECISION_LIMIT};
+pub use session::SolveSession;
 pub use xdata_par::CancelToken;

@@ -81,6 +81,19 @@ impl SolveOutcome {
     }
 }
 
+/// Map a ground-search result into the public outcome, wrapping a model
+/// around SAT values. Shared by the one-shot unfold path and the
+/// incremental session (`crate::session`), so both produce identically
+/// shaped outcomes.
+pub(crate) fn outcome_from_ground(res: GroundResult, vars: &VarTable) -> SolveOutcome {
+    match res {
+        GroundResult::Sat(values) => SolveOutcome::Sat(Model { values, vars: vars.clone() }),
+        GroundResult::Unsat => SolveOutcome::Unsat,
+        GroundResult::Unknown => SolveOutcome::Unknown,
+        GroundResult::Cancelled => SolveOutcome::Cancelled,
+    }
+}
+
 /// Counters for one solve call.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolverStats {
@@ -245,17 +258,7 @@ impl Problem {
         stats.learned_clauses = s.learned_clauses;
         stats.restarts = s.restarts;
         stats.cancel_checks = s.cancel_checks;
-        (
-            match res {
-                GroundResult::Sat(values) => {
-                    SolveOutcome::Sat(Model { values, vars: vars.clone() })
-                }
-                GroundResult::Unsat => SolveOutcome::Unsat,
-                GroundResult::Unknown => SolveOutcome::Unknown,
-                GroundResult::Cancelled => SolveOutcome::Cancelled,
-            },
-            stats,
-        )
+        (outcome_from_ground(res, vars), stats)
     }
 
     fn solve_lazy(

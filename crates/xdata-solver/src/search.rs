@@ -46,6 +46,13 @@ pub(crate) enum Key {
     One { x: u32, op: CanonOp, k: i64 },
     /// `x − y ⋈ k` with `x < y` and `⋈ ∈ {Eq, Le, Ge}`.
     Two { x: u32, y: u32, op: CanonOp, k: i64 },
+    /// A per-target activation guard used by incremental sessions: a pure
+    /// boolean atom with no theory meaning (its bound set is empty either
+    /// way). Target `id`'s delta constraints are guarded by
+    /// `¬selectorᵢ ∨ delta`, and each session solve assumes exactly one
+    /// selector true — which is what makes every clause learned inside one
+    /// target's solve globally valid for all the others.
+    Selector { id: u32 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,18 +96,23 @@ impl Key {
             Key::Two { x, y, .. } => {
                 Diff::TwoVar { x: crate::ids::VarId(x), y: crate::ids::VarId(y), op, k }
             }
+            Key::Selector { .. } => unreachable!("selector atoms carry no difference"),
         }
     }
 
     pub(crate) fn op(self) -> CanonOp {
         match self {
             Key::One { op, .. } | Key::Two { op, .. } => op,
+            // Any non-`Eq` op: selectors must never join the lazy Eq-split
+            // machinery, and they never reach the theory.
+            Key::Selector { .. } => CanonOp::Le,
         }
     }
 
     pub(crate) fn k(self) -> i64 {
         match self {
             Key::One { k, .. } | Key::Two { k, .. } => k,
+            Key::Selector { .. } => 0,
         }
     }
 
@@ -111,12 +123,18 @@ impl Key {
         match self {
             Key::One { x, .. } => Key::One { x, op, k },
             Key::Two { x, y, .. } => Key::Two { x, y, op, k },
+            Key::Selector { .. } => unreachable!("selector atoms have no split form"),
         }
     }
 
     /// The difference bounds asserted when this atom is assigned `value`,
     /// or `None` for `Eq` assigned false (a disjunction, not a bound).
     pub(crate) fn bounds_when(self, value: bool, zero: u32) -> Option<Vec<Bound>> {
+        // A selector is a free boolean: either polarity asserts nothing
+        // (same shape as a `Diff::Ground` atom's empty bound set).
+        if matches!(self, Key::Selector { .. }) {
+            return Some(Vec::new());
+        }
         let (op, k) = (self.op(), self.k());
         match (op, value) {
             (CanonOp::Le, true) => bounds_for(self.diff(RelOp::Le, k), true, zero),
@@ -131,6 +149,11 @@ impl Key {
     /// The branches to try when deciding this atom: `(assigned value,
     /// difference bounds to assert)`. Exhaustive over the atom's semantics.
     fn branches(self, zero: u32) -> Vec<(bool, Vec<Bound>)> {
+        if matches!(self, Key::Selector { .. }) {
+            // DPLL never lowers session formulas, but stay exhaustive: a
+            // free boolean branches on both polarities with no bounds.
+            return vec![(true, Vec::new()), (false, Vec::new())];
+        }
         let (op, k) = (self.op(), self.k());
         match op {
             CanonOp::Le => vec![
@@ -187,6 +210,16 @@ pub struct SearchStats {
     /// deterministic solve: the step count is a function of the formula,
     /// not the schedule.
     pub cancel_checks: u64,
+    /// Decisions that re-descended with a previously saved (non-fresh)
+    /// polarity. Only incremental sessions enable phase saving, so this is
+    /// always 0 for fresh solves.
+    pub phase_saves: u64,
+    /// Learned clauses surviving the most recent clause-DB reduction
+    /// (incremental sessions only; 0 when no reduction ran).
+    pub clause_db_kept: u64,
+    /// Learned clauses tombstoned by the most recent clause-DB reduction
+    /// (incremental sessions only; 0 when no reduction ran).
+    pub clause_db_dropped: u64,
 }
 
 /// Result of the ground search.
@@ -400,16 +433,29 @@ pub fn solve_ground_cancel(
     core: SearchCore,
     cancel: &CancelToken,
 ) -> (GroundResult, SearchStats) {
-    let (result, stats, backjumps) = match core {
+    let (result, stats, backjumps, lbds) = match core {
         SearchCore::Cdcl => crate::cdcl::solve(f, vars, decision_limit, cancel),
         SearchCore::Dpll => {
             let (r, s) = solve_dpll(f, vars, decision_limit, cancel);
-            (r, s, Vec::new())
+            (r, s, Vec::new(), Vec::new())
         }
     };
-    // Wire the stats into the global recorder (a no-op unless a metrics
-    // sink is installed). Recorded once per ground solve, not per decision,
-    // so the instrumented hot path stays hot.
+    record_search_obs(&result, &stats, &backjumps, &lbds, cancel);
+    (result, stats)
+}
+
+/// Wire one ground solve's stats into the global recorder (a no-op unless a
+/// metrics sink is installed). Recorded once per ground solve, not per
+/// decision, so the instrumented hot path stays hot. Shared between the
+/// fresh-solve entry points here and the incremental session, which
+/// bypasses [`solve_ground_cancel`].
+pub(crate) fn record_search_obs(
+    result: &GroundResult,
+    stats: &SearchStats,
+    backjumps: &[u64],
+    lbds: &[u64],
+    cancel: &CancelToken,
+) {
     xdata_obs::counter("solver.decisions", stats.decisions);
     xdata_obs::counter("solver.conflicts", stats.conflicts);
     xdata_obs::counter("solver.propagations", stats.propagations);
@@ -418,7 +464,11 @@ pub fn solve_ground_cancel(
     xdata_obs::counter("solver.learned_clauses", stats.learned_clauses);
     xdata_obs::counter("solver.restarts", stats.restarts);
     xdata_obs::counter("solver.cancel_checks", stats.cancel_checks);
-    xdata_obs::observe_all("solver.backjump_depth", &backjumps);
+    xdata_obs::counter("solver.phase_saves", stats.phase_saves);
+    xdata_obs::counter("solver.clause_db.kept", stats.clause_db_kept);
+    xdata_obs::counter("solver.clause_db.dropped", stats.clause_db_dropped);
+    xdata_obs::observe_all("solver.backjump_depth", backjumps);
+    xdata_obs::observe_all("solver.clause_lbd", lbds);
     if matches!(result, GroundResult::Cancelled) {
         if let Some(over) = cancel.overshoot() {
             // Only a real wall-clock expiry has a latency; synthetic
@@ -426,7 +476,6 @@ pub fn solve_ground_cancel(
             xdata_obs::observe("solver.cancel_latency", over.as_nanos() as u64);
         }
     }
-    (result, stats)
 }
 
 fn solve_dpll(

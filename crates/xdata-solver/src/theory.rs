@@ -141,6 +141,13 @@ impl DiffLogic {
         self.levels.push(self.trail.len());
     }
 
+    /// Number of open push levels. The CDCL core keeps one theory level per
+    /// trail entry; incremental sessions assert this 1:1 invariant when
+    /// handing the core back at level 0 between targets.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
     pub fn pop_level(&mut self) {
         let mark = self.levels.pop().expect("pop without matching push");
         self.undo_to(mark);

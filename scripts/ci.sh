@@ -24,6 +24,19 @@ cargo test -q --offline --test metrics_schema
 # skip attributed.
 cargo test -q --offline --features chaos --test chaos
 
+# Bench smoke gate: the solver-core sweep (dpll / fresh cdcl /
+# incremental session) must run end-to-end at a tiny scale. The binary
+# itself asserts three-way verdict parity and byte-identical session
+# suites across --jobs before it prints a single timing, so this leg is
+# a correctness gate too. Writes to a temp file, not results/.
+SWEEP_OUT=$(mktemp)
+XDATA_MAX_RELS=3 XDATA_STAR_SPOKES=2 XDATA_RANDOM_CASES=2 \
+    XDATA_SWEEP_OUT="$SWEEP_OUT" \
+    cargo run -q --release --offline -p xdata-bench --bin solver_sweep \
+    > /dev/null
+rm -f "$SWEEP_OUT"
+echo "ci: solver_sweep smoke (parity + jobs determinism) OK"
+
 # Doc-link gate: every backticked metric key named in DESIGN.md must
 # exist in the canonical registry (crates/xdata-obs/src/names.rs), so
 # the design doc's consolidated key table cannot drift from the code.

@@ -23,6 +23,10 @@
 //!   --decision-limit N
 //!                     solver decision budget per target (exhaustion is a
 //!                     budget skip, not an error)
+//!   --search-core C   session (default): incremental CDCL, one warm engine
+//!                     per skeleton shape solving targets under assumptions;
+//!                     cdcl: a fresh CDCL solve per target; dpll: the
+//!                     chronological baseline core
 //!   --use-input-db    restrict generated tuples to the script's INSERTs
 //!   --minimize        prune datasets that add no kills (greedy set cover)
 //!   --no-full-outer   exclude mutations to FULL OUTER JOIN (paper's eval)
@@ -38,7 +42,7 @@ use xdata::catalog::DomainCatalog;
 use xdata::core::minimize_suite;
 use xdata::relalg::mutation::MutationOptions;
 use xdata::relalg::Mutant;
-use xdata::solver::Mode;
+use xdata::solver::{Mode, SearchCore};
 use xdata::XData;
 
 struct Args {
@@ -51,6 +55,8 @@ struct Args {
     timeout_ms: Option<u64>,
     target_timeout_ms: Option<u64>,
     decision_limit: Option<u64>,
+    search_core: SearchCore,
+    incremental: bool,
     use_input_db: bool,
     minimize: bool,
     include_full: bool,
@@ -69,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: None,
         target_timeout_ms: None,
         decision_limit: None,
+        search_core: SearchCore::Cdcl,
+        incremental: true,
         use_input_db: false,
         minimize: false,
         include_full: true,
@@ -114,6 +122,14 @@ fn parse_args() -> Result<Args, String> {
                 args.decision_limit =
                     Some(n.parse().map_err(|_| format!("--decision-limit: invalid count `{n}`"))?);
             }
+            "--search-core" => {
+                (args.search_core, args.incremental) = match it.next().as_deref() {
+                    Some("session") => (SearchCore::Cdcl, true),
+                    Some("cdcl") => (SearchCore::Cdcl, false),
+                    Some("dpll") => (SearchCore::Dpll, false),
+                    other => return Err(format!("unknown search core {other:?}")),
+                }
+            }
             "--candidate" => args.candidate = Some(it.next().ok_or("--candidate needs SQL")?),
             "--use-input-db" => args.use_input_db = true,
             "--minimize" => args.minimize = true,
@@ -157,7 +173,11 @@ fn dispatch(args: &Args) -> Result<(), String> {
         xdata::sql::parse_script(&script).map_err(|e| e.render(&script))?;
     let sql = args.query.as_deref().ok_or("--query is required")?;
 
-    let mut xd = XData::new(schema.clone()).with_mode(args.mode).with_jobs(args.jobs);
+    let mut xd = XData::new(schema.clone())
+        .with_mode(args.mode)
+        .with_jobs(args.jobs)
+        .with_search_core(args.search_core)
+        .with_incremental(args.incremental);
     if let Some(ms) = args.timeout_ms {
         xd = xd.with_deadline_ms(ms);
     }

@@ -228,6 +228,23 @@ impl XData {
         self
     }
 
+    /// Select the ground search core ([`solver::SearchCore::Cdcl`] is the
+    /// default; [`solver::SearchCore::Dpll`] is the chronological
+    /// baseline).
+    pub fn with_search_core(mut self, core: xdata_solver::SearchCore) -> Self {
+        self.options.core = core;
+        self
+    }
+
+    /// Toggle incremental solving sessions (on by default): eligible
+    /// targets share one warm CDCL engine per constraint-skeleton shape,
+    /// solving under per-target assumptions instead of from scratch. See
+    /// [`core::GenOptions::incremental`] for the eligibility rules.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.options.incremental = incremental;
+        self
+    }
+
     /// Install a deterministic fault-injection plan (the chaos harness).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.options.faults = faults;

@@ -126,6 +126,46 @@ fn every_fault_is_attributed() {
     assert!(suite.datasets.iter().any(|d| d.label.contains("dataset with `=`")));
 }
 
+/// Synthetic deadline expiry on *mid-session* targets: with incremental
+/// sessions on (the default), targets of one skeleton shape share a warm
+/// CDCL engine in plan order. Expiring a target in the middle of that
+/// order must not perturb its successors — the partial suite stays
+/// byte-identical across `--jobs`, the expired targets surface as
+/// `Timeout` skips, and the targets solved *after* them on the same
+/// session still produce datasets.
+#[test]
+fn mid_session_expiry_is_deterministic_across_jobs() {
+    let _g = lock();
+    let faults = FaultPlan {
+        expire_targets: vec!["dataset with `>`".into(), "eq-class".into()],
+        ..FaultPlan::default()
+    };
+    let run1 = university()
+        .with_jobs(1)
+        .with_faults(faults.clone())
+        .generate_for(QUERY)
+        .expect("expiry run completes");
+    let suite1 = run1.suite.to_string();
+    for jobs in [2usize, 4] {
+        let run_n = university()
+            .with_jobs(jobs)
+            .with_faults(faults.clone())
+            .generate_for(QUERY)
+            .expect("expiry run completes");
+        assert_eq!(suite1, run_n.suite.to_string(), "partial suite differs at --jobs {jobs}");
+    }
+    // Every expired target is an attributed Timeout skip...
+    let timeouts: Vec<_> =
+        run1.suite.skipped.iter().filter(|s| s.reason == SkipReason::Timeout).collect();
+    assert!(!timeouts.is_empty(), "expire targets must surface: {:?}", run1.suite.skipped);
+    assert!(timeouts
+        .iter()
+        .all(|s| s.label.contains("dataset with `>`") || s.label.contains("eq-class")));
+    // ...and later same-session targets were unaffected by the gap.
+    assert!(run1.suite.datasets.iter().any(|d| d.label.contains("comparison")));
+    assert!(run1.suite.datasets.iter().any(|d| d.label.contains("dataset with `=`")));
+}
+
 /// A panicked solve must not wedge the solve-memo: rerunning the same
 /// query without faults right after a panicked run works normally (no
 /// poisoned lock escapes the generation call), and within a faulted run

@@ -111,6 +111,10 @@ fn pipeline_actually_records() {
     // The skeleton cache saw both a miss (first shape) and hits (reuse).
     assert!(report.counter("core.skeleton_cache.miss") > 0);
     assert!(report.counter("core.skeleton_cache.hit") > 0);
+    // Sessions are the default: targets solved under assumptions on a
+    // warm engine, with phases saved across them.
+    assert!(report.counter("solver.session.assumption_solves") > 0);
+    assert!(report.counter("solver.phase_saves") > 0);
     // The kill phase tallied every mutant into exactly one class bucket.
     let killed: u64 = [
         "kill.killed.agg",

@@ -1,0 +1,129 @@
+//! Verdict parity across search cores: the incremental assumption-based
+//! session (`--search-core session`), a fresh CDCL solve per target
+//! (`--search-core cdcl`) and the chronological DPLL baseline
+//! (`--search-core dpll`) must agree on every verdict — which targets
+//! produce a dataset, which are skipped, and why.
+//!
+//! The cores are free to return *different models* (a satisfying dataset
+//! is not unique), so parity is over labels and skip reasons, not tuple
+//! values. Within one core, tuple values must still be byte-identical
+//! across `--jobs` — that part is pinned for the session core here and
+//! for the default configuration in `parallel_determinism.rs`.
+
+use xdata::catalog::university;
+use xdata::core::SkipReason;
+use xdata::solver::SearchCore;
+use xdata::XData;
+
+/// (name, core, incremental) — mirrors the CLI's `--search-core` values.
+const CONFIGS: [(&str, SearchCore, bool); 3] = [
+    ("session", SearchCore::Cdcl, true),
+    ("cdcl", SearchCore::Cdcl, false),
+    ("dpll", SearchCore::Dpll, false),
+];
+
+/// Table I chain joins (2..=4 relations, all relevant FKs) plus a
+/// selection chain, the workload family of the paper's evaluation.
+fn table1_queries() -> Vec<(String, xdata::catalog::Schema)> {
+    let mut queries: Vec<(String, xdata::catalog::Schema)> = (2..=4)
+        .map(|k| {
+            let rels = university::join_chain(k);
+            let mut conds = Vec::new();
+            for i in 0..k - 1 {
+                let (lr, la, rr, ra) = university::join_chain_condition(i);
+                conds.push(format!("{lr}.{la} = {rr}.{ra}"));
+            }
+            let sql =
+                format!("SELECT * FROM {} WHERE {}", rels.join(", "), conds.join(" AND "));
+            (sql, university::schema_with_fk_count(k - 1))
+        })
+        .collect();
+    queries.push((
+        "SELECT * FROM instructor i, teaches t, course c \
+         WHERE i.id = t.id AND t.course_id = c.course_id AND i.salary > 50000"
+            .into(),
+        university::schema_with_fk_count(2),
+    ));
+    queries
+}
+
+fn verdicts(
+    schema: &xdata::catalog::Schema,
+    sql: &str,
+    core: SearchCore,
+    incremental: bool,
+    limit: Option<u64>,
+) -> (Vec<String>, Vec<(String, SkipReason)>) {
+    let mut xd = XData::new(schema.clone())
+        .with_search_core(core)
+        .with_incremental(incremental);
+    if let Some(l) = limit {
+        xd = xd.with_decision_limit(l);
+    }
+    let run = xd.generate_for(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    (
+        run.suite.datasets.iter().map(|d| d.label.clone()).collect(),
+        run.suite.skipped.iter().map(|s| (s.label.clone(), s.reason.clone())).collect(),
+    )
+}
+
+/// Every Table I target solved three ways yields the same verdict: the
+/// same targets produce datasets, the same targets are skipped, with the
+/// same [`SkipReason`].
+#[test]
+fn three_cores_agree_on_table1_verdicts() {
+    for (sql, schema) in table1_queries() {
+        let (base_labels, base_skips) =
+            verdicts(&schema, &sql, CONFIGS[0].1, CONFIGS[0].2, None);
+        assert!(!base_labels.is_empty(), "{sql}: no datasets at all");
+        for (name, core, incremental) in &CONFIGS[1..] {
+            let (labels, skips) = verdicts(&schema, &sql, *core, *incremental, None);
+            assert_eq!(base_labels, labels, "dataset labels differ: session vs {name}: {sql}");
+            assert_eq!(base_skips, skips, "skip lists differ: session vs {name}: {sql}");
+        }
+    }
+}
+
+/// With a decision budget of 0 only propagation-solvable targets get
+/// through; everything else must surface as `SkipReason::Budget` — and
+/// *identically* so in all three cores, decisions-spent field included.
+/// Assumption establishment in the session core must not count against
+/// the budget, or this diverges from the fresh cores.
+#[test]
+fn tiny_budget_reports_identical_budget_skips() {
+    let (sql, schema) = table1_queries().pop().unwrap();
+    let (base_labels, base_skips) =
+        verdicts(&schema, &sql, CONFIGS[0].1, CONFIGS[0].2, Some(0));
+    assert!(
+        base_skips.iter().any(|(_, r)| matches!(r, SkipReason::Budget { .. })),
+        "a zero budget must starve some target: {base_skips:?}"
+    );
+    for (name, core, incremental) in &CONFIGS[1..] {
+        let (labels, skips) = verdicts(&schema, &sql, *core, *incremental, Some(0));
+        assert_eq!(base_labels, labels, "starved labels differ: session vs {name}");
+        assert_eq!(base_skips, skips, "starved skips differ: session vs {name}");
+    }
+}
+
+/// The session core keeps the cross-`--jobs` byte-identity guarantee:
+/// warm solver state (learned clauses, activities, saved phases) is
+/// handed from target to target in plan order whatever the thread count.
+#[test]
+fn session_suites_byte_identical_across_jobs() {
+    for (sql, schema) in table1_queries() {
+        let render = |jobs: usize| {
+            XData::new(schema.clone())
+                .with_jobs(jobs)
+                .with_search_core(SearchCore::Cdcl)
+                .with_incremental(true)
+                .generate_for(&sql)
+                .unwrap_or_else(|e| panic!("jobs={jobs} {sql}: {e}"))
+                .suite
+                .to_string()
+        };
+        let base = render(1);
+        for jobs in [2, 4, 0] {
+            assert_eq!(base, render(jobs), "suite bytes differ at jobs={jobs}: {sql}");
+        }
+    }
+}
