@@ -11,7 +11,10 @@
 
 use std::time::Duration;
 
-use xdata_bench::{chain_schema, chain_sql, median_time, relevant_fk_count};
+use xdata_bench::{
+    build_json_line, chain_schema, chain_sql, median_time, relevant_fk_count,
+    write_trace_artifact,
+};
 use xdata_catalog::DomainCatalog;
 use xdata_core::{generate, GenOptions};
 use xdata_relalg::normalize;
@@ -117,6 +120,7 @@ fn main() {
 
     // Hand-rolled JSON: the workspace deliberately has no serde.
     let mut json = String::from("{\n");
+    json.push_str(&build_json_line());
     json.push_str("  \"workload\": \"Table I chain queries, all relevant FKs\",\n");
     json.push_str(
         "  \"configs\": [\"no deadline\", \"3600s suite+target deadline (never fires)\", \
@@ -151,4 +155,16 @@ fn main() {
         out.display(),
         rows.len()
     );
+
+    // Event-timeline artifact: the tiny-deadline configuration journaled
+    // in a separate pass — cancellation shows up as `core.target.skip`
+    // instants with `Timeout` attribution.
+    write_trace_artifact(out, || {
+        let k = 3;
+        let schema = chain_schema(k, relevant_fk_count(k));
+        let q = normalize(&parse_query(&chain_sql(k)).unwrap(), &schema).unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        let tiny = GenOptions { per_target_deadline_ms: Some(1), ..GenOptions::default() };
+        generate(&q, &schema, &domains, &tiny).expect("partial suite, not error");
+    });
 }

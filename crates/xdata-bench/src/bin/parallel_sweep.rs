@@ -9,7 +9,10 @@
 
 use std::time::Duration;
 
-use xdata_bench::{chain_schema, chain_sql, indent_json, median_time, relevant_fk_count};
+use xdata_bench::{
+    build_json_line, chain_schema, chain_sql, indent_json, median_time, relevant_fk_count,
+    write_trace_artifact,
+};
 use xdata_catalog::DomainCatalog;
 use xdata_core::{generate, GenOptions};
 use xdata_engine::kill::kill_report_jobs;
@@ -122,6 +125,7 @@ fn main() {
 
     // Hand-rolled JSON: the workspace deliberately has no serde.
     let mut json = String::from("{\n");
+    json.push_str(&build_json_line());
     json.push_str(&format!("  \"cores_available\": {cores},\n"));
     json.push_str(&format!(
         "  \"jobs\": [{}],\n",
@@ -154,6 +158,26 @@ fn main() {
     }
     std::fs::write(out, &json).expect("write BENCH_parallel.json");
     println!("\nwrote {} ({} rows); outputs verified identical across jobs {:?}", out.display(), rows.len(), JOBS);
+
+    // Event-timeline artifact: one generate+kill pass at the widest sweep
+    // point under the journal — queue-wait vs run and turn-gate waits show
+    // up as `par.claim` instants and `generate/solve/gate` spans.
+    write_trace_artifact(out, || {
+        let k = 4;
+        let fks = relevant_fk_count(k);
+        let schema = chain_schema(k, fks);
+        let q = normalize(&parse_query(&chain_sql(k)).unwrap(), &schema).unwrap();
+        let domains = DomainCatalog::defaults(&schema);
+        let jobs = *JOBS.last().unwrap();
+        let opts = GenOptions { jobs, ..GenOptions::default() };
+        let suite = generate(&q, &schema, &domains, &opts).unwrap();
+        let space = mutation_space(
+            &q,
+            MutationOptions { include_full: false, include_extensions: false, tree_limit },
+        );
+        kill_report_jobs(&q, &space, &suite.data(), &schema, jobs).unwrap();
+    });
+
     if cores == 1 {
         println!("note: only 1 core available — speedups cannot materialize on this machine.");
     }

@@ -25,8 +25,8 @@
 //! `XDATA_SWEEP_OUT` overrides the output path.
 
 use xdata_bench::{
-    chain_schema, chain_sql, median_time, random_join_cases, relevant_fk_count, star_schema,
-    star_sql,
+    build_json_line, chain_schema, chain_sql, median_time, random_join_cases, relevant_fk_count,
+    star_schema, star_sql, write_trace_artifact,
 };
 use xdata_catalog::DomainCatalog;
 use xdata_core::{generate, GenOptions};
@@ -239,6 +239,7 @@ fn main() {
 
     // Hand-rolled JSON: the workspace deliberately has no serde.
     let mut json = String::from("{\n");
+    json.push_str(&build_json_line());
     json.push_str(
         "  \"workload\": \"Table I chains (all relevant FKs) + deep chain + selection chain + \
          wide stars + seeded random schemas\",\n",
@@ -301,4 +302,16 @@ fn main() {
     }
     std::fs::write(out, &json).expect("write BENCH_solver.json");
     println!("wrote {} ({} workloads)", out.display(), rows.len());
+
+    // Event-timeline artifact: the session configuration over the first
+    // chain workload, journaled in a separate pass — solve verdicts and
+    // any restart instants land on the timeline alongside session turns.
+    write_trace_artifact(out, || {
+        let (_, sql, schema) = &workloads[0];
+        let q = normalize(&parse_query(sql).unwrap(), schema).unwrap();
+        let domains = DomainCatalog::defaults(schema);
+        let (_, core, incremental) = CONFIGS[CONFIGS.len() - 1];
+        let opts = GenOptions { core, incremental, ..GenOptions::default() };
+        generate(&q, schema, &domains, &opts).expect("generation succeeds");
+    });
 }

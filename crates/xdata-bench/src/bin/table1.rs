@@ -8,7 +8,10 @@
 //! cargo run -p xdata-bench --release --bin table1
 //! ```
 
-use xdata_bench::{chain_schema, chain_sql, evaluate_query, indent_json, relevant_fk_count, secs};
+use xdata_bench::{
+    build_json_line, chain_schema, chain_sql, evaluate_query, indent_json, relevant_fk_count,
+    secs, write_trace_artifact,
+};
 
 fn main() {
     // Tree enumeration cap for mutant counting: the space is exponential;
@@ -73,6 +76,7 @@ fn main() {
     // Hand-rolled JSON artifact: the workspace deliberately has no serde.
     let metrics = xdata_obs::take_report().expect("recorder installed").to_json();
     let mut json = String::from("{\n");
+    json.push_str(&build_json_line());
     json.push_str(&format!("  \"tree_limit\": {tree_limit},\n"));
     json.push_str("  \"workload\": \"Table I chain queries, FK sweep, lazy+unfold\",\n");
     json.push_str("  \"rows\": [\n");
@@ -91,6 +95,14 @@ fn main() {
     }
     std::fs::write(out, &json).expect("write BENCH_table1.json");
     println!("\nwrote {}", out.display());
+
+    // Event-timeline artifact: re-run one representative mid-size query
+    // under the journal, as a separate pass so tracing never touches the
+    // timed sweep above.
+    write_trace_artifact(out, || {
+        let schema = chain_schema(3, 0);
+        evaluate_query(&chain_sql(3), &schema, tree_limit);
+    });
 
     println!(
         "\nNotes: dataset counts exclude the original-query dataset (as in the \

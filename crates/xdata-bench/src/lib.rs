@@ -300,6 +300,31 @@ pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
+/// The `"build"` provenance line every bench artifact embeds right after
+/// its opening brace: git sha, rustc version and active feature flags,
+/// captured at compile time by `xdata-obs`'s build script. Makes every
+/// number in `results/` attributable to a source revision and toolchain.
+pub fn build_json_line() -> String {
+    format!("  \"build\": {},\n", xdata_obs::build_meta_json(&[]))
+}
+
+/// Run `f` under a fresh event journal and write the captured timeline as
+/// a Chrome-trace artifact next to the bench JSON it accompanies
+/// (`<stem>.trace.json` beside `next_to`, loadable in Perfetto /
+/// `chrome://tracing` and analyzable offline with `xdata trace`). The
+/// traced run is a *separate* representative pass so journaling overhead
+/// never contaminates the measured numbers.
+pub fn write_trace_artifact<F: FnOnce()>(next_to: &std::path::Path, f: F) {
+    xdata_obs::install_trace();
+    f();
+    let log = xdata_obs::take_trace().expect("journal installed");
+    let name = next_to.file_name().and_then(|s| s.to_str()).unwrap_or("BENCH.json");
+    let stem = name.strip_suffix(".json").unwrap_or(name);
+    let out = next_to.with_file_name(format!("{stem}.trace.json"));
+    std::fs::write(&out, log.to_chrome_json()).expect("write trace artifact");
+    println!("wrote {} ({} journal events)", out.display(), log.events.len());
+}
+
 /// Re-indent a rendered JSON document (e.g. a `MetricsReport`) so it can
 /// be embedded as a nested value inside the hand-rolled JSON the bench
 /// binaries write: every line after the first gets `pad` prepended, and

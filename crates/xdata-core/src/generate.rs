@@ -31,7 +31,7 @@
 //! computes, the rest wait), so hit/miss counts — and therefore the metrics
 //! report — stay deterministic for every `jobs` value.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -49,6 +49,12 @@ use crate::builder::ConstraintBuilder;
 use crate::error::GenError;
 use crate::materialize::materialize;
 use crate::suite::{GenOptions, GeneratedDataset, SkipReason, SkippedTarget, TestSuite};
+
+/// Offset for `session` flow ids in the trace. `target` flows use the plan
+/// index, `session` flows the copies-class id; the offset keeps the two
+/// families in disjoint id spaces so Chrome/Perfetto never stitches a
+/// target arrow to a session arrow.
+const SESSION_FLOW_BASE: u64 = 0x5E55_0000_0000;
 
 /// Generate the complete test suite for `query` (Algorithm 1):
 /// a dataset for the original query, then datasets killing equivalence-class
@@ -116,8 +122,27 @@ pub fn generate_cancellable(
             })
             .collect()
     };
+    // Trace flows, opened on the coordinator so every start precedes its
+    // worker-side finish/steps in time: a `target` arrow per plan item
+    // (id = plan index) and a `session` arrow per copies-class chaining
+    // the turn order across that class's gated targets.
+    if xdata_obs::journal_enabled() {
+        let mut classes_started: HashSet<u32> = HashSet::new();
+        for (idx, turn) in turns.iter().enumerate() {
+            xdata_obs::flow("target", idx as u64, xdata_obs::FlowPhase::Start);
+            if let Some((class, _)) = turn {
+                if classes_started.insert(*class) {
+                    xdata_obs::flow(
+                        "session",
+                        SESSION_FLOW_BASE + u64::from(*class),
+                        xdata_obs::FlowPhase::Start,
+                    );
+                }
+            }
+        }
+    }
     let outcomes = xdata_par::par_map_cancel(opts.jobs, &plan, cancel, |idx, item| {
-        gen.run_item(item, turns[idx], cancel)
+        gen.run_item(idx, item, turns[idx], cancel)
     });
     let mut suite = TestSuite::default();
     for (item, outcome) in plan.into_iter().zip(outcomes) {
@@ -658,11 +683,29 @@ impl<'a> Gen<'a> {
     /// and becomes [`SkipReason::Fault`] — neither can take down the suite.
     fn run_item(
         &self,
+        idx: usize,
         item: &PlanItem,
         turn: Option<(u32, usize)>,
         cancel: &CancelToken,
     ) -> Result<ItemOutcome, GenError> {
         let _solve_span = xdata_obs::span_with("generate/solve", || item.label.clone());
+        // Close this plan item's flow arrow on the thread that solved it.
+        xdata_obs::flow("target", idx as u64, xdata_obs::FlowPhase::Finish);
+        let out = self.run_item_inner(item, turn, cancel);
+        if let Ok(ItemOutcome::Skipped(reason)) = &out {
+            // The timeline attributes every skip inside the target's own
+            // solve span, with the reason spelled out.
+            xdata_obs::instant("core.target.skip", || format!("{} — {reason}", item.label));
+        }
+        out
+    }
+
+    fn run_item_inner(
+        &self,
+        item: &PlanItem,
+        turn: Option<(u32, usize)>,
+        cancel: &CancelToken,
+    ) -> Result<ItemOutcome, GenError> {
         if let Work::Skip(reason) = &item.work {
             return Ok(ItemOutcome::Skipped(reason.clone()));
         }
@@ -673,10 +716,26 @@ impl<'a> Gen<'a> {
         // parallel; ungated targets are unaffected.
         let _turn_guard = match turn {
             Some((class, seq)) => {
-                if !self.gate.wait_for(class, seq, cancel) {
+                // The gate wait gets its own child span so the timeline
+                // separates queueing (waiting for the class's turn) from
+                // actual solving.
+                let granted = {
+                    let _gate_span =
+                        xdata_obs::span_with("generate/solve/gate", || item.label.clone());
+                    self.gate.wait_for(class, seq, cancel)
+                };
+                if !granted {
                     // The suite token tripped while queued.
                     return Ok(ItemOutcome::Skipped(SkipReason::Timeout));
                 }
+                xdata_obs::instant("solver.session.turn", || {
+                    format!("{} (class {class}, turn {seq})", item.label)
+                });
+                xdata_obs::flow(
+                    "session",
+                    SESSION_FLOW_BASE + u64::from(class),
+                    xdata_obs::FlowPhase::Step,
+                );
                 Some(TurnGuard { gate: &self.gate, class })
             }
             None => None,

@@ -85,6 +85,19 @@ impl KillReport {
     }
 }
 
+/// Mutant-class tag used in trace span labels and verdict events; matches
+/// the `kill.killed.<class>` / `kill.survived.<class>` counter suffixes.
+fn class_name(m: &Mutant) -> &'static str {
+    match m {
+        Mutant::Join(_) => "join",
+        Mutant::Cmp(_) => "cmp",
+        Mutant::Agg(_) => "agg",
+        Mutant::HavingCmp(_) => "having_cmp",
+        Mutant::HavingAgg(_) => "having_agg",
+        Mutant::Distinct(_) => "distinct",
+    }
+}
+
 /// Run every mutant in `space` against every dataset in `suite`, recording
 /// which dataset (if any) first kills each mutant — the evaluation loop of
 /// §VI-C. Sequential; see [`kill_report_jobs`] for the parallel form.
@@ -131,20 +144,34 @@ pub fn kill_report_cancel(
     };
     let mutants: Vec<_> = space.iter().collect();
     let verdicts = xdata_par::par_map_cancel(jobs, &mutants, cancel, |mi, m| {
-        let _shard_span = xdata_obs::span_with("kill/mutant", || format!("#{mi} {}", m.describe(q)));
-        for (di, db) in suite.iter().enumerate() {
-            if cancel.is_cancelled() {
-                return Err(None);
+        // The class tag in the label is what lets `xdata trace` break
+        // evaluation time down per mutant class offline.
+        let _shard_span = xdata_obs::span_with("kill/mutant", || {
+            format!("#{mi} {} [{}]", m.describe(q), class_name(m))
+        });
+        let verdict = (|| {
+            for (di, db) in suite.iter().enumerate() {
+                if cancel.is_cancelled() {
+                    return Err(None);
+                }
+                let mutated = match execute_mutant(q, m, db, schema) {
+                    Ok(r) => r,
+                    Err(e) => return Err(Some(e)),
+                };
+                if mutated != originals[di] {
+                    return Ok(Some(di));
+                }
             }
-            let mutated = match execute_mutant(q, m, db, schema) {
-                Ok(r) => r,
-                Err(e) => return Err(Some(e)),
-            };
-            if mutated != originals[di] {
-                return Ok(Some(di));
-            }
+            Ok(None)
+        })();
+        if let Ok(v) = &verdict {
+            let v = *v;
+            xdata_obs::instant("kill.verdict", || match v {
+                Some(di) => format!("#{mi} [{}] killed by dataset {di}", class_name(m)),
+                None => format!("#{mi} [{}] survived", class_name(m)),
+            });
         }
-        Ok(None)
+        verdict
     });
     // Unpack: a `None` slot (worker never claimed it) or an in-flight
     // cancellation (`Err(None)`) is an unevaluated mutant; a real executor

@@ -68,8 +68,52 @@ pub const ALL_HISTOGRAMS: &[&str] = &[
 ];
 
 /// Every canonical span path (the pipeline phases).
-pub const PHASE_SPANS: &[&str] =
-    &["generate", "generate/plan", "generate/solve", "kill", "kill/mutant", "kill/originals"];
+/// `generate/solve/gate` wraps a session-eligible target's wait on the
+/// turn gate, separating queueing from solving in the timeline.
+pub const PHASE_SPANS: &[&str] = &[
+    "generate",
+    "generate/plan",
+    "generate/solve",
+    "generate/solve/gate",
+    "kill",
+    "kill/mutant",
+    "kill/originals",
+];
+
+/// Every canonical instant (point) event name the journal can record,
+/// sorted. Instants exist only in the event timeline — they never appear
+/// in the aggregate metrics report (their aggregate counterparts are the
+/// `core.*`/`solver.*`/`kill.*` counters above).
+///
+/// * `core.target.skip` — a target resolved without a dataset; the label
+///   carries the `SkipReason`.
+/// * `kill.verdict` — one mutant classified; the label carries
+///   `killed`/`survived` plus the mutant class.
+/// * `par.claim` — a pool worker claimed a work item; the label carries
+///   the queue-wait since the batch was submitted. Scheduling-domain, so
+///   excluded from the deterministic trace structure.
+/// * `solver.restart` — a CDCL core restarted (conflict-driven, Luby).
+/// * `solver.session.turn` — a session handover: a gated target's turn
+///   arrived on its shared incremental engine.
+/// * `solver.solve` — one ground solve finished; the label carries the
+///   verdict and decision/conflict totals (per-decision events would bloat
+///   traces by orders of magnitude; the batch is the compromise).
+pub const ALL_INSTANTS: &[&str] = &[
+    "core.target.skip",
+    "kill.verdict",
+    "par.claim",
+    "solver.restart",
+    "solver.session.turn",
+    "solver.solve",
+];
+
+/// Every canonical flow name, sorted. `target` arrows connect a plan
+/// item's planning-time start to the worker that solved it (flow id =
+/// plan index); `session` arrows chain the turn order of gated targets
+/// sharing one incremental solver session (flow id = copies-class id,
+/// offset into its own namespace by the instrumentation so the two flow
+/// families cannot collide).
+pub const FLOW_NAMES: &[&str] = &["session", "target"];
 
 /// Zero-initialize every canonical key. Call right after [`crate::install`]
 /// when a stable report schema matters (the CLI does); without it the

@@ -1,18 +1,21 @@
-//! Span guards, the thread-local span buffer, and trace output.
+//! Span guards, the thread-local span buffer, and stderr trace output.
 
 use std::cell::RefCell;
 use std::time::Instant;
 
 thread_local! {
-    static LOCAL: RefCell<LocalBuf> = const { RefCell::new(LocalBuf { depth: 0, done: Vec::new() }) };
+    static LOCAL: RefCell<LocalBuf> =
+        const { RefCell::new(LocalBuf { depth: 0, done: Vec::new(), lines: String::new() }) };
 }
 
-/// Per-thread buffer of finished spans. Merged into the global aggregate
-/// when the thread's outermost span closes, so nested spans (one per solve
-/// target, say) cost a `Vec::push`, not a lock acquisition.
+/// Per-thread buffer of finished spans and pending stderr trace lines.
+/// Both merge out when the thread's outermost span closes, so nested spans
+/// (one per solve target, say) cost a `Vec::push`, not a lock acquisition
+/// — and trace lines from different threads never interleave mid-block.
 struct LocalBuf {
     depth: u32,
     done: Vec<(&'static str, u64)>,
+    lines: String,
 }
 
 /// Open a span at `path`. Paths are explicit `/`-separated hierarchies
@@ -24,66 +27,86 @@ pub fn span(path: &'static str) -> SpanGuard {
     span_with(path, String::new)
 }
 
-/// [`span`] with a lazily-built label for trace output (e.g. the solve
-/// target's description). The closure runs only when tracing is on, so the
-/// label costs nothing otherwise; the label never enters the metrics
-/// report (labels are per-item, the report aggregates per path).
+/// [`span`] with a lazily-built label (e.g. the solve target's
+/// description) for the journal and the stderr trace lines. The closure
+/// runs only when one of those sinks is on, so the label costs nothing
+/// otherwise; the label never enters the metrics report (labels are
+/// per-item, the report aggregates per path).
 #[inline]
 pub fn span_with(path: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
-    let tracing = crate::trace_enabled();
-    if !crate::enabled() && !tracing {
-        return SpanGuard { path, start: None, label: String::new() };
+    let s = crate::state();
+    if s == 0 {
+        return SpanGuard { path, start: None, label: String::new(), journaled: false };
     }
     LOCAL.with(|l| l.borrow_mut().depth += 1);
-    SpanGuard {
-        path,
-        start: Some(Instant::now()),
-        label: if tracing { label() } else { String::new() },
+    let label = if s & (crate::STDERR | crate::JOURNAL) != 0 { label() } else { String::new() };
+    let journaled = s & crate::JOURNAL != 0;
+    if journaled {
+        crate::journal::begin(path, label.clone());
     }
+    SpanGuard { path, start: Some(Instant::now()), label, journaled }
 }
 
 /// An open span; closes when dropped.
 pub struct SpanGuard {
     path: &'static str,
-    /// `None` when the span was opened with recording and tracing both off
-    /// (fully inert guard).
+    /// `None` when the span was opened with every sink off (fully inert
+    /// guard).
     start: Option<Instant>,
     label: String,
+    /// Whether a journal `Begin` was recorded at open — if so the matching
+    /// `End` is recorded at drop even if the journal was disabled in
+    /// between, keeping the journal's depth tracking balanced (the stale
+    /// events themselves are discarded at flush).
+    journaled: bool,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let dur_ns = start.elapsed().as_nanos() as u64;
-        if crate::trace_enabled() {
-            let label = if self.label.is_empty() {
-                String::new()
-            } else {
-                format!(" — {}", self.label)
-            };
-            eprintln!(
-                "[xdata-trace] {} {:.3}ms{label}",
-                self.path,
-                dur_ns as f64 / 1e6
-            );
+        if self.journaled {
+            crate::journal::end(self.path);
         }
+        let stderr_line = crate::trace_enabled();
         LOCAL.with(|l| {
             let mut buf = l.borrow_mut();
+            if stderr_line {
+                let label = if self.label.is_empty() {
+                    String::new()
+                } else {
+                    format!(" — {}", self.label)
+                };
+                buf.lines.push_str(&format!(
+                    "[xdata-trace t{}] {} {:.3}ms{label}\n",
+                    crate::journal::thread_ordinal(),
+                    self.path,
+                    dur_ns as f64 / 1e6
+                ));
+            }
             buf.done.push((self.path, dur_ns));
             buf.depth = buf.depth.saturating_sub(1);
             if buf.depth == 0 {
                 let done = std::mem::take(&mut buf.done);
+                let lines = std::mem::take(&mut buf.lines);
                 drop(buf);
-                flush(done);
+                flush(done, lines);
             }
         });
     }
 }
 
-/// Merge a thread's finished spans into the global aggregate. A no-op when
-/// the recorder was uninstalled while the spans were open (their timings
-/// would belong to a run that already took its report).
-fn flush(done: Vec<(&'static str, u64)>) {
+/// Merge a thread's finished spans into the global aggregate and write its
+/// buffered trace lines as one block. The span merge is a no-op when the
+/// recorder was uninstalled while the spans were open (their timings would
+/// belong to a run that already took its report).
+fn flush(done: Vec<(&'static str, u64)>, lines: String) {
+    if !lines.is_empty() {
+        // One write for the whole block: lines from concurrently-flushing
+        // threads stay contiguous per thread instead of interleaving
+        // record-by-record.
+        eprint!("{lines}");
+    }
     if !crate::enabled() {
         return;
     }

@@ -89,11 +89,27 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let jobs = resolve_jobs(jobs).min(items.len());
+    // Batch submission time, for the trace's queue-wait attribution: the
+    // `par.claim` instant each worker journals when it claims an item
+    // carries how long that item sat queued behind earlier claims.
+    let submitted = std::time::Instant::now();
+    let claim = |i: usize| {
+        xdata_obs::instant("par.claim", || {
+            format!("item {i} after {}us queued", submitted.elapsed().as_micros())
+        });
+    };
     if jobs <= 1 {
         return items
             .iter()
             .enumerate()
-            .map(|(i, x)| if cancel.is_cancelled() { None } else { Some(f(i, x)) })
+            .map(|(i, x)| {
+                if cancel.is_cancelled() {
+                    None
+                } else {
+                    claim(i);
+                    Some(f(i, x))
+                }
+            })
             .collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -117,6 +133,7 @@ where
                         if i >= items.len() {
                             break;
                         }
+                        claim(i);
                         match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
                             Ok(r) => out.push((i, r)),
                             Err(payload) => {

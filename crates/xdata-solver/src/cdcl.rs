@@ -966,6 +966,12 @@ impl Cdcl {
                 self.conflicts_since_restart += 1;
                 if conflict.is_none() && self.conflicts_since_restart >= self.restart_threshold {
                     self.stats.restarts += 1;
+                    xdata_obs::instant("solver.restart", || {
+                        format!(
+                            "after {} conflicts (luby {}, {} learned)",
+                            self.stats.conflicts, self.luby_idx, self.stats.learned_clauses
+                        )
+                    });
                     self.conflicts_since_restart = 0;
                     self.luby_idx += 1;
                     self.restart_threshold = RESTART_BASE * luby(self.luby_idx);

@@ -476,6 +476,22 @@ pub(crate) fn record_search_obs(
             xdata_obs::observe("solver.cancel_latency", over.as_nanos() as u64);
         }
     }
+    // One timeline event per ground solve summarizing the search — the
+    // per-decision/per-conflict firehose would bloat traces by orders of
+    // magnitude, so the batch totals are the compromise (restarts do get
+    // their own instants: rare and diagnostically loud).
+    xdata_obs::instant("solver.solve", || {
+        let verdict = match result {
+            GroundResult::Sat(_) => "sat",
+            GroundResult::Unsat => "unsat",
+            GroundResult::Unknown => "unknown",
+            GroundResult::Cancelled => "cancelled",
+        };
+        format!(
+            "{verdict} ({} decisions, {} conflicts, {} restarts)",
+            stats.decisions, stats.conflicts, stats.restarts
+        )
+    });
 }
 
 fn solve_dpll(

@@ -34,13 +34,13 @@ XDATA_MAX_RELS=3 XDATA_STAR_SPOKES=2 XDATA_RANDOM_CASES=2 \
     XDATA_SWEEP_OUT="$SWEEP_OUT" \
     cargo run -q --release --offline -p xdata-bench --bin solver_sweep \
     > /dev/null
-rm -f "$SWEEP_OUT"
+rm -f "$SWEEP_OUT" "$SWEEP_OUT.trace.json"
 echo "ci: solver_sweep smoke (parity + jobs determinism) OK"
 
 # Doc-link gate: every backticked metric key named in DESIGN.md must
 # exist in the canonical registry (crates/xdata-obs/src/names.rs), so
 # the design doc's consolidated key table cannot drift from the code.
-for key in $(grep -o '`\(core\|solver\|kill\)\.[a-z_.]*`' DESIGN.md \
+for key in $(grep -o '`\(core\|solver\|kill\|par\)\.[a-z_.]*`' DESIGN.md \
         | tr -d '\`' | sed 's/\.$//' | sort -u); do
     case "$key" in
         # Brace-expanded table rows list their members explicitly below.
@@ -87,3 +87,32 @@ if [ "$(strip_timings "$M1")" != "$(strip_timings "$M4")" ]; then
     exit 1
 fi
 echo "ci: metrics schema + determinism OK"
+
+# Trace leg: capture an event timeline on the same Table I example, have
+# `xdata trace --validate` run the built-in structural checker (balanced
+# begin/end nesting, monotonic per-thread timestamps, flow ordering — no
+# external tooling), and require the critical path to tile the root span
+# (the subcommand exits non-zero if the segment sum diverges).
+T=$(mktemp) && F=$(mktemp)
+trap 'rm -f "$M1" "$M4" "$T" "$F"' EXIT
+./target/release/xdata evaluate --schema examples/university.sql \
+    --query "$Q" --jobs 4 --trace-out "$T" > /dev/null
+grep -q '"traceEvents"' "$T" || {
+    echo "ci: --trace-out did not write Chrome trace-event JSON" >&2
+    exit 1
+}
+grep -q '"git_sha"' "$T" || {
+    echo "ci: trace artifact is missing build provenance metadata" >&2
+    exit 1
+}
+TRACE_OUT=$(./target/release/xdata trace "$T" --validate --folded "$F")
+echo "$TRACE_OUT" | grep -q '^validated:' || {
+    echo "ci: xdata trace --validate did not pass the structural checker" >&2
+    exit 1
+}
+echo "$TRACE_OUT" | grep -q 'critical path' || {
+    echo "ci: xdata trace printed no critical path" >&2
+    exit 1
+}
+test -s "$F" || { echo "ci: folded-stacks export is empty" >&2; exit 1; }
+echo "ci: trace capture + validation + critical path OK"

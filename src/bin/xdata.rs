@@ -4,7 +4,8 @@
 //! xdata generate --schema schema.sql --query "SELECT ..." [options]
 //! xdata evaluate --schema schema.sql --query "SELECT ..." [options]
 //! xdata mutants  --schema schema.sql --query "SELECT ..." [options]
-//! xdata grade    --schema schema.sql --query "<reference>" --candidate "<submission>" 
+//! xdata grade    --schema schema.sql --query "<reference>" --candidate "<submission>"
+//! xdata trace    trace.json [--top K] [--validate] [--folded FILE]
 //!
 //! options:
 //!   --schema FILE     SQL script: CREATE TABLE (+ optional INSERT INTO
@@ -33,7 +34,17 @@
 //!   --metrics-json F  write a metrics report (spans, counters, histograms)
 //!                     to F; everything except the timings_ns section is
 //!                     byte-identical across --jobs values
-//!   --trace           print [xdata-trace] span-close lines to stderr
+//!   --trace           print `[xdata-trace tN]` span-close lines to stderr
+//!   --trace-out F     journal the run's event timeline and write it to F
+//!                     as Chrome trace-event JSON (open in Perfetto or
+//!                     chrome://tracing); analyze offline with `xdata trace`
+//!
+//! trace options:
+//!   --top K           how many slowest solves to list (default 10)
+//!   --validate        structurally validate the file first (balanced
+//!                     begin/end, monotonic per-thread timestamps, flow
+//!                     starts before steps/finishes)
+//!   --folded FILE     also export folded stacks for flamegraph tooling
 //! ```
 
 use std::process::ExitCode;
@@ -62,6 +73,12 @@ struct Args {
     include_full: bool,
     metrics_json: Option<String>,
     trace: bool,
+    trace_out: Option<String>,
+    // `xdata trace` analysis options.
+    trace_file: Option<String>,
+    top: usize,
+    validate: bool,
+    folded: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,9 +99,14 @@ fn parse_args() -> Result<Args, String> {
         include_full: true,
         metrics_json: None,
         trace: false,
+        trace_out: None,
+        trace_file: None,
+        top: 10,
+        validate: false,
+        folded: None,
     };
     let mut it = std::env::args().skip(1);
-    args.command = it.next().ok_or("missing command (generate|evaluate|mutants)")?;
+    args.command = it.next().ok_or("missing command (generate|evaluate|mutants|grade|trace)")?;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--schema" => args.schema_path = Some(it.next().ok_or("--schema needs a file")?),
@@ -138,14 +160,41 @@ fn parse_args() -> Result<Args, String> {
                 args.metrics_json = Some(it.next().ok_or("--metrics-json needs a file")?)
             }
             "--trace" => args.trace = true,
+            "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a file")?),
+            "--top" => {
+                let n = it.next().ok_or("--top needs a count")?;
+                args.top = n.parse().map_err(|_| format!("--top: invalid count `{n}`"))?;
+            }
+            "--validate" => args.validate = true,
+            "--folded" => args.folded = Some(it.next().ok_or("--folded needs a file")?),
+            other if args.command == "trace" && !other.starts_with("--") => {
+                if args.trace_file.is_some() {
+                    return Err(format!("trace takes one trace file, got a second: `{other}`"));
+                }
+                args.trace_file = Some(other.to_string());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(args)
 }
 
+/// Feature flags this binary was compiled with, for artifact provenance.
+fn active_features() -> Vec<&'static str> {
+    let mut f = Vec::new();
+    if cfg!(feature = "chaos") {
+        f.push("chaos");
+    }
+    f
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if args.command == "trace" {
+        // Offline analysis of an existing trace file: no schema, no query,
+        // no pipeline run.
+        return trace_cmd(&args);
+    }
     if args.metrics_json.is_some() {
         // Install the global recorder with the full canonical key set, so
         // the report schema is identical whatever phases the command runs.
@@ -155,7 +204,17 @@ fn run() -> Result<(), String> {
     if args.trace {
         xdata_obs::set_trace(true);
     }
+    if args.trace_out.is_some() {
+        xdata_obs::install_trace();
+    }
     let result = dispatch(&args);
+    if let Some(path) = &args.trace_out {
+        if let Some(mut log) = xdata_obs::take_trace() {
+            log.meta.insert("features".to_string(), active_features().join(","));
+            std::fs::write(path, log.to_chrome_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
     if let Some(path) = &args.metrics_json {
         if let Some(report) = xdata_obs::take_report() {
             std::fs::write(path, report.to_json())
@@ -163,6 +222,88 @@ fn run() -> Result<(), String> {
         }
     }
     result
+}
+
+/// Format nanoseconds as fixed-width milliseconds for aligned columns.
+fn ms(ns: u64) -> String {
+    format!("{:>10.3}ms", ns as f64 / 1e6)
+}
+
+/// The `xdata trace` subcommand: load a Chrome-trace JSON file written by
+/// `--trace-out` and break it down offline.
+fn trace_cmd(args: &Args) -> Result<(), String> {
+    let path = args
+        .trace_file
+        .as_deref()
+        .ok_or("usage: xdata trace <trace.json> [--top K] [--validate] [--folded FILE]")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if args.validate {
+        let s = xdata_obs::validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "validated: {} events on {} threads, {} spans, {} flow events, metadata {}",
+            s.events,
+            s.threads,
+            s.spans,
+            s.flows,
+            if s.has_metadata { "present" } else { "absent" }
+        );
+    }
+    let log = xdata_obs::parse_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(out) = &args.folded {
+        std::fs::write(out, log.to_folded()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("folded stacks written to {out}");
+    }
+    println!("trace: {path} ({} events)", log.events.len());
+    if let (Some(sha), Some(rustc)) = (log.meta.get("git_sha"), log.meta.get("rustc")) {
+        let features = log.meta.get("features").filter(|f| !f.is_empty());
+        println!(
+            "build: git {sha}, {rustc}{}",
+            features.map(|f| format!(", features [{f}]")).unwrap_or_default()
+        );
+    }
+    let a = log.analyze(args.top);
+
+    // The sweep construction tiles the root envelope exactly, so the
+    // segment sum always equals the root duration; assert rather than
+    // silently printing numbers that disagree.
+    let total: u64 = a.critical_path.iter().map(|s| s.dur_ns).sum();
+    if total != a.root_dur_ns {
+        return Err(format!(
+            "critical path total {total}ns does not tile the root span ({}ns) — corrupt trace?",
+            a.root_dur_ns
+        ));
+    }
+    println!(
+        "\ncritical path ({} segments, total {} = root span duration):",
+        a.critical_path.len(),
+        ms(total).trim_start()
+    );
+    for seg in &a.critical_path {
+        let label = if seg.label.is_empty() { String::new() } else { format!(" — {}", seg.label) };
+        println!("  {}  {}{label}", ms(seg.dur_ns), seg.path);
+    }
+
+    let breakdown = |title: &str, rows: &[(String, u64, u64)]| {
+        println!("\n{title}:");
+        if rows.is_empty() {
+            println!("  (none)");
+        }
+        for (key, ns, n) in rows {
+            println!("  {}  x{n:<4} {key}", ms(*ns));
+        }
+    };
+    breakdown("per-target solve time", &a.per_target);
+    breakdown("per-mutant-class evaluation time", &a.per_class);
+    breakdown("turn-gate waits", &a.gate_wait);
+
+    println!("\ntop {} slowest solves:", args.top);
+    if a.slowest.is_empty() {
+        println!("  (none)");
+    }
+    for s in &a.slowest {
+        println!("  {}  t{} {}", ms(s.end_ns - s.start_ns), s.tid, s.label);
+    }
+    Ok(())
 }
 
 fn dispatch(args: &Args) -> Result<(), String> {

@@ -145,8 +145,11 @@ fn trace_prints_span_lines_to_stderr() {
     let out = xdata(&["generate", "--schema", SCHEMA, "--query", QUERY, "--trace"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let err = stderr(&out);
-    assert!(err.contains("[xdata-trace] generate/solve"), "{err}");
-    assert!(err.contains("[xdata-trace] generate "), "{err}");
+    // Lines are buffered per thread and carry the thread ordinal, so
+    // parallel runs flush contiguous per-thread blocks instead of
+    // interleaving mid-line.
+    assert!(err.contains("[xdata-trace t0] generate/solve"), "{err}");
+    assert!(err.contains("[xdata-trace t0] generate "), "{err}");
     // Labels ride along on solve spans.
     assert!(err.contains("original query"), "{err}");
 }
