@@ -1,0 +1,519 @@
+//! Grading-at-scale sweep: batch-evaluate 1k+ seeded synthetic candidate
+//! queries against Table I chain references, comparing
+//!
+//! * the amortized [`grade_batch`] path (suite generated once, reference
+//!   executed once per dataset, class×dataset grid over the worker pool)
+//!   against an *independent* per-candidate loop that regenerates the
+//!   suite for every submission (the `XData::grade` semantics);
+//! * the hash-join execution path against the nested-loop baseline, with
+//!   the rendered verdict report asserted byte-identical between the two.
+//!
+//! The candidate pool mirrors a course submission pile: exact duplicates
+//! and whitespace-noised copies (~30%), explicit-`JOIN` rewrites (collapse
+//! into the reference class via the structural fingerprint), commuted
+//! `FROM` orders (a classic wrong answer under `SELECT *`: the column
+//! order changes), comparison-operator swaps and constant-offset join
+//! edits (mutant-derived wrong answers), extra selection predicates with
+//! seeded constants (many distinct fail classes), and a few percent of
+//! submissions that do not parse or name unknown relations.
+//!
+//! Writes `results/BENCH_grading.json` (throughput, p50/p99 per-candidate
+//! latency, dedup rate, hash-vs-nested and batch-vs-independent speedups)
+//! plus the Chrome-trace artifact `results/BENCH_grading.trace.json`.
+//!
+//! ```sh
+//! cargo run -p xdata-bench --release --bin grading_sweep
+//! ```
+//!
+//! Environment knobs (used by the CI smoke leg):
+//! `XDATA_GRADE_CANDIDATES` sets the total candidate count (default 1200);
+//! `XDATA_JOIN_ROWS` sets the largest bulk-join scaling size (default 1600);
+//! `XDATA_SWEEP_OUT` overrides the output path.
+
+use std::time::Instant;
+
+use xdata_bench::{build_json_line, chain_schema, chain_sql, median_time, relevant_fk_count,
+    write_trace_artifact};
+use xdata_catalog::{
+    university, Attribute, Dataset, DomainCatalog, Relation, Schema, SplitMix64, SqlType, Value,
+};
+use xdata_core::{grade_batch, generate, CandidateOutcome, GenOptions};
+use xdata_engine::exec::{execute_query_strategy, JoinStrategy};
+use xdata_relalg::normalize;
+use xdata_sql::parse_query;
+
+/// Render a chain query over `k` relations from an explicit relation order
+/// and condition list (so variants can permute and edit them).
+fn render_chain(rels: &[&str], conds: &[String]) -> String {
+    format!("SELECT * FROM {} WHERE {}", rels.join(", "), conds.join(" AND "))
+}
+
+/// The canonical conditions of the `k`-relation chain, as editable strings.
+fn chain_conds(k: usize) -> Vec<String> {
+    (0..k - 1)
+        .map(|i| {
+            let (lr, la, rr, ra) = university::join_chain_condition(i);
+            format!("{lr}.{la} = {rr}.{ra}")
+        })
+        .collect()
+}
+
+/// Insert doubled spaces at seeded positions — changes the text, not the
+/// canonical form, so noised duplicates still collapse in dedup.
+fn whitespace_noise(sql: &str, rng: &mut SplitMix64) -> String {
+    sql.split(' ')
+        .map(|tok| tok.to_string())
+        .collect::<Vec<_>>()
+        .join(if rng.bool() { "  " } else { " " })
+}
+
+/// One freshly-minted variant of the `k`-relation chain reference.
+fn fresh_variant(k: usize, rng: &mut SplitMix64) -> String {
+    let rels = university::join_chain(k);
+    let conds = chain_conds(k);
+    match rng.below(100) {
+        // Commuted FROM with flipped condition sides: under `SELECT *`
+        // the output column order changes, so this is a wrong answer
+        // (and its own equivalence class).
+        0..=14 => {
+            let mut order: Vec<&str> = rels.clone();
+            order.reverse();
+            let flipped: Vec<String> = conds
+                .iter()
+                .map(|c| {
+                    let (l, r) = c.split_once(" = ").expect("chain cond");
+                    format!("{r} = {l}")
+                })
+                .collect();
+            render_chain(&order, &flipped)
+        }
+        // Comparison-operator swap on one join condition, optionally with
+        // a constant offset: the mutation space's wrong answers.
+        15..=44 => {
+            let i = rng.below(conds.len());
+            let op = *rng.pick(&["<", ">", "<=", ">=", "<>"]);
+            let mut edited = conds.clone();
+            let (l, r) = edited[i].split_once(" = ").expect("chain cond");
+            edited[i] = if rng.bool() {
+                format!("{l} {op} {r}")
+            } else {
+                format!("{l} {op} {r} + {}", 1 + rng.below(997))
+            };
+            render_chain(&rels, &edited)
+        }
+        // Extra selection predicate with a seeded constant: a large family
+        // of distinct equivalence classes.
+        45..=84 => {
+            let op = *rng.pick(&["<", ">", "<=", ">="]);
+            let c = rng.range_i64(1, 100_000);
+            let mut edited = conds.clone();
+            edited.push(format!("instructor.salary {op} {c}"));
+            render_chain(&rels, &edited)
+        }
+        // Join-kind rewrites (2-relation chains only): explicit JOIN
+        // collapses into the reference class; LEFT OUTER is a wrong
+        // answer; RIGHT OUTER passes when the FK covers the right side.
+        85..=94 if k == 2 => {
+            let kind = *rng.pick(&["JOIN", "LEFT OUTER JOIN", "RIGHT OUTER JOIN"]);
+            format!("SELECT * FROM instructor {kind} teaches ON {}", conds[0])
+        }
+        // Submissions that never grade: a parse error or a relation the
+        // schema does not know (normalization error).
+        95..=96 => "SELECT FROM WHERE".to_string(),
+        97 => format!("SELECT * FROM missing_relation_{}", rng.below(1000)),
+        // Whitespace-noised exact duplicate of the reference.
+        _ => whitespace_noise(&render_chain(&rels, &conds), rng),
+    }
+}
+
+/// The seeded candidate pile for one reference: ~30% duplicates of earlier
+/// submissions (with whitespace noise), the rest fresh variants.
+fn candidate_pile(k: usize, n: usize, seed: u64) -> Vec<String> {
+    let mut rng = SplitMix64::new(seed);
+    let mut pile: Vec<String> = Vec::with_capacity(n);
+    while pile.len() < n {
+        if !pile.is_empty() && rng.chance(3, 10) {
+            let dup = pile[rng.below(pile.len())].clone();
+            pile.push(whitespace_noise(&dup, &mut rng));
+        } else {
+            pile.push(fresh_variant(k, &mut rng));
+        }
+    }
+    pile
+}
+
+/// The independent baseline: grade each candidate alone, regenerating the
+/// reference suite per call and early-exiting on the first differing
+/// dataset — exactly what a per-submission `XData::grade` loop costs.
+/// Returns `None` for submissions that fail to parse/normalize, otherwise
+/// `Some(first_differing_dataset)` (`None` inside = agreed everywhere).
+#[allow(clippy::option_option)]
+fn grade_independent(
+    reference_sql: &str,
+    candidate: &str,
+    schema: &Schema,
+    domains: &DomainCatalog,
+    opts: &GenOptions,
+) -> Option<Option<usize>> {
+    let reference = normalize(&parse_query(reference_sql).ok()?, schema).ok()?;
+    let q = normalize(&parse_query(candidate).ok()?, schema).ok()?;
+    let suite = generate(&reference, schema, domains, opts).expect("suite generates");
+    for (di, d) in suite.datasets.iter().enumerate() {
+        let want = execute_query_strategy(&reference, &d.dataset, schema, JoinStrategy::Hash)
+            .expect("reference executes");
+        match execute_query_strategy(&q, &d.dataset, schema, JoinStrategy::Hash) {
+            Ok(got) if got != want => return Some(Some(di)),
+            Ok(_) => {}
+            Err(_) => return Some(None), // ExecError: counted as graded.
+        }
+    }
+    Some(None)
+}
+
+/// Hash-vs-nested scaling on *bulk* data. Grading-suite datasets are
+/// deliberately minimal (a handful of rows), so the grid shows the two
+/// strategies at parity cost; the asymptotic O(n·m) → O(n+m) win appears
+/// once joins carry real row counts — this measures it directly, on the
+/// same execution paths the grader uses, with result parity asserted.
+fn join_scaling(sizes: &[usize]) -> Vec<(usize, f64, f64)> {
+    let mut schema = Schema::new();
+    schema
+        .add_relation(
+            Relation::new(
+                "a",
+                vec![Attribute::new("id", SqlType::Int), Attribute::new("v", SqlType::Int)],
+                &["id"],
+            )
+            .expect("relation a"),
+        )
+        .expect("add a");
+    schema
+        .add_relation(
+            Relation::new(
+                "b",
+                vec![
+                    Attribute::new("id", SqlType::Int),
+                    Attribute::new("a_id", SqlType::Int),
+                    Attribute::new("w", SqlType::Int),
+                ],
+                &["id"],
+            )
+            .expect("relation b"),
+        )
+        .expect("add b");
+    let q = normalize(&parse_query("SELECT * FROM a, b WHERE a.id = b.a_id").unwrap(), &schema)
+        .expect("scaling query normalizes");
+
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut d = Dataset::new();
+            for i in 0..n as i64 {
+                d.push("a", vec![Value::Int(i), Value::Int(i * 7)]);
+                d.push("b", vec![Value::Int(i), Value::Int(i % (n as i64 / 2).max(1)), Value::Int(i)]);
+            }
+            let hash = execute_query_strategy(&q, &d, &schema, JoinStrategy::Hash).unwrap();
+            let nested = execute_query_strategy(&q, &d, &schema, JoinStrategy::NestedLoop).unwrap();
+            assert_eq!(hash.rows(), nested.rows(), "join scaling parity at {n} rows");
+            let hash_ms = median_time(1, 3, || {
+                execute_query_strategy(&q, &d, &schema, JoinStrategy::Hash).unwrap();
+            })
+            .as_secs_f64()
+                * 1e3;
+            let nested_ms = median_time(1, 3, || {
+                execute_query_strategy(&q, &d, &schema, JoinStrategy::NestedLoop).unwrap();
+            })
+            .as_secs_f64()
+                * 1e3;
+            (n, hash_ms, nested_ms)
+        })
+        .collect()
+}
+
+/// Percentile (nearest-rank) of a sorted slice, in milliseconds.
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ns.len() as f64).ceil() as usize;
+    sorted_ns[rank.saturating_sub(1).min(sorted_ns.len() - 1)] as f64 / 1e6
+}
+
+struct Row {
+    name: String,
+    candidates: usize,
+    classes: usize,
+    dedup_hits: usize,
+    invalid: usize,
+    passed: usize,
+    datasets: usize,
+    batch_hash_ms: f64,
+    batch_nested_ms: f64,
+    independent_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    grade_span_ms: f64,
+    hash_nodes: u64,
+    hash_fallback: u64,
+    hash_build_rows: u64,
+    hash_probe_rows: u64,
+}
+
+fn main() {
+    let total: usize = std::env::var("XDATA_GRADE_CANDIDATES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1200);
+    // Table I references: the 1-join and 2-join chains with all relevant
+    // FKs. The candidate budget splits across them.
+    let refs: Vec<(String, String, Schema)> = [2usize, 3]
+        .iter()
+        .map(|&k| {
+            let fks = relevant_fk_count(k);
+            (format!("chain-{}join-{fks}fk", k - 1), chain_sql(k), chain_schema(k, fks))
+        })
+        .collect();
+    let per_ref = total.div_ceil(refs.len());
+    let opts = GenOptions::default();
+
+    println!("grading sweep: {total} candidates across {} Table I references", refs.len());
+    println!(
+        "{:>18} {:>6} {:>8} {:>6} {:>7} | {:>10} {:>11} {:>11} | {:>8} {:>8}",
+        "reference", "cands", "classes", "dups", "invalid", "batch ms", "nested ms", "indep ms",
+        "p50 ms", "p99 ms",
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (ri, (name, reference, schema)) in refs.iter().enumerate() {
+        let k = ri + 2;
+        let pile = candidate_pile(k, per_ref, 0x6ead_e5ee_d000 ^ ri as u64);
+        let domains = DomainCatalog::defaults(schema);
+
+        // Instrumented pass: dedup + hash-join counters and the grade span.
+        xdata_obs::install();
+        xdata_obs::preseed();
+        let report = grade_batch(reference, &pile, schema, &domains, &opts, JoinStrategy::Hash)
+            .expect("batch grades");
+        let metrics = xdata_obs::take_report().expect("recorder installed");
+        assert!(!report.partial, "{name}: bench suite must be complete");
+
+        // Hash/nested verdict parity: byte-identical rendered reports.
+        let nested =
+            grade_batch(reference, &pile, schema, &domains, &opts, JoinStrategy::NestedLoop)
+                .expect("nested batch grades");
+        assert_eq!(report.render(), nested.render(), "{name}: hash/nested verdicts diverge");
+
+        // Timing passes, uninstrumented.
+        let batch_hash_ms = median_time(1, 3, || {
+            grade_batch(reference, &pile, schema, &domains, &opts, JoinStrategy::Hash).unwrap();
+        })
+        .as_secs_f64()
+            * 1e3;
+        let batch_nested_ms = median_time(1, 3, || {
+            grade_batch(reference, &pile, schema, &domains, &opts, JoinStrategy::NestedLoop)
+                .unwrap();
+        })
+        .as_secs_f64()
+            * 1e3;
+
+        // Independent baseline: one full grade per candidate, with verdict
+        // parity against the batch asserted as it goes.
+        let start = Instant::now();
+        let mut independent: Vec<Option<Option<usize>>> = Vec::with_capacity(pile.len());
+        for sql in &pile {
+            independent.push(grade_independent(reference, sql, schema, &domains, &opts));
+        }
+        let independent_ms = start.elapsed().as_secs_f64() * 1e3;
+        for (v, ind) in report.verdicts.iter().zip(&independent) {
+            match (&v.outcome, ind) {
+                (CandidateOutcome::Invalid { .. }, None) => {}
+                (CandidateOutcome::Pass, Some(None)) => {}
+                (CandidateOutcome::ExecError { .. }, Some(None)) => {}
+                (CandidateOutcome::Fail { first_dataset, .. }, Some(Some(di))) => {
+                    assert_eq!(first_dataset, di, "{name} #{}: first witness differs", v.index);
+                }
+                (o, i) => panic!("{name} #{}: batch {o:?} vs independent {i:?}", v.index),
+            }
+        }
+
+        // Per-candidate latency: each graded candidate is charged its
+        // class's grid time (dedup hits share the class's single
+        // execution — the amortization shows up in throughput, not here).
+        let mut per_candidate_ns: Vec<u64> = report
+            .verdicts
+            .iter()
+            .filter_map(|v| v.class.map(|c| report.class_eval_ns[c]))
+            .collect();
+        per_candidate_ns.sort_unstable();
+        let p50_ms = percentile_ms(&per_candidate_ns, 50.0);
+        let p99_ms = percentile_ms(&per_candidate_ns, 99.0);
+
+        let invalid = report
+            .verdicts
+            .iter()
+            .filter(|v| matches!(v.outcome, CandidateOutcome::Invalid { .. }))
+            .count();
+        let row = Row {
+            name: name.clone(),
+            candidates: pile.len(),
+            classes: report.classes,
+            dedup_hits: report.dedup_hits,
+            invalid,
+            passed: report.passed(),
+            datasets: report.datasets,
+            batch_hash_ms,
+            batch_nested_ms,
+            independent_ms,
+            p50_ms,
+            p99_ms,
+            grade_span_ms: metrics.spans["grade"].total_ns as f64 / 1e6,
+            hash_nodes: metrics.counter("engine.hash_join.nodes"),
+            hash_fallback: metrics.counter("engine.hash_join.fallback_nodes"),
+            hash_build_rows: metrics.counter("engine.hash_join.build_rows"),
+            hash_probe_rows: metrics.counter("engine.hash_join.probe_rows"),
+        };
+        println!(
+            "{:>18} {:>6} {:>8} {:>6} {:>7} | {:>10.1} {:>11.1} {:>11.1} | {:>8.3} {:>8.3}",
+            row.name,
+            row.candidates,
+            row.classes,
+            row.dedup_hits,
+            row.invalid,
+            row.batch_hash_ms,
+            row.batch_nested_ms,
+            row.independent_ms,
+            row.p50_ms,
+            row.p99_ms,
+        );
+        rows.push(row);
+    }
+
+    let candidates: usize = rows.iter().map(|r| r.candidates).sum();
+    let dedup_hits: usize = rows.iter().map(|r| r.dedup_hits).sum();
+    let batch_ms: f64 = rows.iter().map(|r| r.batch_hash_ms).sum();
+    let nested_ms: f64 = rows.iter().map(|r| r.batch_nested_ms).sum();
+    let independent_ms: f64 = rows.iter().map(|r| r.independent_ms).sum();
+    let dedup_rate = dedup_hits as f64 / candidates.max(1) as f64;
+    let throughput = candidates as f64 / (batch_ms / 1e3).max(1e-9);
+    let grid_speedup = nested_ms / batch_ms.max(1e-9);
+    let batch_speedup = independent_ms / batch_ms.max(1e-9);
+    println!(
+        "total: {candidates} candidates in {batch_ms:.1} ms ({throughput:.0}/s), \
+         dedup rate {:.1}%, grid hash vs nested {grid_speedup:.2}x, \
+         batch vs independent {batch_speedup:.2}x",
+        dedup_rate * 100.0
+    );
+    if candidates >= 1000 {
+        assert!(
+            batch_speedup >= 5.0,
+            "batch grading must amortize at least 5x over independent calls \
+             (got {batch_speedup:.2}x)"
+        );
+    }
+
+    // Bulk-join scaling: where the hash path's asymptotic win lives.
+    let max_rows: usize = std::env::var("XDATA_JOIN_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1600);
+    let sizes = [max_rows.div_ceil(16).max(1), max_rows.div_ceil(4).max(1), max_rows.max(1)];
+    let scaling = join_scaling(&sizes);
+    for &(n, hash_ms, nested_ms) in &scaling {
+        println!(
+            "join scaling {n:>6} rows/side: hash {hash_ms:>8.3} ms, nested {nested_ms:>8.3} ms \
+             ({:.1}x)",
+            nested_ms / hash_ms.max(1e-9)
+        );
+    }
+    let (_, top_hash_ms, top_nested_ms) = *scaling.last().expect("at least one size");
+    let hash_speedup = top_nested_ms / top_hash_ms.max(1e-9);
+    if max_rows >= 1600 {
+        assert!(
+            hash_speedup >= 2.0,
+            "hash join must beat nested loop on bulk data (got {hash_speedup:.2}x)"
+        );
+    }
+
+    // Hand-rolled JSON: the workspace deliberately has no serde.
+    let mut json = String::from("{\n");
+    json.push_str(&build_json_line());
+    json.push_str(
+        "  \"workload\": \"seeded synthetic submission piles (duplicates, commuted FROM, \
+         cmp-op swaps, join-kind rewrites, extra predicates, parse errors) over Table I \
+         chain references\",\n",
+    );
+    json.push_str(&format!("  \"candidates\": {candidates},\n"));
+    json.push_str(&format!(
+        "  \"dedup\": {{\"hits\": {dedup_hits}, \"rate\": {dedup_rate:.4}}},\n"
+    ));
+    json.push_str(&format!("  \"batch_hash_ms\": {batch_ms:.3},\n"));
+    json.push_str(&format!("  \"batch_nested_ms\": {nested_ms:.3},\n"));
+    json.push_str(&format!("  \"independent_ms\": {independent_ms:.3},\n"));
+    json.push_str(&format!("  \"throughput_candidates_per_s\": {throughput:.1},\n"));
+    json.push_str(&format!("  \"grid_hash_vs_nested_speedup\": {grid_speedup:.3},\n"));
+    json.push_str(&format!("  \"hash_vs_nested_speedup\": {hash_speedup:.3},\n"));
+    json.push_str(&format!("  \"batch_vs_independent_speedup\": {batch_speedup:.3},\n"));
+    json.push_str("  \"join_scaling\": [\n");
+    for (i, &(n, h, nl)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rows_per_side\": {n}, \"hash_ms\": {h:.4}, \"nested_ms\": {nl:.4}, \
+             \"speedup\": {:.3}}}{}\n",
+            nl / h.max(1e-9),
+            if i + 1 == scaling.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"reference\": \"{}\", \"candidates\": {}, \"classes\": {}, \
+             \"dedup_hits\": {}, \"invalid\": {}, \"passed\": {}, \"datasets\": {},\n     \
+             \"batch_hash_ms\": {:.3}, \"batch_nested_ms\": {:.3}, \"independent_ms\": {:.3}, \
+             \"p50_candidate_ms\": {:.4}, \"p99_candidate_ms\": {:.4}, \
+             \"grade_span_ms\": {:.3},\n     \
+             \"hash_join\": {{\"nodes\": {}, \"fallback_nodes\": {}, \"build_rows\": {}, \
+             \"probe_rows\": {}}}}}{}\n",
+            r.name,
+            r.candidates,
+            r.classes,
+            r.dedup_hits,
+            r.invalid,
+            r.passed,
+            r.datasets,
+            r.batch_hash_ms,
+            r.batch_nested_ms,
+            r.independent_ms,
+            r.p50_ms,
+            r.p99_ms,
+            r.grade_span_ms,
+            r.hash_nodes,
+            r.hash_fallback,
+            r.hash_build_rows,
+            r.hash_probe_rows,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_path =
+        std::env::var("XDATA_SWEEP_OUT").unwrap_or_else(|_| "results/BENCH_grading.json".into());
+    let out = std::path::Path::new(&out_path);
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(out, &json).expect("write BENCH_grading.json");
+    println!("wrote {} ({} references)", out.display(), rows.len());
+
+    // Event-timeline artifact: one representative batch over the first
+    // reference, journaled in a separate pass so tracing overhead never
+    // contaminates the measured numbers.
+    write_trace_artifact(out, || {
+        let (_, reference, schema) = &refs[0];
+        let pile = candidate_pile(2, per_ref.min(200), 0x6ead_e5ee_d000);
+        let domains = DomainCatalog::defaults(schema);
+        grade_batch(reference, &pile, schema, &domains, &opts, JoinStrategy::Hash)
+            .expect("batch grades");
+    });
+}

@@ -37,6 +37,7 @@ pub mod baseline;
 pub mod builder;
 pub mod error;
 pub mod generate;
+pub mod grade;
 pub mod having;
 pub mod materialize;
 pub mod minimize;
@@ -44,6 +45,10 @@ pub mod suite;
 
 pub use error::GenError;
 pub use generate::{generate, generate_cancellable};
+pub use grade::{
+    grade_batch, grade_batch_cancellable, BatchGradeReport, CandidateOutcome, CandidateVerdict,
+    GradeError,
+};
 pub use minimize::minimize_suite;
 pub use suite::{
     FaultPlan, GenOptions, GeneratedDataset, SkipReason, SkippedTarget, SuiteStats, TestSuite,

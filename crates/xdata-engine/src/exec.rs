@@ -6,6 +6,8 @@
 //! reports which occurrences it owns, so merging two sides is a disjoint
 //! copy and NULL-extension falls out naturally.
 
+use std::collections::HashMap;
+
 use xdata_catalog::{Dataset, Schema, Truth, Value};
 use xdata_relalg::{AttrRef, NormQuery, Operand, Pred, SelectSpec};
 use xdata_relalg::tree::JoinTree;
@@ -14,6 +16,26 @@ use xdata_sql::{CompareOp, JoinKind};
 use crate::agg::aggregate;
 use crate::error::EngineError;
 use crate::result::ResultSet;
+
+/// Physical join algorithm used at every `Node` of the join tree.
+///
+/// Both strategies produce byte-identical [`ResultSet`]s — the hash path
+/// replays the nested-loop emission order exactly, which matters because
+/// float aggregation downstream is accumulation-order sensitive. The
+/// nested-loop path is kept as the differential baseline (the same
+/// CDCL-vs-DPLL pattern the solver uses): `tests/join_parity.rs` runs the
+/// whole tier-1 corpus through both and asserts identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Build a hash index on the smaller input of each equality join node
+    /// and probe with the larger — the default. Nodes without a usable
+    /// equality condition (cross joins, pure inequality joins) fall back to
+    /// nested loops per node and count `engine.hash_join.fallback_nodes`.
+    #[default]
+    Hash,
+    /// The original quadratic nested-loop join, unconditionally.
+    NestedLoop,
+}
 
 /// Column layout: occurrence → base offset into the flat row.
 #[derive(Debug, Clone)]
@@ -43,7 +65,7 @@ impl Layout {
 
 type Row = Vec<Value>;
 
-/// Execute the query with its own tree.
+/// Execute the query with its own tree (hash-join strategy).
 pub fn execute_query(
     q: &NormQuery,
     db: &Dataset,
@@ -59,8 +81,29 @@ pub fn execute_with_tree(
     db: &Dataset,
     schema: &Schema,
 ) -> Result<ResultSet, EngineError> {
+    execute_with_tree_strategy(q, tree, db, schema, JoinStrategy::default())
+}
+
+/// [`execute_query`] with an explicit [`JoinStrategy`].
+pub fn execute_query_strategy(
+    q: &NormQuery,
+    db: &Dataset,
+    schema: &Schema,
+    strategy: JoinStrategy,
+) -> Result<ResultSet, EngineError> {
+    execute_with_tree_strategy(q, &q.tree, db, schema, strategy)
+}
+
+/// [`execute_with_tree`] with an explicit [`JoinStrategy`].
+pub fn execute_with_tree_strategy(
+    q: &NormQuery,
+    tree: &JoinTree,
+    db: &Dataset,
+    schema: &Schema,
+    strategy: JoinStrategy,
+) -> Result<ResultSet, EngineError> {
     let layout = Layout::new(q, schema)?;
-    let (rows, _) = eval_tree(tree, q, db, schema, &layout)?;
+    let (rows, _) = eval_tree(tree, q, db, schema, &layout, strategy)?;
     project(q, rows, &layout)
 }
 
@@ -70,6 +113,7 @@ fn eval_tree(
     db: &Dataset,
     schema: &Schema,
     layout: &Layout,
+    strategy: JoinStrategy,
 ) -> Result<(Vec<Row>, u64), EngineError> {
     match tree {
         JoinTree::Leaf(occ) => {
@@ -103,34 +147,194 @@ fn eval_tree(
             Ok((rows, 1u64 << occ))
         }
         JoinTree::Node { kind, left, right, conds } => {
-            let (lrows, lmask) = eval_tree(left, q, db, schema, layout)?;
-            let (rrows, rmask) = eval_tree(right, q, db, schema, layout)?;
-            let mut out = Vec::new();
-            let mut rmatched = vec![false; rrows.len()];
-            for l in &lrows {
-                let mut lmatch = false;
-                for (ri, r) in rrows.iter().enumerate() {
-                    let merged = merge(l, r, lmask, rmask, layout);
-                    if conds.iter().all(|c| eval_pred(c, &merged, layout).is_true()) {
-                        out.push(merged);
-                        lmatch = true;
-                        rmatched[ri] = true;
+            let (lrows, lmask) = eval_tree(left, q, db, schema, layout, strategy)?;
+            let (rrows, rmask) = eval_tree(right, q, db, schema, layout, strategy)?;
+            let out = match strategy {
+                JoinStrategy::NestedLoop => {
+                    join_nested(*kind, &lrows, &rrows, lmask, rmask, conds, layout)
+                }
+                JoinStrategy::Hash => {
+                    let keys = equi_key_conds(conds, lmask, rmask);
+                    if keys.is_empty() {
+                        xdata_obs::counter("engine.hash_join.fallback_nodes", 1);
+                        join_nested(*kind, &lrows, &rrows, lmask, rmask, conds, layout)
+                    } else {
+                        join_hash(*kind, &lrows, &rrows, lmask, rmask, conds, &keys, layout)
                     }
                 }
-                if !lmatch && matches!(kind, JoinKind::Left | JoinKind::Full) {
-                    out.push(l.clone()); // right side stays NULL
-                }
-            }
-            if matches!(kind, JoinKind::Right | JoinKind::Full) {
-                for (ri, r) in rrows.iter().enumerate() {
-                    if !rmatched[ri] {
-                        out.push(r.clone()); // left side stays NULL
-                    }
-                }
-            }
+            };
             Ok((out, lmask | rmask))
         }
     }
+}
+
+/// The quadratic baseline: every (left, right) pair is merged and tested.
+fn join_nested(
+    kind: JoinKind,
+    lrows: &[Row],
+    rrows: &[Row],
+    lmask: u64,
+    rmask: u64,
+    conds: &[Pred],
+    layout: &Layout,
+) -> Vec<Row> {
+    let mut out = Vec::new();
+    let mut rmatched = vec![false; rrows.len()];
+    for l in lrows {
+        let mut lmatch = false;
+        for (ri, r) in rrows.iter().enumerate() {
+            let merged = merge(l, r, lmask, rmask, layout);
+            if conds.iter().all(|c| eval_pred(c, &merged, layout).is_true()) {
+                out.push(merged);
+                lmatch = true;
+                rmatched[ri] = true;
+            }
+        }
+        if !lmatch && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            out.push(l.clone()); // right side stays NULL
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, r) in rrows.iter().enumerate() {
+            if !rmatched[ri] {
+                out.push(r.clone()); // left side stays NULL
+            }
+        }
+    }
+    out
+}
+
+/// One component of a hash-join key. Numerics are keyed by their widened
+/// f64 bit pattern because [`Value::sql_cmp`] declares `Int(1)` equal to
+/// `Double(1.0)`: equal values always land in the same bucket, and the rare
+/// false bucket-mate (two huge `i64`s collapsing to one f64) is weeded out
+/// by re-evaluating the join conditions on the merged row.
+#[derive(PartialEq, Eq, Hash)]
+enum KeyPart {
+    Num(u64),
+    Str(String),
+}
+
+/// Key component for `v`, or `None` for NULL — a NULL join key matches
+/// nothing under three-valued logic, so NULL-keyed build rows are not
+/// indexed and NULL-keyed probe rows skip the lookup entirely.
+fn key_part(v: Value) -> Option<KeyPart> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(KeyPart::Num((i as f64).to_bits())),
+        Value::Double(d) => Some(KeyPart::Num(d.to_bits())),
+        Value::Str(s) => Some(KeyPart::Str(s)),
+    }
+}
+
+/// Equality conditions usable as hash keys, oriented as (left-side operand,
+/// right-side operand). Only attribute-vs-attribute equalities across the
+/// two sides qualify; constant-offset operands are fine (the offset is
+/// applied when the key is extracted).
+fn equi_key_conds(conds: &[Pred], lmask: u64, rmask: u64) -> Vec<(&Operand, &Operand)> {
+    fn side(o: &Operand) -> Option<u64> {
+        match o {
+            Operand::Attr { attr, .. } => Some(1u64 << attr.occ),
+            Operand::Const(_) => None,
+        }
+    }
+    conds
+        .iter()
+        .filter(|c| c.op == CompareOp::Eq)
+        .filter_map(|c| {
+            let ls = side(&c.lhs)?;
+            let rs = side(&c.rhs)?;
+            if ls & lmask != 0 && rs & rmask != 0 {
+                Some((&c.lhs, &c.rhs))
+            } else if ls & rmask != 0 && rs & lmask != 0 {
+                Some((&c.rhs, &c.lhs))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Hash join: index the smaller side on its key columns, probe with the
+/// larger, then emit matches in the exact order [`join_nested`] would have
+/// produced them (left-major, right index ascending, NULL-extensions
+/// interleaved) so results stay byte-identical between strategies.
+#[allow(clippy::too_many_arguments)]
+fn join_hash(
+    kind: JoinKind,
+    lrows: &[Row],
+    rrows: &[Row],
+    lmask: u64,
+    rmask: u64,
+    conds: &[Pred],
+    keys: &[(&Operand, &Operand)],
+    layout: &Layout,
+) -> Vec<Row> {
+    xdata_obs::counter("engine.hash_join.nodes", 1);
+    let build_left = lrows.len() < rrows.len();
+    let (build, probe) = if build_left { (lrows, rrows) } else { (rrows, lrows) };
+    xdata_obs::counter("engine.hash_join.build_rows", build.len() as u64);
+    xdata_obs::counter("engine.hash_join.probe_rows", probe.len() as u64);
+
+    let extract = |row: &Row, of_left: bool| -> Option<Vec<KeyPart>> {
+        keys.iter()
+            .map(|(lop, rop)| {
+                let op = if of_left { lop } else { rop };
+                key_part(operand_value(op, row, layout))
+            })
+            .collect()
+    };
+    let mut index: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
+    for (bi, b) in build.iter().enumerate() {
+        if let Some(key) = extract(b, build_left) {
+            index.entry(key).or_default().push(bi);
+        }
+    }
+    // Probe, collecting matches as (li, ri, merged row). The hash key is a
+    // bucket filter, not the equality test: every condition — key
+    // equalities included — is re-evaluated on the merged row, which also
+    // handles residual non-equality conditions on the same node.
+    let mut matches: Vec<(usize, usize, Row)> = Vec::new();
+    for (pi, p) in probe.iter().enumerate() {
+        let Some(bucket) = extract(p, !build_left).and_then(|key| index.get(&key)) else {
+            continue;
+        };
+        for &bi in bucket {
+            let (li, ri) = if build_left { (bi, pi) } else { (pi, bi) };
+            let merged = merge(&lrows[li], &rrows[ri], lmask, rmask, layout);
+            if conds.iter().all(|c| eval_pred(c, &merged, layout).is_true()) {
+                matches.push((li, ri, merged));
+            }
+        }
+    }
+    // Probing the left side yields matches already in nested-loop order;
+    // probing the right yields them right-major and they must be reordered.
+    if build_left {
+        matches.sort_unstable_by_key(|m| (m.0, m.1));
+    }
+    let mut out = Vec::with_capacity(matches.len());
+    let mut rmatched = vec![false; rrows.len()];
+    let mut mi = 0;
+    for (li, l) in lrows.iter().enumerate() {
+        let mut lmatch = false;
+        while mi < matches.len() && matches[mi].0 == li {
+            rmatched[matches[mi].1] = true;
+            out.push(std::mem::take(&mut matches[mi].2));
+            lmatch = true;
+            mi += 1;
+        }
+        if !lmatch && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            out.push(l.clone()); // right side stays NULL
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, r) in rrows.iter().enumerate() {
+            if !rmatched[ri] {
+                out.push(r.clone()); // left side stays NULL
+            }
+        }
+    }
+    out
 }
 
 fn merge(l: &Row, r: &Row, lmask: u64, rmask: u64, layout: &Layout) -> Row {

@@ -10,42 +10,73 @@ use xdata_relalg::mutation::{
     apply_agg_mutant, apply_cmp_mutant, apply_distinct_mutant, apply_having_agg_mutant,
     apply_having_cmp_mutant,
 };
+use xdata_relalg::tree::JoinTree;
 use xdata_relalg::{Mutant, MutationSpace, NormQuery};
 
 use crate::error::EngineError;
-use crate::exec::{execute_query, execute_with_tree};
+use crate::exec::{
+    execute_query, execute_query_strategy, execute_with_tree_strategy, JoinStrategy,
+};
 use crate::result::ResultSet;
 
-/// Execute a mutant of `q` on `db`.
+/// A mutant with its query-level rewrite applied once, ready to run against
+/// any number of datasets. `apply_*_mutant` clones the whole [`NormQuery`];
+/// preparing outside the per-dataset loop pays that cost once per mutant
+/// instead of once per (mutant, dataset) pair.
+pub enum PreparedMutant<'a> {
+    /// Join-type mutants replace only the tree — no query clone at all.
+    Tree(&'a JoinTree),
+    /// Every other class rewrites the query; the rewrite is cached here.
+    Query(NormQuery),
+}
+
+/// Apply `m`'s rewrite to `q` once, for repeated execution.
+pub fn prepare_mutant<'a>(q: &NormQuery, m: &'a Mutant) -> PreparedMutant<'a> {
+    match m {
+        Mutant::Join(jm) => PreparedMutant::Tree(&jm.tree),
+        Mutant::Cmp(cm) => PreparedMutant::Query(apply_cmp_mutant(q, cm)),
+        Mutant::Agg(am) => PreparedMutant::Query(apply_agg_mutant(q, am)),
+        Mutant::HavingCmp(hm) => PreparedMutant::Query(apply_having_cmp_mutant(q, hm)),
+        Mutant::HavingAgg(hm) => PreparedMutant::Query(apply_having_agg_mutant(q, hm)),
+        Mutant::Distinct(dm) => PreparedMutant::Query(apply_distinct_mutant(q, dm)),
+    }
+}
+
+impl PreparedMutant<'_> {
+    /// Execute the prepared mutant of `q` on `db`.
+    pub fn execute(
+        &self,
+        q: &NormQuery,
+        db: &Dataset,
+        schema: &Schema,
+    ) -> Result<ResultSet, EngineError> {
+        self.execute_strategy(q, db, schema, JoinStrategy::default())
+    }
+
+    /// [`PreparedMutant::execute`] with an explicit [`JoinStrategy`].
+    pub fn execute_strategy(
+        &self,
+        q: &NormQuery,
+        db: &Dataset,
+        schema: &Schema,
+        strategy: JoinStrategy,
+    ) -> Result<ResultSet, EngineError> {
+        match self {
+            PreparedMutant::Tree(t) => execute_with_tree_strategy(q, t, db, schema, strategy),
+            PreparedMutant::Query(q2) => execute_query_strategy(q2, db, schema, strategy),
+        }
+    }
+}
+
+/// Execute a mutant of `q` on `db`. One-shot form of [`prepare_mutant`] +
+/// [`PreparedMutant::execute`]; loops over datasets should prepare once.
 pub fn execute_mutant(
     q: &NormQuery,
     m: &Mutant,
     db: &Dataset,
     schema: &Schema,
 ) -> Result<ResultSet, EngineError> {
-    match m {
-        Mutant::Join(jm) => execute_with_tree(q, &jm.tree, db, schema),
-        Mutant::Cmp(cm) => {
-            let q2 = apply_cmp_mutant(q, cm);
-            execute_query(&q2, db, schema)
-        }
-        Mutant::Agg(am) => {
-            let q2 = apply_agg_mutant(q, am);
-            execute_query(&q2, db, schema)
-        }
-        Mutant::HavingCmp(hm) => {
-            let q2 = apply_having_cmp_mutant(q, hm);
-            execute_query(&q2, db, schema)
-        }
-        Mutant::HavingAgg(hm) => {
-            let q2 = apply_having_agg_mutant(q, hm);
-            execute_query(&q2, db, schema)
-        }
-        Mutant::Distinct(dm) => {
-            let q2 = apply_distinct_mutant(q, dm);
-            execute_query(&q2, db, schema)
-        }
-    }
+    prepare_mutant(q, m).execute(q, db, schema)
 }
 
 /// Whether `db` kills mutant `m` of `q`.
@@ -149,12 +180,15 @@ pub fn kill_report_cancel(
         let _shard_span = xdata_obs::span_with("kill/mutant", || {
             format!("#{mi} {} [{}]", m.describe(q), class_name(m))
         });
+        // The query-level rewrite is applied once here, outside the
+        // dataset loop — only execution repeats per dataset.
+        let prepared = prepare_mutant(q, m);
         let verdict = (|| {
             for (di, db) in suite.iter().enumerate() {
                 if cancel.is_cancelled() {
                     return Err(None);
                 }
-                let mutated = match execute_mutant(q, m, db, schema) {
+                let mutated = match prepared.execute(q, db, schema) {
                     Ok(r) => r,
                     Err(e) => return Err(Some(e)),
                 };

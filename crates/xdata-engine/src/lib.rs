@@ -26,6 +26,9 @@ pub mod kill;
 pub mod result;
 
 pub use error::EngineError;
-pub use exec::{execute_query, execute_with_tree};
-pub use kill::{execute_mutant, kills, KillReport};
+pub use exec::{
+    execute_query, execute_query_strategy, execute_with_tree, execute_with_tree_strategy,
+    JoinStrategy,
+};
+pub use kill::{execute_mutant, kills, KillReport, PreparedMutant};
 pub use result::ResultSet;

@@ -8,9 +8,13 @@
 //! schema without probing for key existence.
 
 /// Every canonical counter, sorted. Solver counters are recorded inside
-/// `xdata-solver` (per ground solve), `core.*` by `xdata-core::generate`,
-/// `kill.*` by `xdata-engine::kill_report_jobs`.
+/// `xdata-solver` (per ground solve), `core.*` by `xdata-core::generate`
+/// and `xdata-core::grade`, `engine.*` by the join executor, `kill.*` by
+/// `xdata-engine::kill_report_jobs`.
 pub const ALL_COUNTERS: &[&str] = &[
+    "core.grade.candidates",
+    "core.grade.dedup_hit",
+    "core.grade.dedup_miss",
     "core.partial_suites",
     "core.rows_emitted",
     "core.skeleton_cache.hit",
@@ -22,6 +26,10 @@ pub const ALL_COUNTERS: &[&str] = &[
     "core.targets.skipped",
     "core.targets.solved",
     "core.targets.timed_out",
+    "engine.hash_join.build_rows",
+    "engine.hash_join.fallback_nodes",
+    "engine.hash_join.nodes",
+    "engine.hash_join.probe_rows",
     "kill.datasets",
     "kill.killed.agg",
     "kill.killed.cmp",
@@ -69,12 +77,18 @@ pub const ALL_HISTOGRAMS: &[&str] = &[
 
 /// Every canonical span path (the pipeline phases).
 /// `generate/solve/gate` wraps a session-eligible target's wait on the
-/// turn gate, separating queueing from solving in the timeline.
+/// turn gate, separating queueing from solving in the timeline. The
+/// `grade/*` spans cover the batch-grading fast path: `grade/reference`
+/// executes the instructor query per dataset, `grade/grid` fans the
+/// deduplicated candidate×dataset matrix over the worker pool.
 pub const PHASE_SPANS: &[&str] = &[
     "generate",
     "generate/plan",
     "generate/solve",
     "generate/solve/gate",
+    "grade",
+    "grade/grid",
+    "grade/reference",
     "kill",
     "kill/mutant",
     "kill/originals",

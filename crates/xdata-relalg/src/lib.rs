@@ -21,12 +21,14 @@
 pub mod decorrelate;
 pub mod enumerate;
 pub mod error;
+pub mod fingerprint;
 pub mod ir;
 pub mod mutation;
 pub mod normalize;
 pub mod tree;
 
 pub use error::RelAlgError;
+pub use fingerprint::{canonical_form, structural_hash};
 pub use ir::{AggFunc, AttrRef, HavingPred, NormQuery, Occurrence, Operand, Pred, SelectSpec};
 pub use mutation::{AggMutant, CmpMutant, DistinctMutant, JoinMutant, Mutant, MutationSpace};
 pub use decorrelate::decorrelate;

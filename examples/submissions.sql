@@ -1,0 +1,23 @@
+# Sample submission pile for `xdata grade --candidates`: one candidate
+# query per line, `#` lines and blank lines ignored. Graded against the
+# assignment "list names of instructors together with the course ids of
+# all courses they teach":
+#
+#   SELECT i.name, t.course_id FROM instructor i, teaches t WHERE i.id = t.id
+
+# Equivalent rewrites: commuted FROM list, explicit JOIN syntax.
+SELECT i.name, t.course_id FROM teaches t, instructor i WHERE t.id = i.id
+SELECT i.name, t.course_id FROM instructor i JOIN teaches t ON i.id = t.id
+
+# Wrong join type: keeps instructors who teach nothing.
+SELECT i.name, t.course_id FROM instructor i LEFT OUTER JOIN teaches t ON i.id = t.id
+
+# A whitespace-noised copy of the previous answer: the structural
+# fingerprint collapses it into the same class, so the verdict is shared.
+SELECT i.name,  t.course_id FROM instructor i LEFT  OUTER JOIN teaches t ON i.id = t.id
+
+# Wrong comparison operator.
+SELECT i.name, t.course_id FROM instructor i, teaches t WHERE i.id <> t.id
+
+# Does not parse: graded INVALID, the rest of the batch is unaffected.
+SELECT FROM WHERE

@@ -37,10 +37,23 @@ XDATA_MAX_RELS=3 XDATA_STAR_SPOKES=2 XDATA_RANDOM_CASES=2 \
 rm -f "$SWEEP_OUT" "$SWEEP_OUT.trace.json"
 echo "ci: solver_sweep smoke (parity + jobs determinism) OK"
 
+# Grading-sweep smoke gate: the batch grader over a tiny synthetic
+# submission pile. The binary asserts hash/nested verdict parity
+# (byte-identical rendered reports), per-candidate agreement between the
+# amortized batch and the independent per-candidate loop, and bulk-join
+# result parity, before it prints a single timing.
+GRADE_OUT=$(mktemp)
+XDATA_GRADE_CANDIDATES=60 XDATA_JOIN_ROWS=64 \
+    XDATA_SWEEP_OUT="$GRADE_OUT" \
+    cargo run -q --release --offline -p xdata-bench --bin grading_sweep \
+    > /dev/null
+rm -f "$GRADE_OUT" "$GRADE_OUT.trace.json"
+echo "ci: grading_sweep smoke (batch/independent + hash/nested parity) OK"
+
 # Doc-link gate: every backticked metric key named in DESIGN.md must
 # exist in the canonical registry (crates/xdata-obs/src/names.rs), so
 # the design doc's consolidated key table cannot drift from the code.
-for key in $(grep -o '`\(core\|solver\|kill\|par\)\.[a-z_.]*`' DESIGN.md \
+for key in $(grep -o '`\(core\|engine\|solver\|kill\|par\)\.[a-z_.]*`' DESIGN.md \
         | tr -d '\`' | sed 's/\.$//' | sort -u); do
     case "$key" in
         # Brace-expanded table rows list their members explicitly below.
@@ -88,13 +101,34 @@ if [ "$(strip_timings "$M1")" != "$(strip_timings "$M4")" ]; then
 fi
 echo "ci: metrics schema + determinism OK"
 
+# Grading leg: batch-grade the sample submission pile against the
+# reference on the shipped schema, under two thread counts and both join
+# strategies — the rendered verdict report carries no timings and must be
+# byte-identical everywhere.
+GQ='SELECT i.name, t.course_id FROM instructor i, teaches t WHERE i.id = t.id'
+G1=$(mktemp) && G4=$(mktemp)
+trap 'rm -f "$M1" "$M4" "$G1" "$G4"' EXIT
+./target/release/xdata grade --schema examples/university.sql \
+    --query "$GQ" --candidates examples/submissions.sql --jobs 1 > "$G1"
+./target/release/xdata grade --schema examples/university.sql \
+    --query "$GQ" --candidates examples/submissions.sql --jobs 4 \
+    --join-strategy nested-loop > "$G4"
+grep -q '^#0 *PASS' "$G1" || { echo "ci: expected candidate 0 to PASS" >&2; exit 1; }
+grep -q 'INVALID' "$G1" || { echo "ci: expected an INVALID verdict" >&2; exit 1; }
+grep -q 'dup\]' "$G1" || { echo "ci: expected a dedup hit" >&2; exit 1; }
+if ! cmp -s "$G1" "$G4"; then
+    echo "ci: verdict report differs across --jobs/--join-strategy" >&2
+    exit 1
+fi
+echo "ci: batch grading verdict stability OK"
+
 # Trace leg: capture an event timeline on the same Table I example, have
 # `xdata trace --validate` run the built-in structural checker (balanced
 # begin/end nesting, monotonic per-thread timestamps, flow ordering — no
 # external tooling), and require the critical path to tile the root span
 # (the subcommand exits non-zero if the segment sum diverges).
 T=$(mktemp) && F=$(mktemp)
-trap 'rm -f "$M1" "$M4" "$T" "$F"' EXIT
+trap 'rm -f "$M1" "$M4" "$G1" "$G4" "$T" "$F"' EXIT
 ./target/release/xdata evaluate --schema examples/university.sql \
     --query "$Q" --jobs 4 --trace-out "$T" > /dev/null
 grep -q '"traceEvents"' "$T" || {

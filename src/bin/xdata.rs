@@ -5,6 +5,7 @@
 //! xdata evaluate --schema schema.sql --query "SELECT ..." [options]
 //! xdata mutants  --schema schema.sql --query "SELECT ..." [options]
 //! xdata grade    --schema schema.sql --query "<reference>" --candidate "<submission>"
+//! xdata grade    --schema schema.sql --query "<reference>" --candidates FILE
 //! xdata trace    trace.json [--top K] [--validate] [--folded FILE]
 //!
 //! options:
@@ -28,6 +29,15 @@
 //!                     per skeleton shape solving targets under assumptions;
 //!                     cdcl: a fresh CDCL solve per target; dpll: the
 //!                     chronological baseline core
+//!   --candidates FILE batch grading: one candidate query per line (blank
+//!                     lines and # comments skipped); the reference suite
+//!                     is generated once, structurally equivalent
+//!                     submissions execute once, and each candidate gets a
+//!                     PASS/FAIL/INVALID verdict with a partial-credit
+//!                     score and killed-by-dataset vector
+//!   --join-strategy S hash (default): build a hash index on the smaller
+//!                     side of each equality join; nested-loop: the
+//!                     quadratic differential baseline (identical results)
 //!   --use-input-db    restrict generated tuples to the script's INSERTs
 //!   --minimize        prune datasets that add no kills (greedy set cover)
 //!   --no-full-outer   exclude mutations to FULL OUTER JOIN (paper's eval)
@@ -51,6 +61,7 @@ use std::process::ExitCode;
 
 use xdata::catalog::DomainCatalog;
 use xdata::core::minimize_suite;
+use xdata::engine::JoinStrategy;
 use xdata::relalg::mutation::MutationOptions;
 use xdata::relalg::Mutant;
 use xdata::solver::{Mode, SearchCore};
@@ -61,6 +72,8 @@ struct Args {
     schema_path: Option<String>,
     query: Option<String>,
     candidate: Option<String>,
+    candidates_file: Option<String>,
+    join_strategy: JoinStrategy,
     mode: Mode,
     jobs: usize,
     timeout_ms: Option<u64>,
@@ -87,6 +100,8 @@ fn parse_args() -> Result<Args, String> {
         schema_path: None,
         query: None,
         candidate: None,
+        candidates_file: None,
+        join_strategy: JoinStrategy::default(),
         mode: Mode::Unfold,
         jobs: 1,
         timeout_ms: None,
@@ -153,6 +168,16 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--candidate" => args.candidate = Some(it.next().ok_or("--candidate needs SQL")?),
+            "--candidates" => {
+                args.candidates_file = Some(it.next().ok_or("--candidates needs a file")?)
+            }
+            "--join-strategy" => {
+                args.join_strategy = match it.next().as_deref() {
+                    Some("hash") => JoinStrategy::Hash,
+                    Some("nested-loop") => JoinStrategy::NestedLoop,
+                    other => return Err(format!("unknown join strategy {other:?}")),
+                }
+            }
             "--use-input-db" => args.use_input_db = true,
             "--minimize" => args.minimize = true,
             "--no-full-outer" => args.include_full = false,
@@ -307,6 +332,14 @@ fn trace_cmd(args: &Args) -> Result<(), String> {
 }
 
 fn dispatch(args: &Args) -> Result<(), String> {
+    // Reject a bad command before demanding --schema/--query, so the user
+    // sees the command list rather than a missing-flag error.
+    if !matches!(args.command.as_str(), "generate" | "evaluate" | "mutants" | "grade") {
+        return Err(format!(
+            "unknown command `{}` (generate|evaluate|mutants|grade|trace)",
+            args.command
+        ));
+    }
     let schema_path = args.schema_path.as_deref().ok_or("--schema is required")?;
     let script = std::fs::read_to_string(schema_path)
         .map_err(|e| format!("reading {schema_path}: {e}"))?;
@@ -318,7 +351,8 @@ fn dispatch(args: &Args) -> Result<(), String> {
         .with_mode(args.mode)
         .with_jobs(args.jobs)
         .with_search_core(args.search_core)
-        .with_incremental(args.incremental);
+        .with_incremental(args.incremental)
+        .with_join_strategy(args.join_strategy);
     if let Some(ms) = args.timeout_ms {
         xd = xd.with_deadline_ms(ms);
     }
@@ -400,7 +434,26 @@ fn dispatch(args: &Args) -> Result<(), String> {
             Ok(())
         }
         "grade" => {
-            let candidate = args.candidate.as_deref().ok_or("--candidate is required")?;
+            if let Some(path) = &args.candidates_file {
+                // Batch mode: one submission per line; the suite is
+                // generated once and shared across the whole file.
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))?;
+                let candidates: Vec<String> = text
+                    .lines()
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                    .map(str::to_string)
+                    .collect();
+                if candidates.is_empty() {
+                    return Err(format!("{path}: no candidate queries (one per line)"));
+                }
+                let report = xd.grade_batch(sql, &candidates).map_err(|e| e.to_string())?;
+                print!("{}", report.render());
+                return Ok(());
+            }
+            let candidate =
+                args.candidate.as_deref().ok_or("--candidate or --candidates is required")?;
             match xd.grade(sql, candidate).map_err(|e| e.to_string())? {
                 xdata::Grade::AgreesOnSuite { datasets } => {
                     println!("PASS: candidate agrees with the reference on all {datasets} datasets");
@@ -414,7 +467,9 @@ fn dispatch(args: &Args) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (generate|evaluate|mutants|grade)")),
+        // Bad names are rejected at the top of dispatch; this arm only
+        // backstops a command added there but not matched here.
+        other => Err(format!("unknown command `{other}` (generate|evaluate|mutants|grade|trace)")),
     }
 }
 

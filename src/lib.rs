@@ -94,8 +94,9 @@ pub use xdata_solver as solver;
 pub use xdata_sql as sql;
 
 use xdata_catalog::{Dataset, DomainCatalog, Schema};
-use xdata_core::{generate_cancellable, FaultPlan, GenOptions, TestSuite};
+use xdata_core::{generate_cancellable, BatchGradeReport, FaultPlan, GenOptions, TestSuite};
 use xdata_engine::kill::{kill_report_cancel, KillReport};
+use xdata_engine::JoinStrategy;
 use xdata_par::CancelToken;
 use xdata_relalg::mutation::{mutation_space, MutationOptions};
 use xdata_relalg::{normalize, MutationSpace, NormQuery};
@@ -155,6 +156,16 @@ impl From<xdata_engine::EngineError> for XDataError {
         XDataError::Engine(e)
     }
 }
+impl From<xdata_core::GradeError> for XDataError {
+    fn from(e: xdata_core::GradeError) -> Self {
+        match e {
+            xdata_core::GradeError::Parse(e) => XDataError::Parse(e),
+            xdata_core::GradeError::RelAlg(e) => XDataError::RelAlg(e),
+            xdata_core::GradeError::Gen(e) => XDataError::Gen(e),
+            xdata_core::GradeError::Engine(e) => XDataError::Engine(e),
+        }
+    }
+}
 
 /// The main entry point: a schema plus generation options.
 #[derive(Debug, Clone)]
@@ -162,13 +173,14 @@ pub struct XData {
     schema: Schema,
     domains: DomainCatalog,
     options: GenOptions,
+    strategy: JoinStrategy,
 }
 
 impl XData {
     /// Create a generator for `schema` with default domains and options.
     pub fn new(schema: Schema) -> Self {
         let domains = DomainCatalog::defaults(&schema);
-        XData { schema, domains, options: GenOptions::default() }
+        XData { schema, domains, options: GenOptions::default(), strategy: JoinStrategy::default() }
     }
 
     /// Parse a schema from `CREATE TABLE` statements.
@@ -251,6 +263,15 @@ impl XData {
         self
     }
 
+    /// Select the physical join algorithm for grading executions
+    /// ([`engine::JoinStrategy::Hash`] is the default;
+    /// [`engine::JoinStrategy::NestedLoop`] is the differential baseline —
+    /// both produce byte-identical results).
+    pub fn with_join_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -325,6 +346,34 @@ impl XData {
             }
         }
         Ok(Grade::AgreesOnSuite { datasets: run.suite.datasets.len() })
+    }
+
+    /// Grade a whole batch of candidate queries against one reference —
+    /// the at-scale form of [`XData::grade`]. The reference suite is
+    /// generated **once**; candidates equivalent after normalization
+    /// (commuted FROM lists, flipped predicates, renamed bindings)
+    /// collapse into equivalence classes that execute once; the remaining
+    /// class×dataset grid fans over the worker pool
+    /// ([`XData::with_jobs`]). Per-candidate parse errors become
+    /// [`core::CandidateOutcome::Invalid`] verdicts instead of failing the
+    /// batch, and a [`XData::with_deadline_ms`] expiry marks unfinished
+    /// candidates [`core::CandidateOutcome::Unevaluated`].
+    ///
+    /// The report (and [`core::BatchGradeReport::render`]) is
+    /// byte-identical for every `jobs` value.
+    pub fn grade_batch(
+        &self,
+        reference_sql: &str,
+        candidates: &[String],
+    ) -> Result<BatchGradeReport, XDataError> {
+        Ok(xdata_core::grade_batch(
+            reference_sql,
+            candidates,
+            &self.schema,
+            &self.domains,
+            &self.options,
+            self.strategy,
+        )?)
     }
 }
 

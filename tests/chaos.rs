@@ -247,3 +247,36 @@ fn tiny_deadline_yields_well_formed_partial_suite() {
         let _ = run.suite.to_string();
     }
 }
+
+/// Batch grading under chaos-injected fault cancellation: a fault plan
+/// that expires suite targets yields a *partial* suite, and the rendered
+/// verdict report — Pass verdicts certified on the surviving datasets —
+/// must still be byte-identical for every `--jobs` value and for both
+/// join strategies.
+#[test]
+fn chaos_batch_grade_is_deterministic_across_jobs() {
+    use xdata::engine::JoinStrategy;
+    let reference = "SELECT i.name, t.course_id FROM instructor i, teaches t WHERE i.id = t.id";
+    let candidates: Vec<String> = [
+        reference,
+        "SELECT i.name, t.course_id FROM teaches t, instructor i WHERE t.id = i.id",
+        "SELECT i.name, t.course_id FROM instructor i LEFT OUTER JOIN teaches t ON i.id = t.id",
+        "SELECT FROM WHERE",
+    ]
+    .map(str::to_string)
+    .to_vec();
+    let faults = FaultPlan { expire_targets: vec!["eq-class".into()], ..FaultPlan::default() };
+    let grade = |jobs: usize, strategy: JoinStrategy| {
+        let xd = university().with_jobs(jobs).with_faults(faults.clone()).with_join_strategy(strategy);
+        let report = xd.grade_batch(reference, &candidates).expect("chaos batch completes");
+        assert!(report.partial, "expired targets must mark the suite partial");
+        report.render()
+    };
+    let baseline = grade(1, JoinStrategy::Hash);
+    for jobs in [2, 8] {
+        assert_eq!(baseline, grade(jobs, JoinStrategy::Hash), "jobs={jobs}");
+    }
+    for jobs in [1, 4] {
+        assert_eq!(baseline, grade(jobs, JoinStrategy::NestedLoop), "nested jobs={jobs}");
+    }
+}
