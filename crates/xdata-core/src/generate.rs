@@ -32,23 +32,25 @@
 //! report — stay deterministic for every `jobs` value.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::hash::{Hash, Hasher};
 use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex};
 
 use xdata_catalog::{DomainCatalog, Schema, Value};
 use xdata_par::CancelToken;
 use xdata_relalg::{AttrRef, NormQuery, Operand, SelectSpec};
 use xdata_sql::CompareOp;
 use xdata_solver::{
-    Atom, Formula, Mode, Model, Problem, RelOp, SearchCore, SolveOutcome, SolveSession,
-    SolverStats, Term,
+    Atom, Formula, Mode, Problem, RelOp, SolveOutcome, SolveSession, SolverStats, Term,
 };
 
 use crate::builder::ConstraintBuilder;
 use crate::error::GenError;
 use crate::materialize::materialize;
 use crate::suite::{GenOptions, GeneratedDataset, SkipReason, SkippedTarget, TestSuite};
+use crate::warm::{
+    context_salt, lock_ignore_poison, memo_key, MemoEntry, MemoOutcome, MemoValue, PendingGuard,
+    SolveMemo, WarmCache,
+};
 
 /// Offset for `session` flow ids in the trace. `target` flows use the plan
 /// index, `session` flows the copies-class id; the offset keeps the two
@@ -85,6 +87,50 @@ pub fn generate_cancellable(
     opts: &GenOptions,
     cancel: &CancelToken,
 ) -> Result<TestSuite, GenError> {
+    // A batch run owns its memo: warm state begins and ends with the call.
+    let memo = SolveMemo::default();
+    generate_impl(query, schema, domains, opts, cancel, &memo, None)
+}
+
+/// [`generate_cancellable`] against a process-long [`WarmCache`]: solve
+/// outcomes and incremental sessions persist in `warm` under `namespace`'s
+/// context salt and are replayed by later structurally identical requests
+/// (the `xdata serve` fast path). Runs sharing a salt are serialized by the
+/// cache's run gate when incremental sessions are active; for runs whose
+/// deadlines never fire the output is byte-identical to a cold
+/// [`generate_cancellable`] call with the same arguments, whatever warm
+/// state preceded it (see [`crate::warm`] for the soundness argument).
+pub fn generate_warm(
+    query: &NormQuery,
+    schema: &Schema,
+    domains: &DomainCatalog,
+    opts: &GenOptions,
+    cancel: &CancelToken,
+    warm: &WarmCache,
+    namespace: &str,
+) -> Result<TestSuite, GenError> {
+    let salt = context_salt(namespace, query, opts);
+    generate_impl(query, schema, domains, opts, cancel, &warm.memo, Some((warm, salt)))
+}
+
+fn generate_impl(
+    query: &NormQuery,
+    schema: &Schema,
+    domains: &DomainCatalog,
+    opts: &GenOptions,
+    cancel: &CancelToken,
+    memo: &SolveMemo,
+    warm: Option<(&WarmCache, u64)>,
+) -> Result<TestSuite, GenError> {
+    // Two warm runs sharing a context salt would race their turn gates on
+    // the shared incremental sessions; serialize whole runs per salt (other
+    // tenants and other queries proceed in parallel). Fresh solves are
+    // pure, so session-less runs need no gate — the memo's key-level
+    // blocking dedup already covers them.
+    let _run_guard = match warm {
+        Some((w, salt)) if crate::warm::sessions_enabled(opts) => Some(w.lock_run(salt)),
+        _ => None,
+    };
     let _gen_span = xdata_obs::span("generate");
     // Preprocessing beyond what normalization did: make sure every string
     // literal in the query is dictionary-coded.
@@ -97,7 +143,8 @@ pub fn generate_cancellable(
         skeletons: Mutex::new(BTreeMap::new()),
         sessions: Mutex::new(BTreeMap::new()),
         gate: TurnGate::default(),
-        memo: SolveMemo::default(),
+        memo,
+        warm,
     };
     let plan = {
         let _plan_span = xdata_obs::span("generate/plan");
@@ -314,8 +361,14 @@ struct Gen<'a> {
     sessions: Mutex<BTreeMap<(u32, u32), Arc<SolveSession>>>,
     /// Plan-order turn gate over session-eligible targets (see [`TurnGate`]).
     gate: TurnGate,
-    /// Cross-target solve memo (see the module docs).
-    memo: SolveMemo,
+    /// Cross-target solve memo (see [`crate::warm`]): run-local for a batch
+    /// call, the process-long [`WarmCache`] memo for a warm one.
+    memo: &'a SolveMemo,
+    /// Present on warm runs: the cache plus this run's context salt. Salt
+    /// `0` with `warm: None` is the batch configuration — the salt is
+    /// hashed into every memo key, so batch and warm keys never mix even
+    /// in a shared memo.
+    warm: Option<(&'a WarmCache, u64)>,
 }
 
 /// Serializes session-eligible targets of one skeleton class (`copies`
@@ -393,107 +446,6 @@ enum SolveRes {
     Unsat,
     GaveUp { decisions: u64 },
     TimedOut,
-}
-
-/// Cross-target memo over complete solve calls.
-///
-/// Keyed by a 128-bit structural hash of the problem; the first thread to
-/// claim a key marks it [`MemoEntry::Pending`] and computes, concurrent
-/// arrivals with the same key block on the condvar until the value lands.
-/// This blocking dedup is what keeps `core.solve_memo.hit`/`.miss` — and
-/// the reused [`SolverStats`] — schedule-independent: each distinct key
-/// misses exactly once however many threads race on it.
-#[derive(Default)]
-struct SolveMemo {
-    map: Mutex<HashMap<(u64, u64), MemoEntry>>,
-    done: Condvar,
-}
-
-enum MemoEntry {
-    Pending,
-    Done(MemoValue),
-}
-
-#[derive(Clone)]
-struct MemoValue {
-    outcome: MemoOutcome,
-    stats: SolverStats,
-}
-
-/// [`SolveOutcome`] with the model flattened to raw values so it can be
-/// stored and replayed against any structurally identical problem.
-#[derive(Clone)]
-enum MemoOutcome {
-    Sat(Vec<i64>),
-    Unsat,
-    Unknown,
-}
-
-impl MemoOutcome {
-    fn capture(out: &SolveOutcome) -> MemoOutcome {
-        match out {
-            SolveOutcome::Sat(m) => MemoOutcome::Sat(m.values().to_vec()),
-            SolveOutcome::Unsat => MemoOutcome::Unsat,
-            SolveOutcome::Unknown => MemoOutcome::Unknown,
-            // `solve_memoized` filters Cancelled before capturing: a
-            // withdrawn time budget is not a verdict and must not be reused.
-            SolveOutcome::Cancelled => unreachable!("Cancelled outcomes are never memoized"),
-        }
-    }
-
-    fn replay(&self, problem: &Problem) -> SolveOutcome {
-        match self {
-            MemoOutcome::Sat(values) => {
-                SolveOutcome::Sat(Model::from_values(values.clone(), problem.var_table()))
-            }
-            MemoOutcome::Unsat => SolveOutcome::Unsat,
-            MemoOutcome::Unknown => SolveOutcome::Unknown,
-        }
-    }
-}
-
-/// Lock a mutex tolerating poison: the protected maps are only ever
-/// mutated by whole-entry insert/remove, so a panic on another thread
-/// cannot leave them in a torn state worth refusing to read.
-fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// Drop guard owning a [`MemoEntry::Pending`] claim: unless defused with
-/// [`std::mem::forget`], dropping it removes the claim and wakes every
-/// thread waiting on the key. This is the memo's unwind safety — a panic
-/// (or a `Cancelled` early return) in the computing thread releases the
-/// key instead of leaving waiters parked forever on the condvar.
-struct PendingGuard<'m> {
-    memo: &'m SolveMemo,
-    key: (u64, u64),
-}
-
-impl Drop for PendingGuard<'_> {
-    fn drop(&mut self) {
-        let mut map = lock_ignore_poison(&self.memo.map);
-        map.remove(&self.key);
-        self.memo.done.notify_all();
-    }
-}
-
-/// Structural 128-bit key of a solve call: two independently seeded 64-bit
-/// hashes over (mode, core, budget, array specs, ordered constraints). The
-/// constraint *order* is hashed deliberately — assertion order steers the
-/// search, so only byte-identical problems may share an outcome.
-fn memo_key(problem: &Problem, opts: &GenOptions, limit: u64) -> (u64, u64) {
-    use std::collections::hash_map::DefaultHasher;
-    let mut h1 = DefaultHasher::new();
-    let mut h2 = DefaultHasher::new();
-    0xA5A5_5A5A_u64.hash(&mut h2);
-    for h in [&mut h1, &mut h2] {
-        opts.mode.hash(h);
-        opts.core.hash(h);
-        limit.hash(h);
-        problem.specs().hash(h);
-        problem.constraints().hash(h);
-    }
-    (h1.finish(), h2.finish())
 }
 
 impl<'a> Gen<'a> {
@@ -1024,21 +976,30 @@ impl<'a> Gen<'a> {
     }
 
     /// Whether this run routes eligible solves through incremental
-    /// sessions. Sessions need the CDCL core (assumption solving is a CDCL
-    /// mechanism), unfold mode (the skeleton must be ground to lower once),
-    /// and no input database (input constraints precede the skeleton, so no
-    /// shared prefix exists).
+    /// sessions (see [`crate::warm::sessions_enabled`]).
     fn sessions_enabled(&self) -> bool {
-        self.opts.incremental
-            && self.opts.core == SearchCore::Cdcl
-            && self.opts.mode == Mode::Unfold
-            && self.opts.input_db.is_none()
+        crate::warm::sessions_enabled(self.opts)
     }
 
     /// The shared incremental session for a `(copies, repair_cap)` skeleton
     /// shape: built from the cached skeleton once, then reused — under the
     /// turn gate — by every eligible target of that shape.
+    ///
+    /// Warm runs resolve sessions from the [`WarmCache`] store instead of
+    /// the run-local map, so a later request with the same context salt
+    /// inherits the lowered skeleton and its learned clauses without
+    /// rebuilding either. The run gate held by `generate_warm` makes the
+    /// check-then-insert race-free within a salt.
     fn session(&self, copies: u32, cap: u32) -> Result<Arc<SolveSession>, GenError> {
+        if let Some((w, salt)) = self.warm {
+            if let Some(s) = w.session(salt, copies, cap) {
+                return Ok(s);
+            }
+            let skel = self.skeleton(copies, cap)?;
+            let s = Arc::new(SolveSession::new(&skel.problem));
+            w.insert_session(salt, copies, cap, Arc::clone(&s));
+            return Ok(s);
+        }
         let mut map = lock_ignore_poison(&self.sessions);
         if let Some(s) = map.get(&(copies, cap)) {
             return Ok(Arc::clone(s));
@@ -1103,7 +1064,7 @@ impl<'a> Gen<'a> {
         cancel: &CancelToken,
         session: Option<&SolveSession>,
     ) -> (SolveOutcome, SolverStats) {
-        let key = memo_key(problem, self.opts, limit);
+        let key = memo_key(problem, self.opts, limit, self.warm.map_or(0, |(_, salt)| salt));
         {
             let mut map = lock_ignore_poison(&self.memo.map);
             loop {
@@ -1129,7 +1090,7 @@ impl<'a> Gen<'a> {
         }
         // From here until the entry is resolved, this thread owns the
         // Pending claim; the guard releases it on every exit path.
-        let guard = PendingGuard { memo: &self.memo, key };
+        let guard = PendingGuard { memo: self.memo, key };
         let (out, stats) = match session {
             // The incremental road: only this target's delta constraints
             // are lowered; the engine arrives warm with everything learned

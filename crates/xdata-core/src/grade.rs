@@ -36,8 +36,9 @@ use xdata_relalg::fingerprint::{canonical_form, structural_hash};
 use xdata_relalg::{normalize, NormQuery};
 
 use crate::error::GenError;
-use crate::generate::generate_cancellable;
+use crate::generate::{generate_cancellable, generate_warm};
 use crate::suite::GenOptions;
+use crate::warm::WarmCache;
 
 /// Error failing a whole batch. Per-candidate parse/normalization errors do
 /// **not** land here — they become [`CandidateOutcome::Invalid`] verdicts;
@@ -246,8 +247,54 @@ pub fn grade_batch_cancellable(
     strategy: JoinStrategy,
     cancel: &CancelToken,
 ) -> Result<BatchGradeReport, GradeError> {
+    grade_batch_impl(reference_sql, candidates, schema, domains, opts, strategy, cancel, None)
+}
+
+/// [`grade_batch_cancellable`] with suite generation routed through a
+/// process-long [`WarmCache`] (see [`crate::generate::generate_warm`]): a
+/// daemon grading many batches against one reference query pays for suite
+/// generation once per `(namespace, reference, options)` and replays the
+/// memoized solves on every later batch.
+#[allow(clippy::too_many_arguments)]
+pub fn grade_batch_warm(
+    reference_sql: &str,
+    candidates: &[String],
+    schema: &Schema,
+    domains: &DomainCatalog,
+    opts: &GenOptions,
+    strategy: JoinStrategy,
+    cancel: &CancelToken,
+    warm: &WarmCache,
+    namespace: &str,
+) -> Result<BatchGradeReport, GradeError> {
+    grade_batch_impl(
+        reference_sql,
+        candidates,
+        schema,
+        domains,
+        opts,
+        strategy,
+        cancel,
+        Some((warm, namespace)),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grade_batch_impl(
+    reference_sql: &str,
+    candidates: &[String],
+    schema: &Schema,
+    domains: &DomainCatalog,
+    opts: &GenOptions,
+    strategy: JoinStrategy,
+    cancel: &CancelToken,
+    warm: Option<(&WarmCache, &str)>,
+) -> Result<BatchGradeReport, GradeError> {
     let reference = normalize(&xdata_sql::parse_query(reference_sql)?, schema)?;
-    let suite = generate_cancellable(&reference, schema, domains, opts, cancel)?;
+    let suite = match warm {
+        Some((w, ns)) => generate_warm(&reference, schema, domains, opts, cancel, w, ns)?,
+        None => generate_cancellable(&reference, schema, domains, opts, cancel)?,
+    };
     let _grade_span = xdata_obs::span("grade");
 
     let expected: Vec<ResultSet> = {

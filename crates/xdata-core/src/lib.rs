@@ -42,17 +42,19 @@ pub mod having;
 pub mod materialize;
 pub mod minimize;
 pub mod suite;
+pub mod warm;
 
 pub use error::GenError;
-pub use generate::{generate, generate_cancellable};
+pub use generate::{generate, generate_cancellable, generate_warm};
 pub use grade::{
-    grade_batch, grade_batch_cancellable, BatchGradeReport, CandidateOutcome, CandidateVerdict,
-    GradeError,
+    grade_batch, grade_batch_cancellable, grade_batch_warm, BatchGradeReport, CandidateOutcome,
+    CandidateVerdict, GradeError,
 };
 pub use minimize::minimize_suite;
 pub use suite::{
     FaultPlan, GenOptions, GeneratedDataset, SkipReason, SkippedTarget, SuiteStats, TestSuite,
 };
+pub use warm::WarmCache;
 pub use xdata_par::CancelToken;
 
 /// Re-export of the evaluation loop (suite × mutation space → kill matrix).

@@ -10,7 +10,8 @@
 /// Every canonical counter, sorted. Solver counters are recorded inside
 /// `xdata-solver` (per ground solve), `core.*` by `xdata-core::generate`
 /// and `xdata-core::grade`, `engine.*` by the join executor, `kill.*` by
-/// `xdata-engine::kill_report_jobs`.
+/// `xdata-engine::kill_report_jobs`, and `serve.*` by the `xdata-serve`
+/// daemon (connection/request lifecycle and warm-cache occupancy).
 pub const ALL_COUNTERS: &[&str] = &[
     "core.grade.candidates",
     "core.grade.dedup_hit",
@@ -45,6 +46,17 @@ pub const ALL_COUNTERS: &[&str] = &[
     "kill.survived.having_cmp",
     "kill.survived.join",
     "kill.unevaluated",
+    "serve.connections",
+    "serve.deadline_clamped",
+    "serve.errors",
+    "serve.rejected_frames",
+    "serve.requests",
+    "serve.requests.evaluate",
+    "serve.requests.generate",
+    "serve.requests.grade_batch",
+    "serve.requests.ping",
+    "serve.warm.memo_entries",
+    "serve.warm.sessions",
     "solver.cancel_checks",
     "solver.clause_db.dropped",
     "solver.clause_db.kept",

@@ -534,6 +534,53 @@ impl Json {
         }
     }
 
+    /// Serialize back to compact JSON text. Object keys are emitted in
+    /// insertion order and strings re-escaped, so a value built
+    /// programmatically (e.g. a wire-protocol frame) renders
+    /// deterministically; [`parse_json`] ∘ `render` is the identity on the
+    /// JSON data model.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(n),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape_json(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape_json(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// A Chrome `ts` (microseconds, possibly fractional) as nanoseconds.
     pub fn as_ts_ns(&self) -> Option<u64> {
         let Json::Num(n) = self else { return None };

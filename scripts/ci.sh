@@ -53,7 +53,7 @@ echo "ci: grading_sweep smoke (batch/independent + hash/nested parity) OK"
 # Doc-link gate: every backticked metric key named in DESIGN.md must
 # exist in the canonical registry (crates/xdata-obs/src/names.rs), so
 # the design doc's consolidated key table cannot drift from the code.
-for key in $(grep -o '`\(core\|engine\|solver\|kill\|par\)\.[a-z_.]*`' DESIGN.md \
+for key in $(grep -o '`\(core\|engine\|solver\|kill\|par\|serve\)\.[a-z_.]*`' DESIGN.md \
         | tr -d '\`' | sed 's/\.$//' | sort -u); do
     case "$key" in
         # Brace-expanded table rows list their members explicitly below.
@@ -150,3 +150,83 @@ echo "$TRACE_OUT" | grep -q 'critical path' || {
 }
 test -s "$F" || { echo "ci: folded-stacks export is empty" >&2; exit 1; }
 echo "ci: trace capture + validation + critical path OK"
+
+# Help-snapshot leg: `xdata --help` is the CLI's documented surface;
+# scripts/cli_help.txt is its committed snapshot. Any flag or command
+# added without updating the snapshot (and thus the README flag table
+# next to it) fails here.
+H=$(mktemp)
+trap 'rm -f "$M1" "$M4" "$G1" "$G4" "$T" "$F" "$H"' EXIT
+./target/release/xdata --help > "$H"
+if ! cmp -s "$H" scripts/cli_help.txt; then
+    echo "ci: xdata --help drifted from scripts/cli_help.txt — regenerate the snapshot" >&2
+    diff scripts/cli_help.txt "$H" >&2 || true
+    exit 1
+fi
+echo "ci: CLI --help snapshot OK"
+
+# Protocol-doc gate: PROTOCOL.md is normative for the wire format, so it
+# must name every public wire type and every error code defined in
+# crates/xdata-client/src/protocol.rs. Renaming or adding either without
+# documenting it fails here.
+for name in $(grep -o 'pub \(struct\|enum\) [A-Za-z]*' \
+        crates/xdata-client/src/protocol.rs | awk '{print $3}' | sort -u); do
+    grep -q "$name" PROTOCOL.md || {
+        echo "ci: wire type $name (protocol.rs) is not documented in PROTOCOL.md" >&2
+        exit 1
+    }
+done
+for code in $(sed -n '/fn as_str/,/^    }/p' crates/xdata-client/src/protocol.rs \
+        | grep -o '"[a-z_]*"' | tr -d '"' | sort -u); do
+    grep -q "\`$code\`" PROTOCOL.md || {
+        echo "ci: error code $code (protocol.rs) is not documented in PROTOCOL.md" >&2
+        exit 1
+    }
+done
+echo "ci: PROTOCOL.md covers every wire type and error code"
+
+# Serve loopback smoke: boot the real daemon on an ephemeral port, ping
+# it, require a wire `generate` byte-identical to the batch CLI on the
+# same inputs (the service mode's core contract), then shut it down
+# gracefully and require exit 0.
+cargo build -q --release --offline -p xdata-client
+SERVE_LOG=$(mktemp) && WIRE=$(mktemp) && LOCAL=$(mktemp)
+./target/release/xdata serve --listen 127.0.0.1:0 > "$SERVE_LOG" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -f "$M1" "$M4" "$G1" "$G4" "$T" "$F" "$H" "$SERVE_LOG" "$WIRE" "$LOCAL"' EXIT
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+    [ -n "$ADDR" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "ci: xdata serve never printed its listen address" >&2; exit 1; }
+./target/release/xdata-client --addr "$ADDR" ping | grep -q '^pong: protocol 1' || {
+    echo "ci: daemon ping failed" >&2
+    exit 1
+}
+./target/release/xdata-client --addr "$ADDR" generate \
+    --schema examples/university.sql --query "$Q" > "$WIRE"
+./target/release/xdata generate \
+    --schema examples/university.sql --query "$Q" > "$LOCAL"
+if ! cmp -s "$WIRE" "$LOCAL"; then
+    echo "ci: wire generate output differs from the batch CLI (byte-identity contract)" >&2
+    exit 1
+fi
+./target/release/xdata-client --addr "$ADDR" shutdown > /dev/null
+wait "$SERVE_PID" || { echo "ci: daemon exited nonzero after graceful shutdown" >&2; exit 1; }
+echo "ci: serve loopback smoke (ping + wire/CLI byte-identity + graceful shutdown) OK"
+
+# Serve-sweep smoke: the service-mode bench at a tiny scale. The binary
+# asserts wire/in-process output parity on every response and
+# warm-p50 < cold before printing a single timing, so this is a
+# correctness gate for the warm path too. Writes to a temp file.
+SERVE_SWEEP_OUT=$(mktemp)
+XDATA_SERVE_REQUESTS=3 XDATA_SERVE_WORKERS=2 \
+    XDATA_SWEEP_OUT="$SERVE_SWEEP_OUT" \
+    cargo run -q --release --offline -p xdata-bench --bin serve_sweep \
+    > /dev/null
+rm -f "$SERVE_SWEEP_OUT"
+echo "ci: serve_sweep smoke (parity + warm<cold) OK"

@@ -6,6 +6,7 @@
 //! xdata mutants  --schema schema.sql --query "SELECT ..." [options]
 //! xdata grade    --schema schema.sql --query "<reference>" --candidate "<submission>"
 //! xdata grade    --schema schema.sql --query "<reference>" --candidates FILE
+//! xdata serve    [--listen ADDR] [--serve-workers N] [--max-line-bytes N] [--max-deadline-ms N]
 //! xdata trace    trace.json [--top K] [--validate] [--folded FILE]
 //!
 //! options:
@@ -63,9 +64,57 @@ use xdata::catalog::DomainCatalog;
 use xdata::core::minimize_suite;
 use xdata::engine::JoinStrategy;
 use xdata::relalg::mutation::MutationOptions;
-use xdata::relalg::Mutant;
 use xdata::solver::{Mode, SearchCore};
 use xdata::XData;
+
+/// The `--help` text. `scripts/ci.sh` diffs this output against the
+/// committed snapshot `scripts/cli_help.txt`, so a flag added to
+/// `parse_args` without a line here (or vice versa) fails CI.
+const USAGE: &str = "\
+xdata — constraint-based test-data generation for killing SQL mutants
+
+usage:
+  xdata generate --schema FILE --query SQL [options]
+  xdata evaluate --schema FILE --query SQL [options]
+  xdata mutants  --schema FILE --query SQL [options]
+  xdata grade    --schema FILE --query SQL --candidate SQL [options]
+  xdata grade    --schema FILE --query SQL --candidates FILE [options]
+  xdata serve    [--listen ADDR] [serve options]
+  xdata trace    FILE [--top K] [--validate] [--folded FILE]
+  xdata help     (or --help / -h)
+
+options:
+  --schema FILE          SQL script: CREATE TABLE + optional INSERT INTO
+  --query SQL            the query under test
+  --query-file FILE      read --query text from FILE
+  --mode MODE            unfold (default) | lazy
+  --jobs N               worker threads (default 1; 0 = one per core)
+  --timeout-ms N         wall-clock budget for the whole run
+  --target-timeout-ms N  wall-clock budget per solve target
+  --decision-limit N     solver decision budget per target
+  --search-core C        session (default) | cdcl | dpll
+  --candidate SQL        single-candidate grading
+  --candidates FILE      batch grading, one candidate query per line
+  --join-strategy S      hash (default) | nested-loop
+  --use-input-db         restrict generated tuples to the script's INSERTs
+  --minimize             prune datasets that add no kills (generate only)
+  --no-full-outer        exclude mutations to FULL OUTER JOIN
+  --metrics-json FILE    write the metrics report JSON to FILE
+  --trace                print span-close lines to stderr
+  --trace-out FILE       write a Chrome trace-event JSON timeline to FILE
+
+serve options:
+  --listen ADDR          bind address (default 127.0.0.1:7878; port 0 picks
+                         a free port — the bound address is printed)
+  --serve-workers N      connection worker threads (default 4)
+  --max-line-bytes N     per-frame size cap (default 1048576)
+  --max-deadline-ms N    clamp every request's deadline to N ms
+
+trace options:
+  --top K                how many slowest solves to list (default 10)
+  --validate             structurally validate the trace file first
+  --folded FILE          also export folded stacks for flamegraph tooling
+";
 
 struct Args {
     command: String,
@@ -92,6 +141,11 @@ struct Args {
     top: usize,
     validate: bool,
     folded: Option<String>,
+    // `xdata serve` daemon options.
+    listen: String,
+    serve_workers: usize,
+    max_line_bytes: usize,
+    max_deadline_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -119,9 +173,14 @@ fn parse_args() -> Result<Args, String> {
         top: 10,
         validate: false,
         folded: None,
+        listen: "127.0.0.1:7878".to_string(),
+        serve_workers: 4,
+        max_line_bytes: xdata::client::protocol::MIN_MAX_FRAME_BYTES,
+        max_deadline_ms: None,
     };
     let mut it = std::env::args().skip(1);
-    args.command = it.next().ok_or("missing command (generate|evaluate|mutants|grade|trace)")?;
+    args.command =
+        it.next().ok_or("missing command (generate|evaluate|mutants|grade|serve|trace)")?;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--schema" => args.schema_path = Some(it.next().ok_or("--schema needs a file")?),
@@ -192,6 +251,22 @@ fn parse_args() -> Result<Args, String> {
             }
             "--validate" => args.validate = true,
             "--folded" => args.folded = Some(it.next().ok_or("--folded needs a file")?),
+            "--listen" => args.listen = it.next().ok_or("--listen needs HOST:PORT")?,
+            "--serve-workers" => {
+                let n = it.next().ok_or("--serve-workers needs a thread count")?;
+                args.serve_workers =
+                    n.parse().map_err(|_| format!("--serve-workers: invalid count `{n}`"))?;
+            }
+            "--max-line-bytes" => {
+                let n = it.next().ok_or("--max-line-bytes needs a byte count")?;
+                args.max_line_bytes =
+                    n.parse().map_err(|_| format!("--max-line-bytes: invalid count `{n}`"))?;
+            }
+            "--max-deadline-ms" => {
+                let n = it.next().ok_or("--max-deadline-ms needs a millisecond count")?;
+                args.max_deadline_ms =
+                    Some(n.parse().map_err(|_| format!("--max-deadline-ms: invalid count `{n}`"))?);
+            }
             other if args.command == "trace" && !other.starts_with("--") => {
                 if args.trace_file.is_some() {
                     return Err(format!("trace takes one trace file, got a second: `{other}`"));
@@ -214,7 +289,16 @@ fn active_features() -> Vec<&'static str> {
 }
 
 fn run() -> Result<(), String> {
+    if std::env::args().skip(1).any(|a| a == "--help" || a == "-h")
+        || std::env::args().nth(1).as_deref() == Some("help")
+    {
+        print!("{USAGE}");
+        return Ok(());
+    }
     let args = parse_args()?;
+    if args.command == "serve" {
+        return serve_cmd(&args);
+    }
     if args.command == "trace" {
         // Offline analysis of an existing trace file: no schema, no query,
         // no pipeline run.
@@ -247,6 +331,26 @@ fn run() -> Result<(), String> {
         }
     }
     result
+}
+
+/// The `xdata serve` subcommand: run the persistent daemon until a wire
+/// `shutdown` request (or a process signal) stops it.
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    let config = xdata::serve::ServerConfig {
+        listen: args.listen.clone(),
+        workers: args.serve_workers,
+        max_line_bytes: args.max_line_bytes,
+        max_deadline_ms: args.max_deadline_ms,
+    };
+    let server = xdata::serve::Server::bind(config)
+        .map_err(|e| format!("binding {}: {e}", args.listen))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Print the *resolved* address (relevant when --listen asked for port
+    // 0) and flush eagerly so scripts can parse where to connect.
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.serve().map_err(|e| format!("serving on {addr}: {e}"))
 }
 
 /// Format nanoseconds as fixed-width milliseconds for aligned columns.
@@ -336,7 +440,7 @@ fn dispatch(args: &Args) -> Result<(), String> {
     // sees the command list rather than a missing-flag error.
     if !matches!(args.command.as_str(), "generate" | "evaluate" | "mutants" | "grade") {
         return Err(format!(
-            "unknown command `{}` (generate|evaluate|mutants|grade|trace)",
+            "unknown command `{}` (generate|evaluate|mutants|grade|serve|trace)",
             args.command
         ));
     }
@@ -390,38 +494,9 @@ fn dispatch(args: &Args) -> Result<(), String> {
         "evaluate" => {
             let (run, space, report) =
                 xd.evaluate(sql, mopts).map_err(|e| e.to_string())?;
-            println!(
-                "{} datasets, {} mutants ({} raw), {} killed, {} surviving",
-                run.suite.datasets.len(),
-                space.len(),
-                space.raw_len(),
-                report.killed_count(),
-                space.len() - report.killed_count()
-            );
-            // A surviving mutant only *proves* equivalence when every
-            // planned target produced a dataset; with degradation skips
-            // (budget/timeout/fault) the verdict is merely "unresolved".
-            let partial = run.suite.is_partial();
-            if !run.suite.skipped.is_empty() {
-                println!("skipped targets:");
-                for s in &run.suite.skipped {
-                    println!("  {} — {}", s.label, s.reason);
-                }
-            }
-            let mutants: Vec<Mutant> = space.iter().collect();
-            for (mi, killer) in report.killed_by.iter().enumerate() {
-                let desc = mutants[mi].describe(&run.query);
-                match killer {
-                    Some(d) => println!("  killed by #{d}: {desc}"),
-                    None if report.unevaluated.contains(&mi) => {
-                        println!("  UNEVALUATED (deadline expired): {desc}");
-                    }
-                    None if partial => {
-                        println!("  SURVIVES (unresolved: suite is partial): {desc}");
-                    }
-                    None => println!("  SURVIVES (equivalent): {desc}"),
-                }
-            }
+            // The listing lives in xdata-serve so the wire protocol's
+            // `evaluate` output and this terminal output cannot drift.
+            print!("{}", xdata::serve::render_evaluate(&run.query, &run.suite, &space, &report));
             Ok(())
         }
         "mutants" => {

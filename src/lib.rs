@@ -86,10 +86,12 @@
 use std::fmt;
 
 pub use xdata_catalog as catalog;
+pub use xdata_client as client;
 pub use xdata_core as core;
 pub use xdata_engine as engine;
 pub use xdata_obs as obs;
 pub use xdata_relalg as relalg;
+pub use xdata_serve as serve;
 pub use xdata_solver as solver;
 pub use xdata_sql as sql;
 
