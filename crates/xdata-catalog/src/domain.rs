@@ -243,6 +243,14 @@ impl DomainCatalog {
         self.dict_for(relation, column)?.iter().position(|d| d == s).map(|p| p as i64)
     }
 
+    /// The full dictionary of a string attribute, in code order (empty when
+    /// the attribute has no dictionary). Code `i` decodes to `dict[i]`, so
+    /// callers can compute code sets from string predicates (e.g. which
+    /// codes match a `LIKE` pattern).
+    pub fn dictionary(&self, relation: &str, column: usize) -> &[String] {
+        self.dict_for(relation, column).map(|d| d.as_slice()).unwrap_or(&[])
+    }
+
     /// Merge the dictionaries of two string attributes so they share codes.
     /// Needed when a query equi-joins string attributes with *different*
     /// names (different default dictionaries): without a shared coding,

@@ -19,9 +19,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use xdata_catalog::{Dataset, Domain, DomainCatalog, Schema, SqlType, Value};
-use xdata_relalg::{AttrRef, NormQuery, Operand, Pred};
+use xdata_relalg::{AttrRef, NormQuery, Operand, Pred, SubCond, SubPred, SubqueryKind};
 use xdata_sql::CompareOp;
-use xdata_solver::{ArrayId, Atom, Formula, Problem, RelOp, Term};
+use xdata_solver::{membership_formula, ArrayId, Atom, Formula, LikePattern, Problem, RelOp, Term};
 
 use crate::error::GenError;
 
@@ -61,10 +61,16 @@ pub struct ConstraintBuilder<'a> {
     /// enumerated domain constraints are redundant (the tuple-level
     /// constraint subsumes them) and skipped.
     input_pinned: BTreeSet<String>,
-    /// `(relation, column)` pairs that are nullable foreign-key columns
-    /// (§V-H): they may take [`NULL_SENTINEL`] and exempt their tuple from
-    /// the FK reference requirement.
+    /// `(relation, column)` pairs whose domain admits [`NULL_SENTINEL`]:
+    /// nullable foreign-key columns (§V-H, where the sentinel also exempts
+    /// the tuple from the FK reference requirement), plus nullable
+    /// NULL-checked attributes and nullable linked `IN`-subquery columns
+    /// (so NULL-targeted datasets are expressible).
     nullable_fk_cols: BTreeSet<(String, usize)>,
+    /// Subquery predicate → first reserved witness slot in its base
+    /// relation's array (`copies` membership/existence witnesses, then one
+    /// NULL-membership slot).
+    sub_witness: Vec<u32>,
 }
 
 impl<'a> ConstraintBuilder<'a> {
@@ -87,21 +93,39 @@ impl<'a> ConstraintBuilder<'a> {
         repair_cap: u32,
     ) -> Result<Self, GenError> {
         let mut problem = Problem::new();
-        // Participating relations: occurrence bases plus FK-reachable.
-        let bases: BTreeSet<String> =
-            query.occurrences.iter().map(|o| o.base.clone()).collect();
+        // Participating relations: occurrence bases, subquery bases, plus
+        // FK-reachable.
+        let bases: BTreeSet<String> = query
+            .occurrences
+            .iter()
+            .map(|o| o.base.clone())
+            .chain(query.subs.iter().map(|s| s.base.clone()))
+            .collect();
         let participating = schema.fk_reachable(&bases);
 
-        // Slot counts: occurrence slots, then repair slots sized by the
-        // referencing relations (fixpoint over the FK graph, capped).
+        // Slot counts: occurrence slots, then subquery witness slots, then
+        // repair slots sized by the referencing relations (fixpoint over
+        // the FK graph, capped).
         let mut occ_count: BTreeMap<&str, u32> = BTreeMap::new();
         for o in &query.occurrences {
             *occ_count.entry(o.base.as_str()).or_insert(0) += 1;
         }
-        let mut slots: BTreeMap<String, u32> = participating
-            .iter()
-            .map(|r| (r.clone(), occ_count.get(r.as_str()).copied().unwrap_or(0) * copies))
-            .collect();
+        // Each subquery predicate reserves *ground* witness slots in its
+        // base relation: one membership/existence witness per tuple-set
+        // copy plus one NULL-membership slot. Ground (not
+        // quantifier-chosen) because materialization keeps exactly the
+        // occupied prefix — a witness picked by the solver among repair
+        // slots could be dropped.
+        let mut wit_count: BTreeMap<&str, u32> = BTreeMap::new();
+        for s in &query.subs {
+            *wit_count.entry(s.base.as_str()).or_insert(0) += copies + 1;
+        }
+        let occupied = |r: &str| -> u32 {
+            occ_count.get(r).copied().unwrap_or(0) * copies
+                + wit_count.get(r).copied().unwrap_or(0)
+        };
+        let mut slots: BTreeMap<String, u32> =
+            participating.iter().map(|r| (r.clone(), occupied(r))).collect();
         // Worst case every referencing tuple needs its own referenced
         // tuple, so repair capacity is the *sum* over incoming FKs of the
         // referencing relation's slot count (capped — see MAX_REPAIR_SLOTS).
@@ -113,7 +137,7 @@ impl<'a> ConstraintBuilder<'a> {
                     .filter(|fk| participating.contains(&fk.from))
                     .map(|fk| snapshot.get(&fk.from).copied().unwrap_or(0))
                     .sum();
-                let base_occ = occ_count.get(to.as_str()).copied().unwrap_or(0) * copies;
+                let base_occ = occupied(to);
                 let entry = slots.get_mut(to).expect("participating");
                 *entry = (*entry).max(base_occ + need.min(repair_cap));
             }
@@ -126,7 +150,7 @@ impl<'a> ConstraintBuilder<'a> {
                 .relation(rel_name)
                 .ok_or_else(|| GenError::Internal(format!("relation `{rel_name}` vanished")))?;
             let total = (*slots.get(rel_name).expect("sized")).max(1);
-            let occ_slots = occ_count.get(rel_name.as_str()).copied().unwrap_or(0) * copies;
+            let occ_slots = occupied(rel_name);
             let id = problem.add_array(rel_name.clone(), total, rel.arity() as u32);
             arrays.insert(rel_name.clone(), id);
             slot_info.insert(rel_name.clone(), (occ_slots, total));
@@ -140,6 +164,16 @@ impl<'a> ConstraintBuilder<'a> {
             occ_slot.push(*n);
             *n += copies;
         }
+        // Subquery witness slots follow all occurrence slots of their base
+        // relation, in subquery order.
+        let mut wit_next: BTreeMap<&str, u32> = BTreeMap::new();
+        let mut sub_witness = Vec::with_capacity(query.subs.len());
+        for s in &query.subs {
+            let occ_slots = occ_count.get(s.base.as_str()).copied().unwrap_or(0) * copies;
+            let n = wit_next.entry(s.base.as_str()).or_insert(0);
+            sub_witness.push(occ_slots + *n);
+            *n += copies + 1;
+        }
 
         let mut nullable_fk_cols = BTreeSet::new();
         for fk in schema.foreign_keys() {
@@ -147,6 +181,26 @@ impl<'a> ConstraintBuilder<'a> {
                 for c in &fk.from_cols {
                     if rel.attr(*c).nullable {
                         nullable_fk_cols.insert((fk.from.clone(), *c));
+                    }
+                }
+            }
+        }
+        // NULL-targeted positions the query reasons about get the sentinel
+        // admitted into their domain too: nullable NULL-checked attributes
+        // and nullable linked `IN`-subquery columns.
+        for n in &query.null_checks {
+            let base = &query.occurrences[n.attr.occ].base;
+            if let Some(rel) = schema.relation(base) {
+                if n.attr.col < rel.arity() && rel.attr(n.attr.col).nullable {
+                    nullable_fk_cols.insert((base.clone(), n.attr.col));
+                }
+            }
+        }
+        for s in &query.subs {
+            if let Some((_, col)) = &s.link {
+                if let Some(rel) = schema.relation(&s.base) {
+                    if *col < rel.arity() && rel.attr(*col).nullable {
+                        nullable_fk_cols.insert((s.base.clone(), *col));
                     }
                 }
             }
@@ -163,6 +217,7 @@ impl<'a> ConstraintBuilder<'a> {
             slot_info,
             input_pinned: BTreeSet::new(),
             nullable_fk_cols,
+            sub_witness,
         })
     }
 
@@ -290,6 +345,248 @@ impl<'a> ConstraintBuilder<'a> {
             arr,
             Formula::Atom(Atom::new(l, Self::relop(p.op), rt)),
         ))
+    }
+
+    // ----- extended query classes: subqueries, LIKE, NULL checks --------
+
+    /// Witness slot of subquery predicate `si` for copy `copy`.
+    pub fn sub_witness_slot(&self, si: usize, copy: u32) -> u32 {
+        debug_assert!(copy < self.copies);
+        self.sub_witness[si] + copy
+    }
+
+    /// The spare NULL-membership slot of subquery predicate `si`.
+    pub fn sub_null_slot(&self, si: usize) -> u32 {
+        self.sub_witness[si] + self.copies
+    }
+
+    /// Guard `t ≠ NULL_SENTINEL`, emitted only for columns whose domain
+    /// admits the sentinel (everywhere else it would be vacuous).
+    fn not_null_guard(&self, rel: &str, col: usize, t: Term) -> Option<Formula> {
+        self.nullable_fk_cols
+            .contains(&(rel.to_string(), col))
+            .then(|| Formula::atom(t, RelOp::Ne, Term::Const(NULL_SENTINEL)))
+    }
+
+    /// The rhs of a subquery condition as a solver term; string literals
+    /// are coded through the subquery column's dictionary.
+    fn sub_rhs_term(&self, sub: &SubPred, c: &SubCond, copy: u32) -> Result<Term, GenError> {
+        match &c.rhs {
+            Operand::Attr { attr, offset } => Ok(self.cvc_map(*attr, copy).plus(*offset)),
+            Operand::Const(v) => self.encode_value(&sub.base, c.col, v).map(Term::Const),
+        }
+    }
+
+    /// The engine counts a subquery tuple only when its conditions are
+    /// *definitely* true (3VL), so the body conjoins every condition with
+    /// NULL-sentinel guards on each nullable column involved — keeping
+    /// solver truth aligned with engine truth.
+    fn sub_conds_body(
+        &self,
+        sub: &SubPred,
+        col_term: &dyn Fn(usize) -> Term,
+        copy: u32,
+    ) -> Result<Formula, GenError> {
+        let mut parts = Vec::new();
+        for c in &sub.conds {
+            let l = col_term(c.col);
+            let r = self.sub_rhs_term(sub, c, copy)?;
+            parts.push(Formula::atom(l, Self::relop(c.op), r));
+            if let Some(g) = self.not_null_guard(&sub.base, c.col, l) {
+                parts.push(g);
+            }
+            if let Operand::Attr { attr, .. } = &c.rhs {
+                let base = &self.query.occurrences[attr.occ].base;
+                let raw = self.cvc_map(*attr, copy);
+                if let Some(g) = self.not_null_guard(base, attr.col, raw) {
+                    parts.push(g);
+                }
+            }
+        }
+        Ok(Formula::and(parts))
+    }
+
+    /// The linked outer operand of an `IN` subquery as a term, plus a NULL
+    /// guard on its raw attribute when nullable (a NULL probe value makes
+    /// neither `IN` nor `NOT IN` definitely true).
+    fn sub_link_term(
+        &self,
+        sub: &SubPred,
+        col: usize,
+        copy: u32,
+    ) -> Result<(Term, Option<Formula>), GenError> {
+        let (link, _) = sub.link.as_ref().expect("linked subquery");
+        match link {
+            Operand::Attr { attr, offset } => {
+                let raw = self.cvc_map(*attr, copy);
+                let base = &self.query.occurrences[attr.occ].base;
+                let g = self.not_null_guard(base, attr.col, raw);
+                Ok((raw.plus(*offset), g))
+            }
+            Operand::Const(v) => Ok((Term::Const(self.encode_value(&sub.base, col, v)?), None)),
+        }
+    }
+
+    /// Assert subquery predicate `si` under connective `(kind, negated)`
+    /// for copy `copy` — possibly *not* the query's own connective (the
+    /// flipped and distinguishing targets perturb it).
+    ///
+    /// Positive forms ground their witness at the predicate's reserved
+    /// slot; negative forms quantify over the whole array (witness and
+    /// repair slots included, so stray tuples cannot re-satisfy the
+    /// condition). `NOT IN` additionally excludes a NULL in the linked
+    /// column among condition-true tuples — the SQL trap where a single
+    /// NULL member turns `NOT IN` into UNKNOWN for every probe.
+    pub fn assert_subpred(
+        &mut self,
+        si: usize,
+        kind: SubqueryKind,
+        negated: bool,
+        copy: u32,
+    ) -> Result<(), GenError> {
+        let query = self.query;
+        let sub = &query.subs[si];
+        let arr = self.arrays[&sub.base];
+        match (kind, sub.link.as_ref()) {
+            (SubqueryKind::In, Some((_, col))) => {
+                let col = *col;
+                if !negated {
+                    let (x, x_guard) = self.sub_link_term(sub, col, copy)?;
+                    let w = self.sub_witness_slot(si, copy);
+                    let body =
+                        self.sub_conds_body(sub, &|c| Term::field(arr, w, c as u32), copy)?;
+                    let wcol = Term::field(arr, w, col as u32);
+                    self.problem.assert(body);
+                    self.problem.assert(Formula::atom(wcol, RelOp::Eq, x));
+                    if let Some(g) = self.not_null_guard(&sub.base, col, wcol) {
+                        self.problem.assert(g);
+                    }
+                    if let Some(g) = x_guard {
+                        self.problem.assert(g);
+                    }
+                } else {
+                    self.assert_no_member(si, copy, true)?;
+                }
+            }
+            // EXISTS — and the degenerate unlinked IN, which the engine
+            // also evaluates existentially.
+            _ => {
+                if !negated {
+                    let w = self.sub_witness_slot(si, copy);
+                    let body =
+                        self.sub_conds_body(sub, &|c| Term::field(arr, w, c as u32), copy)?;
+                    self.problem.assert(body);
+                } else {
+                    let q = self.problem.fresh_qvar();
+                    let body =
+                        self.sub_conds_body(sub, &|c| Term::qfield(arr, q, c as u32), copy)?;
+                    self.problem.assert(Formula::not_exists(q, arr, body));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// No condition-true subquery row matches the linked value. With
+    /// `exclude_null_members` this is the full `NOT IN` truth condition
+    /// (a NULL member alone makes `NOT IN` UNKNOWN, never TRUE); without
+    /// it, NULL members stay admissible — the negated-`IN` NULL witness
+    /// uses that weaker form so the trap row can coexist with a probe
+    /// that matches nothing.
+    pub fn assert_no_member(
+        &mut self,
+        si: usize,
+        copy: u32,
+        exclude_null_members: bool,
+    ) -> Result<(), GenError> {
+        let query = self.query;
+        let sub = &query.subs[si];
+        let arr = self.arrays[&sub.base];
+        let Some((_, col)) = sub.link.as_ref() else { return Ok(()) };
+        let col = *col;
+        let (x, x_guard) = self.sub_link_term(sub, col, copy)?;
+        let q = self.problem.fresh_qvar();
+        let body = self.sub_conds_body(sub, &|c| Term::qfield(arr, q, c as u32), copy)?;
+        let qcol = Term::qfield(arr, q, col as u32);
+        let mut hit = vec![Formula::atom(qcol, RelOp::Eq, x)];
+        if exclude_null_members && self.nullable_fk_cols.contains(&(sub.base.clone(), col)) {
+            hit.push(Formula::atom(qcol, RelOp::Eq, Term::Const(NULL_SENTINEL)));
+        }
+        self.problem.assert(Formula::not_exists(q, arr, Formula::and([body, Formula::or(hit)])));
+        if let Some(g) = x_guard {
+            self.problem.assert(g);
+        }
+        Ok(())
+    }
+
+    /// Ground the reserved NULL-membership row of `IN`-subquery `si`: it
+    /// satisfies the subquery conditions and carries NULL in the linked
+    /// column. Combined with a positive `IN` assertion the dataset
+    /// exhibits the `NOT IN` NULL trap — flipping the connective returns
+    /// no rows at all instead of the complement.
+    pub fn assert_sub_null_row(&mut self, si: usize, copy: u32) -> Result<(), GenError> {
+        let query = self.query;
+        let sub = &query.subs[si];
+        let Some((_, col)) = &sub.link else { return Ok(()) };
+        let col = *col;
+        let arr = self.arrays[&sub.base];
+        let w = self.sub_null_slot(si);
+        let body = self.sub_conds_body(sub, &|c| Term::field(arr, w, c as u32), copy)?;
+        self.problem.assert(body);
+        self.problem.assert(Formula::atom(
+            Term::field(arr, w, col as u32),
+            RelOp::Eq,
+            Term::Const(NULL_SENTINEL),
+        ));
+        Ok(())
+    }
+
+    /// Pin the spare NULL-membership slot of subquery `si` to a non-NULL
+    /// linked column. Every target except the NULL-membership witness
+    /// itself asserts this, so that witness dataset is the only one in
+    /// the suite carrying a NULL member — the trap demonstration stays
+    /// unambiguous instead of leaking a stray NULL row everywhere.
+    pub fn suppress_null_spare(&mut self, si: usize) {
+        let query = self.query;
+        let sub = &query.subs[si];
+        let Some((_, col)) = &sub.link else { return };
+        let col = *col;
+        if !self.nullable_fk_cols.contains(&(sub.base.clone(), col)) {
+            return;
+        }
+        let arr = self.arrays[&sub.base];
+        let t = Term::field(arr, self.sub_null_slot(si), col as u32);
+        self.problem.assert(Formula::atom(t, RelOp::Ne, Term::Const(NULL_SENTINEL)));
+    }
+
+    /// The dictionary code set of `attr`'s column matching a LIKE pattern.
+    pub fn like_codes(&self, attr: AttrRef, pattern: &str) -> Vec<i64> {
+        let base = &self.query.occurrences[attr.occ].base;
+        LikePattern::parse(pattern).matching_codes(self.domains.dictionary(base, attr.col))
+    }
+
+    /// Constrain `attr` to lie inside (`negated = false`) or outside the
+    /// given code set, with a NULL guard when the column admits the
+    /// sentinel (`NULL LIKE p` is UNKNOWN either way — the engine filters
+    /// such rows out, so a NULL assignment would miss the target).
+    pub fn assert_membership(&mut self, attr: AttrRef, codes: &[i64], negated: bool, copy: u32) {
+        let query = self.query;
+        let t = self.cvc_map(attr, copy);
+        let base = &query.occurrences[attr.occ].base;
+        let f = membership_formula(t, codes, negated);
+        self.problem.assert(f);
+        if let Some(g) = self.not_null_guard(base, attr.col, t) {
+            self.problem.assert(g);
+        }
+    }
+
+    /// Assert `attr IS NULL` (`negated = false`) or `attr IS NOT NULL`.
+    /// On a non-nullable column the IS-NULL form contradicts the domain —
+    /// that UNSAT correctly classifies the flipped check as equivalent.
+    pub fn assert_null_check(&mut self, attr: AttrRef, negated: bool, copy: u32) {
+        let t = self.cvc_map(attr, copy);
+        let op = if negated { RelOp::Ne } else { RelOp::Eq };
+        self.problem.assert(Formula::atom(t, op, Term::Const(NULL_SENTINEL)));
     }
 
     /// `genDBConstraints`: primary keys (as functional dependencies),

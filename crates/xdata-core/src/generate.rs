@@ -31,13 +31,13 @@
 //! computes, the rest wait), so hit/miss counts — and therefore the metrics
 //! report — stay deterministic for every `jobs` value.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
 
 use xdata_catalog::{DomainCatalog, Schema, Value};
 use xdata_par::CancelToken;
-use xdata_relalg::{AttrRef, NormQuery, Operand, SelectSpec};
+use xdata_relalg::{AttrRef, LikePred, NormQuery, Operand, SelectSpec, SubqueryKind};
 use xdata_sql::CompareOp;
 use xdata_solver::{
     Atom, Formula, Mode, Problem, RelOp, SolveOutcome, SolveSession, SolverStats, Term,
@@ -284,6 +284,70 @@ fn prepare_domains(query: &NormQuery, schema: &Schema, domains: &DomainCatalog) 
             }
         }
     }
+    // LIKE patterns: seed a match witness (`_` → 'x', `%` dropped) so the
+    // positive form is satisfiable, and for simple `[%]core[%]` shapes the
+    // four family witnesses {core, corex, xcore, xcorex} so every pair of
+    // pattern-family mutants has a distinguishing dictionary entry (the
+    // symmetric-difference datasets are then non-empty).
+    for l in &query.likes {
+        let base = &query.occurrences[l.attr.occ].base;
+        if schema.relation(base).is_none() {
+            continue;
+        }
+        let witness: String = l
+            .pattern
+            .chars()
+            .filter(|c| *c != '%')
+            .map(|c| if c == '_' { 'x' } else { c })
+            .collect();
+        if !witness.is_empty() {
+            d.ensure_string(base, l.attr.col, &witness);
+        }
+        if let Some((_, _, core)) = LikePred::simple_shape(&l.pattern) {
+            for s in [core.clone(), format!("{core}x"), format!("x{core}"), format!("x{core}x")] {
+                d.ensure_string(base, l.attr.col, &s);
+            }
+        }
+    }
+    // Subquery conditions compare subquery-relation columns (not
+    // occurrences) against outer attributes or constants: share
+    // dictionaries across string links, encode string literals, widen
+    // integer ranges around numeric constants.
+    for s in &query.subs {
+        let Some(rel) = schema.relation(&s.base) else { continue };
+        let mut pairs: Vec<(usize, &Operand)> = s.conds.iter().map(|c| (c.col, &c.rhs)).collect();
+        if let Some((op, col)) = &s.link {
+            pairs.push((*col, op));
+        }
+        for (col, rhs) in pairs {
+            if col >= rel.arity() {
+                continue;
+            }
+            match rhs {
+                Operand::Attr { attr, .. }
+                    if rel.attr(col).ty == xdata_catalog::SqlType::Varchar
+                        && attr_ty(attr) == Some(xdata_catalog::SqlType::Varchar) =>
+                {
+                    let ob = query.occurrences[attr.occ].base.clone();
+                    d.merge_dictionaries(&s.base, col, &ob, attr.col);
+                }
+                Operand::Const(Value::Str(lit)) => {
+                    d.ensure_string(&s.base, col, lit);
+                }
+                Operand::Const(Value::Int(k)) => {
+                    if let Some(Domain::IntRange { lo, hi }) = d.get(&s.base, col) {
+                        let (lo, hi) = (*lo, *hi);
+                        let new_lo = lo.min(k - 10);
+                        let new_hi = hi.max(k + 10);
+                        if new_lo != lo || new_hi != hi {
+                            d.set(&s.base, col, Domain::IntRange { lo: new_lo, hi: new_hi });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
     d
 }
 
@@ -321,6 +385,20 @@ enum TargetSpec {
     HavingCmp { hi: usize, op: CompareOp, k: u32 },
     /// Footnote 2: a duplicate result row (SELECT vs SELECT DISTINCT).
     Duplicate { star: bool, projected: Vec<AttrRef> },
+    /// Subquery predicate `si` with its connective's negation flipped.
+    SubFlip { si: usize },
+    /// Subquery predicate `si` made existentially true but membership-false
+    /// (`EXISTS` holds, `IN` definitely does not): separates the `IN` and
+    /// `EXISTS` connective families.
+    SubDistinguish { si: usize },
+    /// Positive `IN` subquery `si` plus a condition-true subquery row with
+    /// NULL in the linked column: the `NOT IN` NULL-trap witness.
+    SubNullWitness { si: usize },
+    /// LIKE predicate `li` steered into the symmetric difference between
+    /// its own pattern and family variant `pattern`.
+    LikeVariant { li: usize, pattern: String },
+    /// NULL check `ni` with its polarity flipped.
+    NullCheckFlip { ni: usize },
 }
 
 impl TargetSpec {
@@ -330,12 +408,31 @@ impl TargetSpec {
             TargetSpec::Original
             | TargetSpec::EqClass { .. }
             | TargetSpec::OtherPredicate { .. }
-            | TargetSpec::Comparison { .. } => 1,
+            | TargetSpec::Comparison { .. }
+            | TargetSpec::SubFlip { .. }
+            | TargetSpec::SubDistinguish { .. }
+            | TargetSpec::SubNullWitness { .. }
+            | TargetSpec::LikeVariant { .. }
+            | TargetSpec::NullCheckFlip { .. } => 1,
             TargetSpec::OriginalHaving { k } | TargetSpec::HavingCmp { k, .. } => *k,
             TargetSpec::Aggregate { copies, .. } => *copies,
             TargetSpec::Duplicate { .. } => 2,
         }
     }
+}
+
+/// Which extended predicate a target is perturbing (and must therefore not
+/// re-assert in original polarity).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ExtSkip {
+    None,
+    Sub(usize),
+    /// Like [`ExtSkip::Sub`], but additionally leaves the subquery's
+    /// spare NULL slot unsuppressed — only the NULL-membership witness
+    /// target uses this, making it the one dataset with a NULL member.
+    SubNull(usize),
+    Like(usize),
+    Null(usize),
 }
 
 /// What one plan item produced.
@@ -463,6 +560,9 @@ impl<'a> Gen<'a> {
         self.plan_aggregates(&mut plan);
         self.plan_having_comparisons(&mut plan);
         self.plan_duplicates(&mut plan);
+        self.plan_subqueries(&mut plan);
+        self.plan_likes(&mut plan);
+        self.plan_null_checks(&mut plan);
         plan
     }
 
@@ -625,6 +725,85 @@ impl<'a> Gen<'a> {
         });
     }
 
+    /// Extended-class planning, subqueries: every connective gets a
+    /// flipped-polarity dataset; linked (membership) predicates also get an
+    /// `EXISTS`-true/`IN`-false distinguisher, and positive `IN` over a
+    /// nullable linked column gets a NULL-membership witness — together
+    /// with the original dataset these kill the whole connective space
+    /// (`IN`/`NOT IN`/`EXISTS`/`NOT EXISTS`).
+    fn plan_subqueries(&self, plan: &mut Vec<PlanItem>) {
+        for (si, s) in self.query.subs.iter().enumerate() {
+            let name = s.connective_name();
+            plan.push(PlanItem {
+                label: format!("subquery {si} (`{name}` over {}): flipped connective", s.alias),
+                work: Work::Solve(TargetSpec::SubFlip { si }),
+            });
+            let Some((_, col)) = &s.link else { continue };
+            plan.push(PlanItem {
+                label: format!("subquery {si} (`{name}` over {}): IN/EXISTS distinguisher", s.alias),
+                work: Work::Solve(TargetSpec::SubDistinguish { si }),
+            });
+            let nullable = self
+                .schema
+                .relation(&s.base)
+                .map(|r| *col < r.arity() && r.attr(*col).nullable)
+                .unwrap_or(false);
+            if s.kind == SubqueryKind::In && nullable {
+                xdata_obs::counter("core.targets.null_witness", 1);
+                plan.push(PlanItem {
+                    label: format!(
+                        "subquery {si} (`{name}` over {}): NULL membership witness",
+                        s.alias
+                    ),
+                    work: Work::Solve(TargetSpec::SubNullWitness { si }),
+                });
+            }
+        }
+    }
+
+    /// Extended-class planning, LIKE: one dataset per family variant of a
+    /// simple `[%]core[%]` pattern, steering the attribute into the
+    /// symmetric difference of the two patterns' match sets. Patterns with
+    /// `_` or interior `%` have no mutant family and plan nothing — exactly
+    /// mirroring the mutation generator.
+    fn plan_likes(&self, plan: &mut Vec<PlanItem>) {
+        for (li, l) in self.query.likes.iter().enumerate() {
+            let Some((_, _, core)) = LikePred::simple_shape(&l.pattern) else { continue };
+            for (lead, trail) in [(false, false), (true, false), (false, true), (true, true)] {
+                let to = format!(
+                    "{}{}{}",
+                    if lead { "%" } else { "" },
+                    core,
+                    if trail { "%" } else { "" }
+                );
+                if to == l.pattern {
+                    continue;
+                }
+                plan.push(PlanItem {
+                    label: format!("like {li} (`{}`): distinguish from `{to}`", l.pattern),
+                    work: Work::Solve(TargetSpec::LikeVariant { li, pattern: to }),
+                });
+            }
+        }
+    }
+
+    /// Extended-class planning, NULL checks: one flipped-polarity dataset
+    /// per check. Between the original dataset and the flip, exactly one
+    /// pins a NULL at the checked position (counted as a NULL witness).
+    fn plan_null_checks(&self, plan: &mut Vec<PlanItem>) {
+        for (ni, n) in self.query.null_checks.iter().enumerate() {
+            xdata_obs::counter("core.targets.null_witness", 1);
+            plan.push(PlanItem {
+                label: format!(
+                    "null-check {ni} ({} IS {}NULL): flipped polarity",
+                    self.names(&[n.attr]),
+                    if n.negated { "NOT " } else { "" }
+                ),
+                work: Work::Solve(TargetSpec::NullCheckFlip { ni }),
+            });
+        }
+    }
+
     // ----- Phase 2: solving ---------------------------------------------
 
     /// Execute one plan item. Pure function of the item (given the query,
@@ -785,7 +964,7 @@ impl<'a> Gen<'a> {
                     let f = b.pred_formula(pr, 0)?;
                     b.problem.assert(f);
                 }
-                Ok(())
+                self.assert_extended_conds(b, 0, ExtSkip::None)
             }
             TargetSpec::OtherPredicate { pi, r } => {
                 let p = &self.query.preds[*pi];
@@ -801,7 +980,7 @@ impl<'a> Gen<'a> {
                         b.problem.assert(f);
                     }
                 }
-                Ok(())
+                self.assert_extended_conds(b, 0, ExtSkip::None)
             }
             TargetSpec::Comparison { pi, op } => {
                 // Assert in the exact order of `assert_query_conds` (all
@@ -823,7 +1002,7 @@ impl<'a> Gen<'a> {
                     };
                     b.problem.assert(f);
                 }
-                Ok(())
+                self.assert_extended_conds(b, 0, ExtSkip::None)
             }
             TargetSpec::HavingCmp { hi, op, k } => {
                 let SelectSpec::Aggregation { group_by, having, .. } = &self.query.select else {
@@ -879,6 +1058,60 @@ impl<'a> Gen<'a> {
                     b.problem.assert(Formula::or(alternatives));
                 }
                 Ok(())
+            }
+            TargetSpec::SubFlip { si } => {
+                let s = &self.query.subs[*si];
+                b.assert_subpred(*si, s.kind, !s.negated, 0)?;
+                self.assert_base_conds(b, 0)?;
+                self.assert_extended_conds(b, 0, ExtSkip::Sub(*si))
+            }
+            TargetSpec::SubDistinguish { si } => {
+                // EXISTS definitely true, IN definitely false: the ground
+                // witness satisfies the subquery conditions while no
+                // condition-true tuple (NULLs included) matches the linked
+                // value.
+                b.assert_subpred(*si, SubqueryKind::Exists, false, 0)?;
+                b.assert_subpred(*si, SubqueryKind::In, true, 0)?;
+                self.assert_base_conds(b, 0)?;
+                self.assert_extended_conds(b, 0, ExtSkip::Sub(*si))
+            }
+            TargetSpec::SubNullWitness { si } => {
+                // A condition-true subquery row carries NULL in the
+                // linked column. For `IN`, membership additionally holds:
+                // the original stays TRUE while every negative connective
+                // collapses to UNKNOWN. For `NOT IN`, no member matches
+                // the probe (NULL members deliberately admitted): the
+                // original is UNKNOWN — empty result — while the
+                // NULL-blind correlated `NOT EXISTS` rewrite returns the
+                // probe row. Either way the dataset only exists because
+                // of the NULL, which is what makes it a witness.
+                if self.query.subs[*si].negated {
+                    b.assert_no_member(*si, 0, false)?;
+                } else {
+                    b.assert_subpred(*si, SubqueryKind::In, false, 0)?;
+                }
+                b.assert_sub_null_row(*si, 0)?;
+                self.assert_base_conds(b, 0)?;
+                self.assert_extended_conds(b, 0, ExtSkip::SubNull(*si))
+            }
+            TargetSpec::LikeVariant { li, pattern } => {
+                let l = &self.query.likes[*li];
+                let orig: BTreeSet<i64> = b.like_codes(l.attr, &l.pattern).into_iter().collect();
+                let var: BTreeSet<i64> = b.like_codes(l.attr, pattern).into_iter().collect();
+                // Symmetric difference: exactly the strings on which the
+                // two patterns disagree. Empty means the patterns are
+                // indistinguishable over the dictionary — the UNSAT of the
+                // empty membership classifies the mutant as equivalent.
+                let sym: Vec<i64> = orig.symmetric_difference(&var).copied().collect();
+                b.assert_membership(l.attr, &sym, false, 0);
+                self.assert_base_conds(b, 0)?;
+                self.assert_extended_conds(b, 0, ExtSkip::Like(*li))
+            }
+            TargetSpec::NullCheckFlip { ni } => {
+                let n = &self.query.null_checks[*ni];
+                b.assert_null_check(n.attr, !n.negated, 0);
+                self.assert_base_conds(b, 0)?;
+                self.assert_extended_conds(b, 0, ExtSkip::Null(*ni))
             }
             TargetSpec::Aggregate { .. } => unreachable!("handled by solve_aggregate"),
         }
@@ -1202,6 +1435,12 @@ impl<'a> Gen<'a> {
 
     /// Assert the original query's conditions over copy `c`.
     fn assert_query_conds(&self, b: &mut ConstraintBuilder<'_>, copy: u32) -> Result<(), GenError> {
+        self.assert_base_conds(b, copy)?;
+        self.assert_extended_conds(b, copy, ExtSkip::None)
+    }
+
+    /// The base conjuncts only: equivalence classes, then predicates.
+    fn assert_base_conds(&self, b: &mut ConstraintBuilder<'_>, copy: u32) -> Result<(), GenError> {
         for ec in &self.query.eq_classes {
             let f = b.eq_conds(ec, copy);
             b.problem.assert(f);
@@ -1209,6 +1448,42 @@ impl<'a> Gen<'a> {
         for p in &self.query.preds {
             let f = b.pred_formula(p, copy)?;
             b.problem.assert(f);
+        }
+        Ok(())
+    }
+
+    /// Assert the extended predicates (subqueries, LIKE, NULL checks) in
+    /// original polarity over copy `c`, optionally skipping the one a
+    /// target is deliberately perturbing. Always appended *after* the base
+    /// conditions in fixed field order, so targets sharing a constraint
+    /// prefix stay byte-identical for the solve memo.
+    fn assert_extended_conds(
+        &self,
+        b: &mut ConstraintBuilder<'_>,
+        copy: u32,
+        skip: ExtSkip,
+    ) -> Result<(), GenError> {
+        for (si, s) in self.query.subs.iter().enumerate() {
+            if skip != ExtSkip::SubNull(si) {
+                b.suppress_null_spare(si);
+            }
+            if skip == ExtSkip::Sub(si) || skip == ExtSkip::SubNull(si) {
+                continue;
+            }
+            b.assert_subpred(si, s.kind, s.negated, copy)?;
+        }
+        for (li, l) in self.query.likes.iter().enumerate() {
+            if skip == ExtSkip::Like(li) {
+                continue;
+            }
+            let codes = b.like_codes(l.attr, &l.pattern);
+            b.assert_membership(l.attr, &codes, l.negated, copy);
+        }
+        for (ni, n) in self.query.null_checks.iter().enumerate() {
+            if skip == ExtSkip::Null(ni) {
+                continue;
+            }
+            b.assert_null_check(n.attr, n.negated, copy);
         }
         Ok(())
     }

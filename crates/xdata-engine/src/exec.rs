@@ -104,6 +104,10 @@ pub fn execute_with_tree_strategy(
 ) -> Result<ResultSet, EngineError> {
     let layout = Layout::new(q, schema)?;
     let (rows, _) = eval_tree(tree, q, db, schema, &layout, strategy)?;
+    // Retained subqueries, LIKE patterns and NULL checks apply to the full
+    // joined row, after the tree and before projection — they may reference
+    // attributes of any occurrence.
+    let rows = crate::extended::filter_extended(q, rows, db, schema, &layout, strategy)?;
     project(q, rows, &layout)
 }
 
@@ -210,7 +214,7 @@ fn join_nested(
 /// false bucket-mate (two huge `i64`s collapsing to one f64) is weeded out
 /// by re-evaluating the join conditions on the merged row.
 #[derive(PartialEq, Eq, Hash)]
-enum KeyPart {
+pub(crate) enum KeyPart {
     Num(u64),
     Str(String),
 }
@@ -218,7 +222,7 @@ enum KeyPart {
 /// Key component for `v`, or `None` for NULL — a NULL join key matches
 /// nothing under three-valued logic, so NULL-keyed build rows are not
 /// indexed and NULL-keyed probe rows skip the lookup entirely.
-fn key_part(v: Value) -> Option<KeyPart> {
+pub(crate) fn key_part(v: Value) -> Option<KeyPart> {
     match v {
         Value::Null => None,
         Value::Int(i) => Some(KeyPart::Num((i as f64).to_bits())),
@@ -372,10 +376,15 @@ pub(crate) fn operand_value(o: &Operand, row: &Row, layout: &Layout) -> Value {
 pub(crate) fn eval_pred(p: &Pred, row: &Row, layout: &Layout) -> Truth {
     let l = operand_value(&p.lhs, row, layout);
     let r = operand_value(&p.rhs, row, layout);
-    match l.sql_cmp(&r) {
+    cmp_truth(&l, p.op, &r)
+}
+
+/// Three-valued comparison: `Unknown` when either side is NULL.
+pub(crate) fn cmp_truth(l: &Value, op: CompareOp, r: &Value) -> Truth {
+    match l.sql_cmp(r) {
         None => Truth::Unknown,
         Some(ord) => {
-            let b = match p.op {
+            let b = match op {
                 CompareOp::Eq => ord == std::cmp::Ordering::Equal,
                 CompareOp::Ne => ord != std::cmp::Ordering::Equal,
                 CompareOp::Lt => ord == std::cmp::Ordering::Less,

@@ -8,7 +8,7 @@ use xdata_catalog::{Dataset, Schema};
 use xdata_par::CancelToken;
 use xdata_relalg::mutation::{
     apply_agg_mutant, apply_cmp_mutant, apply_distinct_mutant, apply_having_agg_mutant,
-    apply_having_cmp_mutant,
+    apply_having_cmp_mutant, apply_like_mutant, apply_null_check_mutant, apply_sub_mutant,
 };
 use xdata_relalg::tree::JoinTree;
 use xdata_relalg::{Mutant, MutationSpace, NormQuery};
@@ -26,19 +26,23 @@ use crate::result::ResultSet;
 pub enum PreparedMutant<'a> {
     /// Join-type mutants replace only the tree — no query clone at all.
     Tree(&'a JoinTree),
-    /// Every other class rewrites the query; the rewrite is cached here.
-    Query(NormQuery),
+    /// Every other class rewrites the query; the rewrite is cached here
+    /// (boxed — a [`NormQuery`] is large next to the tree reference).
+    Query(Box<NormQuery>),
 }
 
 /// Apply `m`'s rewrite to `q` once, for repeated execution.
 pub fn prepare_mutant<'a>(q: &NormQuery, m: &'a Mutant) -> PreparedMutant<'a> {
     match m {
         Mutant::Join(jm) => PreparedMutant::Tree(&jm.tree),
-        Mutant::Cmp(cm) => PreparedMutant::Query(apply_cmp_mutant(q, cm)),
-        Mutant::Agg(am) => PreparedMutant::Query(apply_agg_mutant(q, am)),
-        Mutant::HavingCmp(hm) => PreparedMutant::Query(apply_having_cmp_mutant(q, hm)),
-        Mutant::HavingAgg(hm) => PreparedMutant::Query(apply_having_agg_mutant(q, hm)),
-        Mutant::Distinct(dm) => PreparedMutant::Query(apply_distinct_mutant(q, dm)),
+        Mutant::Cmp(cm) => PreparedMutant::Query(Box::new(apply_cmp_mutant(q, cm))),
+        Mutant::Agg(am) => PreparedMutant::Query(Box::new(apply_agg_mutant(q, am))),
+        Mutant::HavingCmp(hm) => PreparedMutant::Query(Box::new(apply_having_cmp_mutant(q, hm))),
+        Mutant::HavingAgg(hm) => PreparedMutant::Query(Box::new(apply_having_agg_mutant(q, hm))),
+        Mutant::Distinct(dm) => PreparedMutant::Query(Box::new(apply_distinct_mutant(q, dm))),
+        Mutant::Sub(sm) => PreparedMutant::Query(Box::new(apply_sub_mutant(q, sm))),
+        Mutant::Like(lm) => PreparedMutant::Query(Box::new(apply_like_mutant(q, lm))),
+        Mutant::NullCheck(nm) => PreparedMutant::Query(Box::new(apply_null_check_mutant(q, nm))),
     }
 }
 
@@ -126,6 +130,9 @@ fn class_name(m: &Mutant) -> &'static str {
         Mutant::HavingCmp(_) => "having_cmp",
         Mutant::HavingAgg(_) => "having_agg",
         Mutant::Distinct(_) => "distinct",
+        Mutant::Sub(_) => "subquery",
+        Mutant::Like(_) => "like",
+        Mutant::NullCheck(_) => "null_check",
     }
 }
 
@@ -240,6 +247,9 @@ pub fn kill_report_cancel(
             Mutant::HavingCmp(_) => ("kill.killed.having_cmp", "kill.survived.having_cmp"),
             Mutant::HavingAgg(_) => ("kill.killed.having_agg", "kill.survived.having_agg"),
             Mutant::Distinct(_) => ("kill.killed.distinct", "kill.survived.distinct"),
+            Mutant::Sub(_) => ("kill.killed.subquery", "kill.survived.subquery"),
+            Mutant::Like(_) => ("kill.killed.like", "kill.survived.like"),
+            Mutant::NullCheck(_) => ("kill.killed.null_check", "kill.survived.null_check"),
         };
         xdata_obs::counter(if verdict.is_some() { killed_name } else { survived_name }, 1);
     }

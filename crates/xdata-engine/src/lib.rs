@@ -22,6 +22,7 @@
 pub mod agg;
 pub mod error;
 pub mod exec;
+mod extended;
 pub mod kill;
 pub mod result;
 

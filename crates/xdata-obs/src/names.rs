@@ -23,6 +23,7 @@ pub const ALL_COUNTERS: &[&str] = &[
     "core.solve_memo.hit",
     "core.solve_memo.miss",
     "core.targets.faulted",
+    "core.targets.null_witness",
     "core.targets.planned",
     "core.targets.skipped",
     "core.targets.solved",
@@ -31,6 +32,9 @@ pub const ALL_COUNTERS: &[&str] = &[
     "engine.hash_join.fallback_nodes",
     "engine.hash_join.nodes",
     "engine.hash_join.probe_rows",
+    "engine.subquery.fallback_preds",
+    "engine.subquery.hash_preds",
+    "engine.subquery.probe_rows",
     "kill.datasets",
     "kill.killed.agg",
     "kill.killed.cmp",
@@ -38,6 +42,9 @@ pub const ALL_COUNTERS: &[&str] = &[
     "kill.killed.having_agg",
     "kill.killed.having_cmp",
     "kill.killed.join",
+    "kill.killed.like",
+    "kill.killed.null_check",
+    "kill.killed.subquery",
     "kill.mutants",
     "kill.survived.agg",
     "kill.survived.cmp",
@@ -45,6 +52,9 @@ pub const ALL_COUNTERS: &[&str] = &[
     "kill.survived.having_agg",
     "kill.survived.having_cmp",
     "kill.survived.join",
+    "kill.survived.like",
+    "kill.survived.null_check",
+    "kill.survived.subquery",
     "kill.unevaluated",
     "serve.connections",
     "serve.deadline_clamped",
@@ -70,6 +80,7 @@ pub const ALL_COUNTERS: &[&str] = &[
     "solver.restarts",
     "solver.session.assumption_solves",
     "solver.session.reused_clauses",
+    "solver.string_constraints",
     "solver.theory_relaxations",
     "solver.unfold_expansions",
     "solver.unknown_exits",

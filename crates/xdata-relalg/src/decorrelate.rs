@@ -1,229 +1,399 @@
-//! Decorrelation of `IN (SELECT ...)` subqueries into joins (§V-H:
-//! "Simple subqueries which can be decorrelated into joins can be handled
-//! by decorrelating the query and then applying our algorithms").
+//! Lowering of `[NOT] IN (SELECT ...)` / `[NOT] EXISTS (SELECT ...)`
+//! conjuncts into retained [`SubPred`] descriptors (§V-H: "Simple
+//! subqueries which can be decorrelated into joins can be handled by
+//! decorrelating the query and then applying our algorithms").
 //!
-//! The rewrite `outer WHERE x IN (SELECT k FROM r WHERE σ)` →
-//! `outer, r WHERE x = r.k AND σ` is only *bag-semantics-exact* when the
-//! subquery cannot produce duplicate matches for one outer row. We accept
-//! exactly the statically-safe case: the subquery is a single relation
-//! (no joins), without aggregation, selecting a column that is the
-//! relation's single-column primary key. Correlated predicates in the
-//! subquery's WHERE clause are allowed — after merging they resolve
-//! against the combined scope.
+//! Earlier revisions rewrote positive `IN` into an actual join merge; that
+//! rewrite destroys the structure the subquery-connective mutation family
+//! needs (`IN` ↔ `EXISTS` ↔ `NOT`-variants swap a *connective*, not a join
+//! kind), so the subquery is now kept as a first-class predicate and the
+//! solver lowers it with the same bounded quantifiers it already uses for
+//! foreign keys and NOT-EXISTS targets. The accepted shape is the exactly
+//! lowerable class:
+//!
+//! * the subquery reads a **single base relation** (no joins),
+//! * without aggregation, GROUP BY, HAVING or further nesting,
+//! * every WHERE conjunct links one subquery column to an *outer* operand
+//!   (attribute or constant) — the correlated case — or compares it to a
+//!   constant,
+//! * `IN` additionally selects exactly one plain column.
+//!
+//! Duplicate-safety needs no primary-key side condition any more:
+//! membership semantics are evaluated as membership, never as a join.
 
-use xdata_catalog::Schema;
-use xdata_sql::{ColRef, CompareOp, Condition, Expr, FromItem, Query, SelectItem};
+use std::collections::BTreeMap;
+
+use xdata_catalog::{Schema, SqlType, Value};
+use xdata_sql::{ColRef, CompareOp, Expr, FromItem, Query, SelectItem};
 
 use crate::error::RelAlgError;
+use crate::ir::{AttrRef, Occurrence, Operand, SubCond, SubPred, SubqueryKind};
 
-/// Rewrite all `IN` conjuncts of `query` into joins. Queries without `IN`
-/// are returned unchanged (cheaply cloned).
-pub fn decorrelate(query: &Query, schema: &Schema) -> Result<Query, RelAlgError> {
-    if query.where_in.is_empty() {
-        return Ok(query.clone());
-    }
-    let mut out = query.clone();
-    out.where_in.clear();
-    // Scope: (binding, base relation) pairs visible to membership
-    // left-hand sides — the original FROM plus every merged subquery
-    // relation so far. Used to qualify unqualified lhs columns *before*
-    // merging makes them ambiguous.
-    let mut scope: Vec<(String, String)> = Vec::new();
-    for item in &query.from {
-        scope.extend(item.bindings());
-    }
-    let mut existing: Vec<String> = scope.iter().map(|(b, _)| b.clone()).collect();
-    let qualify_outer = |scope: &[(String, String)],
-                         schema: &Schema,
-                         e: &Expr|
-     -> Result<Expr, RelAlgError> {
-        let fix = |c: &ColRef| -> Result<ColRef, RelAlgError> {
-            if c.table.is_some() {
-                return Ok(c.clone());
+/// Resolution context for outer-query column references inside subquery
+/// conditions (implemented by the normalizer).
+pub(crate) struct OuterScope<'a> {
+    pub schema: &'a Schema,
+    pub by_binding: &'a BTreeMap<String, usize>,
+    pub occurrences: &'a [Occurrence],
+}
+
+impl OuterScope<'_> {
+    fn resolve_colref(&self, c: &ColRef) -> Result<(AttrRef, SqlType), RelAlgError> {
+        match &c.table {
+            Some(t) => {
+                let occ = *self
+                    .by_binding
+                    .get(t)
+                    .ok_or_else(|| RelAlgError::UnknownRelation(t.clone()))?;
+                let base = &self.occurrences[occ].base;
+                let rel = self
+                    .schema
+                    .relation(base)
+                    .ok_or_else(|| RelAlgError::UnknownRelation(base.clone()))?;
+                let col = rel
+                    .attr_pos(&c.column)
+                    .ok_or_else(|| RelAlgError::UnknownColumn(c.to_string()))?;
+                Ok((AttrRef::new(occ, col), rel.attr(col).ty))
             }
-            let mut found: Option<&str> = None;
-            for (binding, base) in scope {
-                if let Some(rel) = schema.relation(base) {
-                    if rel.attr_pos(&c.column).is_some() {
+            None => {
+                let mut found = None;
+                for (i, occ) in self.occurrences.iter().enumerate() {
+                    let rel = self
+                        .schema
+                        .relation(&occ.base)
+                        .ok_or_else(|| RelAlgError::UnknownRelation(occ.base.clone()))?;
+                    if let Some(col) = rel.attr_pos(&c.column) {
                         if found.is_some() {
                             return Err(RelAlgError::AmbiguousColumn(c.column.clone()));
                         }
-                        found = Some(binding);
+                        found = Some((AttrRef::new(i, col), rel.attr(col).ty));
                     }
                 }
+                found.ok_or_else(|| RelAlgError::UnknownColumn(c.column.clone()))
             }
-            match found {
-                Some(b) => Ok(ColRef::new(Some(b), &c.column)),
-                None => Err(RelAlgError::UnknownColumn(c.column.clone())),
-            }
-        };
-        Ok(match e {
-            Expr::Column(c) => Expr::Column(fix(c)?),
-            Expr::ColumnPlus(c, k) => Expr::ColumnPlus(fix(c)?, *k),
-            other => other.clone(),
-        })
-    };
-    let mut counter = 0usize;
-    let mut pending = query.where_in.clone();
-    while let Some(inp) = pending.pop() {
-        // Pin the membership lhs to the scope as it stands *before* this
-        // merge (inner-merged relations may carry same-named columns).
-        let lhs = qualify_outer(&scope, schema, &inp.lhs)?;
-        // Nested INs inside the subquery are hoisted to this level after
-        // the subquery merges (each hoist adds another PK-joined relation,
-        // preserving duplicate-safety inductively).
-        let sub = (*inp.subquery).clone();
-
-        // Validate the safe shape.
-        if !sub.group_by.is_empty() || sub.has_aggregates() || !sub.having.is_empty() {
-            return Err(RelAlgError::Unsupported(
-                "IN over an aggregated subquery (not decorrelatable into a join)".into(),
-            ));
-        }
-        let (table, alias) = match sub.from.as_slice() {
-            [FromItem::Table { name, alias }] => (name.clone(), alias.clone()),
-            _ => {
-                return Err(RelAlgError::Unsupported(
-                    "IN subquery must select from exactly one relation".into(),
-                ))
-            }
-        };
-        let rel = schema
-            .relation(&table)
-            .ok_or_else(|| RelAlgError::UnknownRelation(table.clone()))?;
-        let sel_col = match sub.select.as_slice() {
-            [SelectItem::Column(c)] => c.column.clone(),
-            _ => {
-                return Err(RelAlgError::Unsupported(
-                    "IN subquery must select exactly one plain column".into(),
-                ))
-            }
-        };
-        let col_pos = rel
-            .attr_pos(&sel_col)
-            .ok_or_else(|| RelAlgError::UnknownColumn(format!("{table}.{sel_col}")))?;
-        if !rel.is_primary_key(&[col_pos]) {
-            return Err(RelAlgError::Unsupported(format!(
-                "IN subquery column `{table}.{sel_col}` must be the relation's \
-                 single-column primary key (duplicate-safety of the join rewrite)"
-            )));
-        }
-
-        // Fresh binding for the merged relation.
-        let fresh = loop {
-            let candidate = format!("__s{counter}");
-            counter += 1;
-            if !existing.contains(&candidate) {
-                break candidate;
-            }
-        };
-        existing.push(fresh.clone());
-
-        // Qualify the subquery's conditions into the fresh binding.
-        let old_binding = alias.unwrap_or_else(|| table.clone());
-        let requalify = |c: &ColRef| -> ColRef {
-            match &c.table {
-                Some(t) if *t == old_binding => ColRef::new(Some(&fresh), &c.column),
-                Some(_) => c.clone(),
-                None => {
-                    // Unqualified: belongs to the subquery relation when the
-                    // column exists there (inner scope shadows outer).
-                    if rel.attr_pos(&c.column).is_some() {
-                        ColRef::new(Some(&fresh), &c.column)
-                    } else {
-                        c.clone()
-                    }
-                }
-            }
-        };
-        let requalify_expr = |e: &Expr| -> Expr {
-            match e {
-                Expr::Column(c) => Expr::Column(requalify(c)),
-                Expr::ColumnPlus(c, k) => Expr::ColumnPlus(requalify(c), *k),
-                other => other.clone(),
-            }
-        };
-
-        out.from.push(FromItem::Table { name: table.clone(), alias: Some(fresh.clone()) });
-        for c in &sub.where_clause {
-            out.where_clause.push(Condition {
-                lhs: requalify_expr(&c.lhs),
-                op: c.op,
-                rhs: requalify_expr(&c.rhs),
-            });
-        }
-        // The membership link itself.
-        out.where_clause.push(Condition {
-            lhs,
-            op: CompareOp::Eq,
-            rhs: Expr::Column(ColRef::new(Some(&fresh), &sel_col)),
-        });
-        scope.push((fresh.clone(), table.clone()));
-        // Hoist the subquery's own INs with requalified left-hand sides.
-        for nested in &sub.where_in {
-            pending.push(xdata_sql::InPred {
-                lhs: requalify_expr(&nested.lhs),
-                subquery: nested.subquery.clone(),
-            });
         }
     }
+
+    fn resolve_expr(&self, e: &Expr) -> Result<(Operand, Option<SqlType>), RelAlgError> {
+        match e {
+            Expr::Column(c) => {
+                let (a, ty) = self.resolve_colref(c)?;
+                Ok((Operand::attr(a), Some(ty)))
+            }
+            Expr::ColumnPlus(c, k) => {
+                let (a, ty) = self.resolve_colref(c)?;
+                if ty == SqlType::Varchar {
+                    return Err(RelAlgError::TypeMismatch(format!(
+                        "arithmetic on string column `{c}`"
+                    )));
+                }
+                Ok((Operand::Attr { attr: a, offset: *k }, Some(ty)))
+            }
+            Expr::Int(i) => Ok((Operand::Const(Value::Int(*i)), None)),
+            Expr::Str(s) => Ok((Operand::Const(Value::Str(s.clone())), None)),
+            Expr::Float(_) => Err(RelAlgError::Unsupported(
+                "floating-point literals (the constraint solver operates over integers; \
+                 scale the schema to integer units)"
+                    .into(),
+            )),
+        }
+    }
+}
+
+/// Lower every `[NOT] IN` and `[NOT] EXISTS` conjunct of `query` into a
+/// [`SubPred`]. Outer columns resolve through `outer`.
+pub(crate) fn lower_subqueries(
+    query: &Query,
+    outer: &OuterScope<'_>,
+) -> Result<Vec<SubPred>, RelAlgError> {
+    let mut out = Vec::new();
+    for inp in &query.where_in {
+        out.push(lower_one(
+            SubqueryKind::In,
+            inp.negated,
+            Some(&inp.lhs),
+            &inp.subquery,
+            outer,
+        )?);
+    }
+    for exp in &query.where_exists {
+        out.push(lower_one(SubqueryKind::Exists, exp.negated, None, &exp.subquery, outer)?);
+    }
     Ok(out)
+}
+
+/// One side of a subquery condition, classified by scope.
+enum Side {
+    /// A column of the subquery relation (inner scope shadows outer).
+    Sub { col: usize, offset: i64 },
+    /// An outer-query operand.
+    Outer(Operand, Option<SqlType>),
+}
+
+fn lower_one(
+    kind: SubqueryKind,
+    negated: bool,
+    link_lhs: Option<&Expr>,
+    sub: &Query,
+    outer: &OuterScope<'_>,
+) -> Result<SubPred, RelAlgError> {
+    let conn = match (kind, negated) {
+        (SubqueryKind::In, false) => "IN",
+        (SubqueryKind::In, true) => "NOT IN",
+        (SubqueryKind::Exists, false) => "EXISTS",
+        (SubqueryKind::Exists, true) => "NOT EXISTS",
+    };
+    // Shape: a single base relation, conjunctive WHERE, nothing else.
+    if !sub.group_by.is_empty() || sub.has_aggregates() || !sub.having.is_empty() {
+        return Err(RelAlgError::Unsupported(format!(
+            "{conn} over an aggregated subquery"
+        )));
+    }
+    if !sub.where_in.is_empty()
+        || !sub.where_exists.is_empty()
+        || !sub.where_like.is_empty()
+        || !sub.where_null.is_empty()
+    {
+        return Err(RelAlgError::Unsupported(format!(
+            "nested IN/EXISTS/LIKE/IS NULL inside a {conn} subquery"
+        )));
+    }
+    let (table, alias) = match sub.from.as_slice() {
+        [FromItem::Table { name, alias }] => (name.clone(), alias.clone()),
+        _ => {
+            return Err(RelAlgError::Unsupported(format!(
+                "{conn} subquery must select from exactly one relation"
+            )))
+        }
+    };
+    let rel = outer
+        .schema
+        .relation(&table)
+        .ok_or_else(|| RelAlgError::UnknownRelation(table.clone()))?;
+    let binding = alias.unwrap_or_else(|| table.clone());
+
+    // The membership link (IN only).
+    let link = match (kind, link_lhs) {
+        (SubqueryKind::In, Some(lhs)) => {
+            let sel_col = match sub.select.as_slice() {
+                [SelectItem::Column(c)] => {
+                    if let Some(t) = &c.table {
+                        if *t != binding {
+                            return Err(RelAlgError::UnknownColumn(c.to_string()));
+                        }
+                    }
+                    c.column.clone()
+                }
+                _ => {
+                    return Err(RelAlgError::Unsupported(format!(
+                        "{conn} subquery must select exactly one plain column"
+                    )))
+                }
+            };
+            let col = rel
+                .attr_pos(&sel_col)
+                .ok_or_else(|| RelAlgError::UnknownColumn(format!("{table}.{sel_col}")))?;
+            let (l, lt) = outer.resolve_expr(lhs)?;
+            check_cmp_types(lt, Some(rel.attr(col).ty), &l, CompareOp::Eq)?;
+            Some((l, col))
+        }
+        (SubqueryKind::Exists, None) => None,
+        _ => unreachable!("link_lhs is Some iff kind is In"),
+    };
+
+    // Classify each conjunct side against the subquery relation's scope.
+    let classify = |e: &Expr| -> Result<Side, RelAlgError> {
+        let sub_col = |c: &ColRef| -> Option<usize> {
+            match &c.table {
+                Some(t) if *t == binding => rel.attr_pos(&c.column),
+                Some(_) => None,
+                None => rel.attr_pos(&c.column),
+            }
+        };
+        match e {
+            Expr::Column(c) => {
+                if let Some(col) = sub_col(c) {
+                    return Ok(Side::Sub { col, offset: 0 });
+                }
+            }
+            Expr::ColumnPlus(c, k) => {
+                if let Some(col) = sub_col(c) {
+                    return Ok(Side::Sub { col, offset: *k });
+                }
+            }
+            _ => {}
+        }
+        let (o, ty) = outer.resolve_expr(e)?;
+        Ok(Side::Outer(o, ty))
+    };
+
+    let mut conds = Vec::new();
+    for c in &sub.where_clause {
+        let (l, r) = (classify(&c.lhs)?, classify(&c.rhs)?);
+        let (col, offset, op, rhs, rty) = match (l, r) {
+            (Side::Sub { col, offset }, Side::Outer(o, ty)) => (col, offset, c.op, o, ty),
+            (Side::Outer(o, ty), Side::Sub { col, offset }) => {
+                (col, offset, mirror(c.op), o, ty)
+            }
+            (Side::Sub { .. }, Side::Sub { .. }) => {
+                return Err(RelAlgError::Unsupported(format!(
+                    "subquery-local join predicate inside a {conn} subquery \
+                     (conditions must link one subquery column to an outer operand \
+                     or constant)"
+                )))
+            }
+            (Side::Outer(..), Side::Outer(..)) => {
+                return Err(RelAlgError::Unsupported(format!(
+                    "{conn} subquery condition references no subquery column"
+                )))
+            }
+        };
+        if offset != 0 {
+            return Err(RelAlgError::Unsupported(format!(
+                "arithmetic on a subquery column inside a {conn} subquery"
+            )));
+        }
+        check_cmp_types(Some(rel.attr(col).ty), rty, &rhs, op)?;
+        conds.push(SubCond { col, op, rhs });
+    }
+
+    Ok(SubPred { kind, negated, link, base: table, alias: binding, conds })
+}
+
+fn mirror(op: CompareOp) -> CompareOp {
+    match op {
+        CompareOp::Eq => CompareOp::Eq,
+        CompareOp::Ne => CompareOp::Ne,
+        CompareOp::Lt => CompareOp::Gt,
+        CompareOp::Gt => CompareOp::Lt,
+        CompareOp::Le => CompareOp::Ge,
+        CompareOp::Ge => CompareOp::Le,
+    }
+}
+
+/// Type rules mirroring the normalizer's: no string↔number comparison, and
+/// strings compare only with `=` / `<>` (dictionary-coded integers carry
+/// no meaningful order).
+fn check_cmp_types(
+    sub_ty: Option<SqlType>,
+    other_ty: Option<SqlType>,
+    other: &Operand,
+    op: CompareOp,
+) -> Result<(), RelAlgError> {
+    let str_involved = sub_ty == Some(SqlType::Varchar)
+        || other_ty == Some(SqlType::Varchar)
+        || matches!(other, Operand::Const(Value::Str(_)));
+    if let (Some(a), Some(b)) = (sub_ty, other_ty) {
+        if !a.comparable_with(b) {
+            return Err(RelAlgError::TypeMismatch(format!("cannot compare {a} with {b}")));
+        }
+    }
+    if str_involved {
+        let num_involved = sub_ty.map(SqlType::is_numeric).unwrap_or(false)
+            || other_ty.map(SqlType::is_numeric).unwrap_or(false)
+            || matches!(other, Operand::Const(Value::Int(_)));
+        if num_involved {
+            return Err(RelAlgError::TypeMismatch("string compared with number".into()));
+        }
+        if !matches!(op, CompareOp::Eq | CompareOp::Ne) {
+            return Err(RelAlgError::Unsupported(
+                "ordered comparison on strings (only = and <> are supported for \
+                 string attributes)"
+                    .into(),
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::normalize;
+    use crate::NormQuery;
     use xdata_catalog::university;
     use xdata_sql::parse_query;
 
-    fn decor(sql: &str) -> Result<Query, RelAlgError> {
-        decorrelate(&parse_query(sql).unwrap(), &university::schema())
+    fn norm(sql: &str) -> Result<NormQuery, RelAlgError> {
+        normalize(&parse_query(sql).unwrap(), &university::schema_with_fk_count(0))
     }
 
     #[test]
-    fn simple_in_becomes_join() {
-        let q = decor(
-            "SELECT name FROM instructor WHERE id IN (SELECT id FROM instructor \
-             WHERE salary > 50000)",
+    fn simple_in_is_retained() {
+        let q = norm(
+            "SELECT name FROM instructor WHERE id IN (SELECT i_id FROM advisor \
+             WHERE s_id > 10)",
         )
         .unwrap();
-        assert!(q.where_in.is_empty());
-        assert_eq!(q.from.len(), 2);
-        // Link + copied selection.
-        assert_eq!(q.where_clause.len(), 2);
-        let s = q.to_string();
-        assert!(s.contains("__s0"), "{s}");
+        assert_eq!(q.subs.len(), 1);
+        let s = &q.subs[0];
+        assert_eq!(s.kind, SubqueryKind::In);
+        assert!(!s.negated);
+        assert_eq!(s.base, "advisor");
+        assert!(s.link.is_some());
+        assert_eq!(s.conds.len(), 1);
+        // The outer query itself keeps one occurrence: the subquery is a
+        // predicate, not a join merge.
+        assert_eq!(q.occurrences.len(), 1);
     }
 
     #[test]
-    fn correlated_predicate_survives() {
-        // Correlation: the subquery references the outer instructor.
-        let q = decor(
-            "SELECT i.name FROM instructor i WHERE i.id IN \
-             (SELECT sid FROM student WHERE dept_id = 3)",
-        )
-        .unwrap();
-        assert_eq!(q.from.len(), 2);
-        let s = q.to_string();
-        assert!(s.contains("__s0.dept_id = 3"), "{s}");
-        assert!(s.contains("i.id = __s0.sid"), "{s}");
-    }
-
-    #[test]
-    fn nested_in_recurses() {
-        let q = decor(
-            "SELECT name FROM instructor WHERE id IN (SELECT sid FROM student \
-             WHERE sid IN (SELECT s_id FROM advisor))",
-        )
-        .unwrap();
-        assert!(q.where_in.is_empty());
-        assert_eq!(q.from.len(), 3);
-    }
-
-    #[test]
-    fn non_pk_column_rejected() {
-        let e = decor(
+    fn non_pk_membership_column_accepted() {
+        // The old join rewrite demanded a PK column for duplicate safety;
+        // membership evaluation has no such constraint.
+        let q = norm(
             "SELECT name FROM instructor WHERE dept_id IN (SELECT dept_id FROM student)",
+        )
+        .unwrap();
+        assert_eq!(q.subs.len(), 1);
+    }
+
+    #[test]
+    fn correlated_exists_resolves_outer_attr() {
+        let q = norm(
+            "SELECT i.name FROM instructor i WHERE EXISTS \
+             (SELECT s_id FROM advisor a WHERE a.i_id = i.id)",
+        )
+        .unwrap();
+        let s = &q.subs[0];
+        assert_eq!(s.kind, SubqueryKind::Exists);
+        assert_eq!(s.link, None);
+        assert_eq!(s.conds.len(), 1);
+        assert!(s.conds[0].rhs.attr_ref().is_some(), "correlated rhs is an outer attr");
+    }
+
+    #[test]
+    fn negated_forms_parse_through() {
+        let q = norm(
+            "SELECT name FROM instructor WHERE id NOT IN (SELECT s_id FROM advisor)",
+        )
+        .unwrap();
+        assert!(q.subs[0].negated);
+        let q = norm(
+            "SELECT i.name FROM instructor i WHERE NOT EXISTS \
+             (SELECT s_id FROM advisor a WHERE a.s_id = i.id)",
+        )
+        .unwrap();
+        assert!(q.subs[0].negated);
+        assert_eq!(q.subs[0].kind, SubqueryKind::Exists);
+    }
+
+    #[test]
+    fn flipped_condition_orientation_normalizes() {
+        // `outer op sub` mirrors into `sub op' outer`.
+        let q = norm(
+            "SELECT i.name FROM instructor i WHERE EXISTS \
+             (SELECT s_id FROM advisor a WHERE i.id < a.i_id)",
+        )
+        .unwrap();
+        assert_eq!(q.subs[0].conds[0].op, CompareOp::Gt);
+    }
+
+    #[test]
+    fn nested_subquery_rejected() {
+        let e = norm(
+            "SELECT name FROM instructor WHERE id IN (SELECT s_id FROM advisor \
+             WHERE s_id IN (SELECT s_id FROM advisor))",
         )
         .unwrap_err();
         assert!(matches!(e, RelAlgError::Unsupported(_)), "{e}");
@@ -231,27 +401,45 @@ mod tests {
 
     #[test]
     fn aggregated_subquery_rejected() {
-        let e = decor(
+        let e = norm(
             "SELECT name FROM instructor WHERE id IN \
-             (SELECT sid FROM student GROUP BY sid)",
+             (SELECT s_id FROM advisor GROUP BY s_id)",
         );
         assert!(e.is_err());
     }
 
     #[test]
     fn multi_relation_subquery_rejected() {
-        let e = decor(
+        let e = norm(
             "SELECT name FROM instructor WHERE id IN \
-             (SELECT sid FROM student, advisor WHERE sid = s_id)",
+             (SELECT s_id FROM advisor, student WHERE s_id = sid)",
         )
         .unwrap_err();
         assert!(matches!(e, RelAlgError::Unsupported(_)));
     }
 
     #[test]
-    fn queries_without_in_unchanged() {
-        let src = "SELECT * FROM instructor WHERE salary > 10";
-        let q = decor(src).unwrap();
-        assert_eq!(q, parse_query(src).unwrap());
+    fn sub_local_join_condition_rejected() {
+        let e = norm(
+            "SELECT name FROM instructor WHERE id IN \
+             (SELECT s_id FROM advisor WHERE s_id = i_id)",
+        )
+        .unwrap_err();
+        assert!(matches!(e, RelAlgError::Unsupported(_)), "{e}");
+    }
+
+    #[test]
+    fn type_mismatch_on_membership_rejected() {
+        let e = norm(
+            "SELECT name FROM instructor WHERE name IN (SELECT s_id FROM advisor)",
+        )
+        .unwrap_err();
+        assert!(matches!(e, RelAlgError::TypeMismatch(_)), "{e}");
+    }
+
+    #[test]
+    fn queries_without_subqueries_have_empty_subs() {
+        let q = norm("SELECT * FROM instructor WHERE salary > 10").unwrap();
+        assert!(q.subs.is_empty());
     }
 }

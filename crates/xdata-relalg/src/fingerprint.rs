@@ -19,7 +19,7 @@
 
 use xdata_sql::CompareOp;
 
-use crate::ir::{AttrRef, NormQuery, Operand, Pred, SelectSpec};
+use crate::ir::{AttrRef, NormQuery, Operand, Pred, SelectSpec, SubPred};
 use crate::tree::JoinTree;
 
 /// Render `q` into its canonical structural form. Two queries with equal
@@ -56,6 +56,29 @@ pub fn canonical_form(q: &NormQuery) -> String {
     preds.sort_unstable();
 
     let tree = remap_tree(&q.tree, &perm).canonical_key();
+
+    // Retained subquery / LIKE / NULL-check predicates are conjuncts too:
+    // each renders with remapped outer references and the lists sort.
+    let mut subs: Vec<String> = q.subs.iter().map(|s| render_sub(s, &remap)).collect();
+    subs.sort_unstable();
+    let mut likes: Vec<String> = q
+        .likes
+        .iter()
+        .map(|l| {
+            let a = remap(l.attr);
+            format!("#{}.{} {} '{}'", a.occ, a.col, if l.negated { "NOT LIKE" } else { "LIKE" }, l.pattern)
+        })
+        .collect();
+    likes.sort_unstable();
+    let mut nulls: Vec<String> = q
+        .null_checks
+        .iter()
+        .map(|n| {
+            let a = remap(n.attr);
+            format!("#{}.{} IS {}NULL", a.occ, a.col, if n.negated { "NOT " } else { "" })
+        })
+        .collect();
+    nulls.sort_unstable();
 
     let select = match &q.select {
         // `*` expands in *written* occurrence order at execution time, so
@@ -95,14 +118,34 @@ pub fn canonical_form(q: &NormQuery) -> String {
     };
 
     format!(
-        "rels=[{}] eq=[{}] pred=[{}] tree={} distinct={} select={}",
+        "rels=[{}] eq=[{}] pred=[{}] sub=[{}] like=[{}] null=[{}] tree={} distinct={} select={}",
         rels.join(","),
         classes.join(";"),
         preds.join(" AND "),
+        subs.join(" AND "),
+        likes.join(" AND "),
+        nulls.join(" AND "),
         tree,
         q.distinct,
         select
     )
+}
+
+/// Render one retained subquery predicate. Subquery conditions commute
+/// (conjunction), so they sort; outer references remap to canonical ids;
+/// the subquery's written alias is normalization noise and is omitted.
+fn render_sub(s: &SubPred, remap: &impl Fn(AttrRef) -> AttrRef) -> String {
+    let link = match &s.link {
+        Some((o, col)) => format!("{}->{}", render_operand(o, remap), col),
+        None => "-".to_string(),
+    };
+    let mut conds: Vec<String> = s
+        .conds
+        .iter()
+        .map(|c| format!(".{} {} {}", c.col, c.op.sql_symbol(), render_operand(&c.rhs, remap)))
+        .collect();
+    conds.sort_unstable();
+    format!("{} {}({} link={} where[{}])", s.connective_name(), s.base, s.base, link, conds.join(" AND "))
 }
 
 /// 128-bit FNV-style hash of [`canonical_form`], for compact display and
@@ -273,6 +316,58 @@ mod tests {
         assert_eq!(
             form("SELECT dept_id, SUM(salary) FROM instructor GROUP BY dept_id"),
             form("SELECT dept_id, SUM(salary) FROM instructor GROUP BY dept_id"),
+        );
+    }
+
+    #[test]
+    fn subquery_connective_participates() {
+        // Same subquery, different connective polarity: must stay distinct
+        // (a collapse here would mis-grade a NOT IN as an IN).
+        assert_ne!(
+            form("SELECT name FROM instructor WHERE id IN (SELECT s_id FROM advisor)"),
+            form("SELECT name FROM instructor WHERE id NOT IN (SELECT s_id FROM advisor)"),
+        );
+        // Reordered subquery conditions collapse (conjunction commutes).
+        assert_eq!(
+            form(
+                "SELECT i.name FROM instructor i WHERE EXISTS \
+                 (SELECT s_id FROM advisor a WHERE a.i_id = i.id AND a.s_id > 3)"
+            ),
+            form(
+                "SELECT i.name FROM instructor i WHERE EXISTS \
+                 (SELECT s_id FROM advisor a WHERE a.s_id > 3 AND a.i_id = i.id)"
+            ),
+        );
+        // The subquery alias is normalization noise.
+        assert_eq!(
+            form(
+                "SELECT i.name FROM instructor i WHERE EXISTS \
+                 (SELECT s_id FROM advisor a WHERE a.i_id = i.id)"
+            ),
+            form(
+                "SELECT i.name FROM instructor i WHERE EXISTS \
+                 (SELECT s_id FROM advisor b WHERE b.i_id = i.id)"
+            ),
+        );
+    }
+
+    #[test]
+    fn like_and_null_checks_participate() {
+        assert_ne!(
+            form("SELECT name FROM instructor WHERE name LIKE 'W%'"),
+            form("SELECT name FROM instructor WHERE name LIKE '%W'"),
+        );
+        assert_ne!(
+            form("SELECT name FROM instructor WHERE name LIKE 'W%'"),
+            form("SELECT name FROM instructor WHERE name NOT LIKE 'W%'"),
+        );
+        assert_ne!(
+            form("SELECT * FROM teaches WHERE id IS NULL"),
+            form("SELECT * FROM teaches WHERE id IS NOT NULL"),
+        );
+        assert_eq!(
+            form("SELECT name FROM instructor WHERE name LIKE 'W%' AND salary > 5"),
+            form("SELECT name FROM instructor WHERE salary > 5 AND name LIKE 'W%'"),
         );
     }
 

@@ -98,6 +98,114 @@ impl Pred {
     }
 }
 
+/// Which connective binds a retained subquery to the outer query (§V-H).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SubqueryKind {
+    /// `expr [NOT] IN (SELECT col FROM r WHERE ...)`.
+    In,
+    /// `[NOT] EXISTS (SELECT ... FROM r WHERE ...)`.
+    Exists,
+}
+
+/// One resolved conjunct of a retained subquery's WHERE clause:
+/// `sub.col op rhs`, where `rhs` is an outer-query operand (attribute or
+/// constant) — the correlated case — or a constant selection on the
+/// subquery relation itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubCond {
+    /// Column position in the subquery's base relation.
+    pub col: usize,
+    pub op: CompareOp,
+    /// Outer operand: any [`AttrRef`] refers to an *outer* occurrence.
+    pub rhs: Operand,
+}
+
+/// A retained `[NOT] IN` / `[NOT] EXISTS` subquery predicate. The
+/// subquery is restricted to a single base relation with conjunctive
+/// conditions (each linking one subquery column to an outer operand), no
+/// aggregation and no further nesting — the class the bounded-quantifier
+/// lowering handles exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubPred {
+    pub kind: SubqueryKind,
+    pub negated: bool,
+    /// For `IN`: the outer membership operand and the selected column
+    /// position in the subquery relation. `None` for `EXISTS`.
+    pub link: Option<(Operand, usize)>,
+    /// Base relation of the subquery.
+    pub base: String,
+    /// The subquery's binding name (alias, or table name), for display.
+    pub alias: String,
+    /// Resolved subquery WHERE conjuncts.
+    pub conds: Vec<SubCond>,
+}
+
+impl SubPred {
+    /// The four `(kind, negated)` connective variants of the §V-H space.
+    pub const CONNECTIVES: [(SubqueryKind, bool); 4] = [
+        (SubqueryKind::In, false),
+        (SubqueryKind::In, true),
+        (SubqueryKind::Exists, false),
+        (SubqueryKind::Exists, true),
+    ];
+
+    /// Outer attributes referenced by this subquery predicate (the
+    /// membership operand and correlated condition operands).
+    pub fn outer_attrs(&self) -> Vec<AttrRef> {
+        let mut v: Vec<AttrRef> = Vec::new();
+        if let Some((link, _)) = &self.link {
+            v.extend(link.attr_ref());
+        }
+        v.extend(self.conds.iter().filter_map(|c| c.rhs.attr_ref()));
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Render the connective for messages: `IN`, `NOT IN`, `EXISTS`,
+    /// `NOT EXISTS`.
+    pub fn connective_name(&self) -> &'static str {
+        match (self.kind, self.negated) {
+            (SubqueryKind::In, false) => "IN",
+            (SubqueryKind::In, true) => "NOT IN",
+            (SubqueryKind::Exists, false) => "EXISTS",
+            (SubqueryKind::Exists, true) => "NOT EXISTS",
+        }
+    }
+}
+
+/// A resolved `[NOT] LIKE` predicate on a string attribute. Patterns use
+/// SQL `%`/`_` wildcards; the solver reduces them to dictionary-membership
+/// constraints (string values are dictionary-coded integers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LikePred {
+    pub attr: AttrRef,
+    pub negated: bool,
+    pub pattern: String,
+}
+
+impl LikePred {
+    /// Split a simple `[%]core[%]` pattern into `(leading %, trailing %,
+    /// core)`. Returns `None` when the pattern has no structural family:
+    /// the core is empty, or contains `_` or an interior `%`.
+    pub fn simple_shape(pattern: &str) -> Option<(bool, bool, String)> {
+        let lead = pattern.starts_with('%');
+        let trail = pattern.len() > lead as usize && pattern.ends_with('%');
+        let core = &pattern[lead as usize..pattern.len() - trail as usize];
+        if core.is_empty() || core.contains('%') || core.contains('_') {
+            return None;
+        }
+        Some((lead, trail, core.to_string()))
+    }
+}
+
+/// A resolved `IS [NOT] NULL` check on an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NullCheck {
+    pub attr: AttrRef,
+    pub negated: bool,
+}
+
 /// Aggregate function: operator + DISTINCT flag. The paper's space has
 /// eight members (§II); `COUNT(*)` is modelled as `COUNT` with no argument.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -195,6 +303,12 @@ pub struct NormQuery {
     /// `SELECT DISTINCT`: duplicate elimination on the projected rows.
     pub distinct: bool,
     pub select: SelectSpec,
+    /// Retained `[NOT] IN` / `[NOT] EXISTS` subquery predicates (§V-H).
+    pub subs: Vec<SubPred>,
+    /// Retained `[NOT] LIKE` string predicates.
+    pub likes: Vec<LikePred>,
+    /// Retained `IS [NOT] NULL` checks.
+    pub null_checks: Vec<NullCheck>,
 }
 
 impl NormQuery {
@@ -218,6 +332,11 @@ impl NormQuery {
         for p in &self.preds {
             out.extend([&p.lhs, &p.rhs].iter().filter_map(|o| o.attr_ref()));
         }
+        for s in &self.subs {
+            out.extend(s.outer_attrs());
+        }
+        out.extend(self.likes.iter().map(|l| l.attr));
+        out.extend(self.null_checks.iter().map(|n| n.attr));
         match &self.select {
             SelectSpec::Star => {}
             SelectSpec::Columns(cols) => out.extend(cols.iter().copied()),

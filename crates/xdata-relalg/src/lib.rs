@@ -29,8 +29,13 @@ pub mod tree;
 
 pub use error::RelAlgError;
 pub use fingerprint::{canonical_form, structural_hash};
-pub use ir::{AggFunc, AttrRef, HavingPred, NormQuery, Occurrence, Operand, Pred, SelectSpec};
-pub use mutation::{AggMutant, CmpMutant, DistinctMutant, JoinMutant, Mutant, MutationSpace};
-pub use decorrelate::decorrelate;
+pub use ir::{
+    AggFunc, AttrRef, HavingPred, LikePred, NormQuery, NullCheck, Occurrence, Operand, Pred,
+    SelectSpec, SubCond, SubPred, SubqueryKind,
+};
+pub use mutation::{
+    AggMutant, CmpMutant, DistinctMutant, JoinMutant, LikeMutant, Mutant, MutationSpace,
+    NullCheckMutant, SubMutant,
+};
 pub use normalize::normalize;
 pub use tree::JoinTree;

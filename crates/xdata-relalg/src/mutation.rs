@@ -14,7 +14,7 @@
 use xdata_sql::{CompareOp, JoinKind};
 
 use crate::enumerate::enumerate_trees;
-use crate::ir::{AggFunc, NormQuery, SelectSpec};
+use crate::ir::{AggFunc, LikePred, NormQuery, SelectSpec, SubPred, SubqueryKind};
 use crate::tree::JoinTree;
 
 /// A join-type mutant: a concrete tree with exactly one mutated node.
@@ -75,6 +75,34 @@ pub struct DistinctMutant {
     pub to: bool,
 }
 
+/// A subquery-connective mutant of retained subquery `sub_idx`:
+/// `IN` ↔ `EXISTS` ↔ `NOT`-variants (§V-H space). Subqueries with a
+/// membership link mutate across all four connectives; plain `EXISTS`
+/// predicates (no link) only flip their negation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubMutant {
+    pub sub_idx: usize,
+    pub from: (SubqueryKind, bool),
+    pub to: (SubqueryKind, bool),
+}
+
+/// A LIKE-pattern mutant of retained predicate `like_idx`: the `%`-prefix /
+/// `%`-suffix / literalized variants of a simple `[%]core[%]` pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LikeMutant {
+    pub like_idx: usize,
+    pub from: String,
+    pub to: String,
+}
+
+/// An `IS NULL` ↔ `IS NOT NULL` mutant of null check `null_idx`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NullCheckMutant {
+    pub null_idx: usize,
+    /// The mutant's negation flag (flip of the original's).
+    pub to: bool,
+}
+
 /// Any single mutation.
 #[derive(Debug, Clone)]
 pub enum Mutant {
@@ -84,6 +112,9 @@ pub enum Mutant {
     HavingCmp(HavingCmpMutant),
     HavingAgg(HavingAggMutant),
     Distinct(DistinctMutant),
+    Sub(SubMutant),
+    Like(LikeMutant),
+    NullCheck(NullCheckMutant),
 }
 
 impl Mutant {
@@ -129,7 +160,32 @@ impl Mutant {
                     "duplicate mutant: SELECT DISTINCT -> SELECT".to_string()
                 }
             }
+            Mutant::Sub(m) => format!(
+                "subquery connective mutant: subquery #{} {} -> {}",
+                m.sub_idx,
+                connective_name(m.from),
+                connective_name(m.to)
+            ),
+            Mutant::Like(m) => format!(
+                "LIKE pattern mutant: predicate #{} '{}' -> '{}'",
+                m.like_idx, m.from, m.to
+            ),
+            Mutant::NullCheck(m) => format!(
+                "null check mutant: check #{} IS {}NULL -> IS {}NULL",
+                m.null_idx,
+                if m.to { "" } else { "NOT " },
+                if m.to { "NOT " } else { "" }
+            ),
         }
+    }
+}
+
+fn connective_name((kind, negated): (SubqueryKind, bool)) -> &'static str {
+    match (kind, negated) {
+        (SubqueryKind::In, false) => "IN",
+        (SubqueryKind::In, true) => "NOT IN",
+        (SubqueryKind::Exists, false) => "EXISTS",
+        (SubqueryKind::Exists, true) => "NOT EXISTS",
     }
 }
 
@@ -164,6 +220,9 @@ pub struct MutationSpace {
     pub having_cmp: Vec<HavingCmpMutant>,
     pub having_agg: Vec<HavingAggMutant>,
     pub dup: Vec<DistinctMutant>,
+    pub sub: Vec<SubMutant>,
+    pub like: Vec<LikeMutant>,
+    pub null_check: Vec<NullCheckMutant>,
 }
 
 impl MutationSpace {
@@ -174,6 +233,9 @@ impl MutationSpace {
             + self.having_cmp.len()
             + self.having_agg.len()
             + self.dup.len()
+            + self.sub.len()
+            + self.like.len()
+            + self.null_check.len()
     }
 
     /// Mutant count under the paper's raw convention: every `(join tree,
@@ -186,6 +248,9 @@ impl MutationSpace {
             + self.having_cmp.len()
             + self.having_agg.len()
             + self.dup.len()
+            + self.sub.len()
+            + self.like.len()
+            + self.null_check.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -202,6 +267,9 @@ impl MutationSpace {
             .chain(self.having_cmp.iter().cloned().map(Mutant::HavingCmp))
             .chain(self.having_agg.iter().cloned().map(Mutant::HavingAgg))
             .chain(self.dup.iter().cloned().map(Mutant::Distinct))
+            .chain(self.sub.iter().cloned().map(Mutant::Sub))
+            .chain(self.like.iter().cloned().map(Mutant::Like))
+            .chain(self.null_check.iter().cloned().map(Mutant::NullCheck))
     }
 }
 
@@ -215,7 +283,86 @@ pub fn mutation_space(q: &NormQuery, opts: MutationOptions) -> MutationSpace {
         having_cmp,
         having_agg,
         dup: if opts.include_extensions { dup_mutants(q) } else { Vec::new() },
+        sub: sub_mutants(q),
+        like: like_mutants(q),
+        null_check: null_check_mutants(q),
     }
+}
+
+/// Subquery-connective mutants: a linked subquery (`IN` form) mutates to
+/// each other member of the four-connective space; an unlinked `EXISTS`
+/// only flips its negation (there is no membership operand to re-link).
+fn sub_mutants(q: &NormQuery) -> Vec<SubMutant> {
+    let mut out = Vec::new();
+    for (idx, s) in q.subs.iter().enumerate() {
+        let from = (s.kind, s.negated);
+        if s.link.is_some() {
+            for to in SubPred::CONNECTIVES {
+                if to != from {
+                    out.push(SubMutant { sub_idx: idx, from, to });
+                }
+            }
+        } else {
+            out.push(SubMutant { sub_idx: idx, from, to: (s.kind, !s.negated) });
+        }
+    }
+    out
+}
+
+/// LIKE-pattern mutants: for a simple `[%]core[%]` pattern, the other
+/// three members of the {core, core%, %core, %core%} family. Patterns with
+/// `_` or an interior `%` have no structural family and do not mutate.
+fn like_mutants(q: &NormQuery) -> Vec<LikeMutant> {
+    let mut out = Vec::new();
+    for (idx, l) in q.likes.iter().enumerate() {
+        let Some((_, _, core)) = LikePred::simple_shape(&l.pattern) else {
+            continue;
+        };
+        for (lead, trail) in [(false, false), (true, false), (false, true), (true, true)] {
+            let to = format!(
+                "{}{}{}",
+                if lead { "%" } else { "" },
+                core,
+                if trail { "%" } else { "" }
+            );
+            if to != l.pattern {
+                out.push(LikeMutant { like_idx: idx, from: l.pattern.clone(), to });
+            }
+        }
+    }
+    out
+}
+
+fn null_check_mutants(q: &NormQuery) -> Vec<NullCheckMutant> {
+    q.null_checks
+        .iter()
+        .enumerate()
+        .map(|(idx, n)| NullCheckMutant { null_idx: idx, to: !n.negated })
+        .collect()
+}
+
+/// Materialize a subquery-connective mutant. The membership link is kept
+/// in the descriptor even for `EXISTS` forms (the connective decides
+/// whether it participates), so mutation is an involution.
+pub fn apply_sub_mutant(q: &NormQuery, m: &SubMutant) -> NormQuery {
+    let mut q2 = q.clone();
+    q2.subs[m.sub_idx].kind = m.to.0;
+    q2.subs[m.sub_idx].negated = m.to.1;
+    q2
+}
+
+/// Materialize a LIKE-pattern mutant.
+pub fn apply_like_mutant(q: &NormQuery, m: &LikeMutant) -> NormQuery {
+    let mut q2 = q.clone();
+    q2.likes[m.like_idx].pattern = m.to.clone();
+    q2
+}
+
+/// Materialize an `IS NULL` ↔ `IS NOT NULL` mutant.
+pub fn apply_null_check_mutant(q: &NormQuery, m: &NullCheckMutant) -> NormQuery {
+    let mut q2 = q.clone();
+    q2.null_checks[m.null_idx].negated = m.to;
+    q2
 }
 
 /// The SELECT ⇄ SELECT DISTINCT mutant. Aggregation queries are excluded:
@@ -526,6 +673,65 @@ mod tests {
             SelectSpec::Aggregation { aggs, .. } => assert_eq!(aggs[0].func, m.to),
             x => panic!("unexpected {x:?}"),
         }
+    }
+
+    #[test]
+    fn sub_mutants_cover_connective_space() {
+        let q = norm("SELECT name FROM instructor WHERE id IN (SELECT s_id FROM advisor)");
+        let ms = mutation_space(&q, MutationOptions::default());
+        // IN with a link mutates to NOT IN, EXISTS, NOT EXISTS.
+        assert_eq!(ms.sub.len(), 3);
+        let tos: Vec<_> = ms.sub.iter().map(|m| m.to).collect();
+        assert!(tos.contains(&(SubqueryKind::In, true)));
+        assert!(tos.contains(&(SubqueryKind::Exists, false)));
+        assert!(tos.contains(&(SubqueryKind::Exists, true)));
+        let q2 = apply_sub_mutant(&q, &ms.sub[0]);
+        assert_eq!((q2.subs[0].kind, q2.subs[0].negated), ms.sub[0].to);
+        // Link survives the mutation so it can mutate back.
+        assert!(q2.subs[0].link.is_some());
+    }
+
+    #[test]
+    fn unlinked_exists_only_flips_negation() {
+        let q = norm(
+            "SELECT i.name FROM instructor i WHERE EXISTS \
+             (SELECT s_id FROM advisor a WHERE a.i_id = i.id)",
+        );
+        let ms = mutation_space(&q, MutationOptions::default());
+        assert_eq!(ms.sub.len(), 1);
+        assert_eq!(ms.sub[0].to, (SubqueryKind::Exists, true));
+    }
+
+    #[test]
+    fn like_mutants_cover_shape_family() {
+        let q = norm("SELECT name FROM instructor WHERE name LIKE 'W%'");
+        let ms = mutation_space(&q, MutationOptions::default());
+        assert_eq!(ms.like.len(), 3);
+        let tos: Vec<&str> = ms.like.iter().map(|m| m.to.as_str()).collect();
+        assert!(tos.contains(&"W"), "{tos:?}");
+        assert!(tos.contains(&"%W"), "{tos:?}");
+        assert!(tos.contains(&"%W%"), "{tos:?}");
+        let q2 = apply_like_mutant(&q, &ms.like[0]);
+        assert_eq!(q2.likes[0].pattern, ms.like[0].to);
+    }
+
+    #[test]
+    fn wildcard_core_patterns_do_not_mutate() {
+        for pat in ["a%b", "a_b", "%", "%%"] {
+            let q = norm(&format!("SELECT name FROM instructor WHERE name LIKE '{pat}'"));
+            let ms = mutation_space(&q, MutationOptions::default());
+            assert!(ms.like.is_empty(), "pattern {pat} has no structural family");
+        }
+    }
+
+    #[test]
+    fn null_check_mutants_flip() {
+        let q = norm("SELECT * FROM teaches WHERE id IS NULL");
+        let ms = mutation_space(&q, MutationOptions::default());
+        assert_eq!(ms.null_check.len(), 1);
+        assert!(ms.null_check[0].to);
+        let q2 = apply_null_check_mutant(&q, &ms.null_check[0]);
+        assert!(q2.null_checks[0].negated);
     }
 
     #[test]

@@ -26,12 +26,13 @@ use crate::error::RelAlgError;
 use crate::ir::{AggSpec, AttrRef, NormQuery, Occurrence, Operand, Pred, SelectSpec};
 use crate::tree::JoinTree;
 
-/// Normalize a parsed query against `schema`. `IN (SELECT ...)` conjuncts
-/// are decorrelated into joins first (§V-H).
+/// Normalize a parsed query against `schema`. `[NOT] IN (SELECT ...)` and
+/// `[NOT] EXISTS` conjuncts are lowered into retained subquery predicates
+/// (§V-H); `[NOT] LIKE` and `IS [NOT] NULL` conjuncts into retained string
+/// and null checks.
 pub fn normalize(query: &Query, schema: &Schema) -> Result<NormQuery, RelAlgError> {
-    let query = crate::decorrelate::decorrelate(query, schema)?;
     let mut n = Normalizer::new(schema);
-    n.run(&query)
+    n.run(query)
 }
 
 struct Normalizer<'a> {
@@ -81,6 +82,49 @@ impl<'a> Normalizer<'a> {
         collect_on_conds(&raw_tree, &mut all_conds);
         let (eq_classes, preds) = pool_conditions(&all_conds);
 
+        // Pass 4b: lower retained subquery / LIKE / NULL-check predicates.
+        let scope = crate::decorrelate::OuterScope {
+            schema: self.schema,
+            by_binding: &self.by_binding,
+            occurrences: &self.occurrences,
+        };
+        let subs = crate::decorrelate::lower_subqueries(query, &scope)?;
+        let mut likes = Vec::new();
+        for l in &query.where_like {
+            let c = match &l.lhs {
+                Expr::Column(c) => c,
+                other => {
+                    return Err(RelAlgError::Unsupported(format!(
+                        "LIKE applies to a plain string column, found `{other}`"
+                    )))
+                }
+            };
+            let (attr, ty) = self.resolve_colref(c)?;
+            if ty != SqlType::Varchar {
+                return Err(RelAlgError::TypeMismatch(format!(
+                    "LIKE on non-string column `{c}`"
+                )));
+            }
+            likes.push(crate::ir::LikePred {
+                attr,
+                negated: l.negated,
+                pattern: l.pattern.clone(),
+            });
+        }
+        let mut null_checks = Vec::new();
+        for n in &query.where_null {
+            let c = match &n.lhs {
+                Expr::Column(c) => c,
+                other => {
+                    return Err(RelAlgError::Unsupported(format!(
+                        "IS [NOT] NULL applies to a plain column, found `{other}`"
+                    )))
+                }
+            };
+            let (attr, _) = self.resolve_colref(c)?;
+            null_checks.push(crate::ir::NullCheck { attr, negated: n.negated });
+        }
+
         // Pass 5: select list / aggregation.
         let select = self.resolve_select(query)?;
 
@@ -101,6 +145,9 @@ impl<'a> Normalizer<'a> {
             has_outer,
             distinct: query.distinct,
             select,
+            subs,
+            likes,
+            null_checks,
         };
         validate_full_outer_projection(&q)?;
         Ok(q)

@@ -84,6 +84,7 @@ pub mod nnf;
 pub mod problem;
 pub mod search;
 pub mod session;
+pub mod strings;
 pub mod theory;
 pub mod unfold;
 
@@ -93,4 +94,5 @@ pub use ids::{ArrayId, ArraySpec, QVarId, VarId, VarTable};
 pub use problem::{Mode, Model, Problem, SolveOutcome, SolverStats};
 pub use search::{SearchCore, CANCEL_CHECK_INTERVAL, DEFAULT_DECISION_LIMIT};
 pub use session::SolveSession;
+pub use strings::{membership_formula, LikePattern};
 pub use xdata_par::CancelToken;

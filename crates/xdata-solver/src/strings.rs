@@ -1,0 +1,196 @@
+//! String-predicate support: SQL `LIKE` patterns reduced to
+//! dictionary-membership constraints.
+//!
+//! String attributes are dictionary-coded integers (the catalog assigns
+//! each distinct string a code = its dictionary index), so a `LIKE`
+//! predicate over a *finite* dictionary is exactly a membership constraint:
+//! match the pattern against every dictionary entry once, then constrain
+//! the attribute's code to (not) lie in the matching set. This is the
+//! "string solver" a finite-domain reproduction needs — sound and complete
+//! relative to the dictionary universe, with no automata machinery.
+//!
+//! [`LikePattern`] implements full SQL semantics for `%` (any sequence)
+//! and `_` (any single character); [`membership_formula`] turns a code set
+//! into difference-logic structure (`OR` of equalities, or `AND` of
+//! disequalities for the negated form). Every formula built increments the
+//! `solver.string_constraints` counter.
+
+use crate::atom::{RelOp, Term};
+use crate::formula::Formula;
+
+/// A parsed SQL `LIKE` pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LikePattern {
+    toks: Vec<Tok>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    /// A literal character.
+    Lit(char),
+    /// `%` — any sequence of characters, including empty.
+    Any,
+    /// `_` — exactly one character.
+    One,
+}
+
+impl LikePattern {
+    /// Parse `pattern`. Every string is a valid pattern (there is no escape
+    /// syntax in the supported dialect).
+    pub fn parse(pattern: &str) -> LikePattern {
+        let mut toks = Vec::new();
+        for c in pattern.chars() {
+            match c {
+                '%' => {
+                    // Collapse runs of `%` (equivalent, and keeps the
+                    // matcher's worst case linear in the pattern).
+                    if toks.last() != Some(&Tok::Any) {
+                        toks.push(Tok::Any);
+                    }
+                }
+                '_' => toks.push(Tok::One),
+                c => toks.push(Tok::Lit(c)),
+            }
+        }
+        LikePattern { toks }
+    }
+
+    /// SQL `LIKE` match of `s` against this pattern.
+    pub fn matches(&self, s: &str) -> bool {
+        let s: Vec<char> = s.chars().collect();
+        // dp[j] = pattern prefix consumed so far can match s[..j].
+        let mut dp = vec![false; s.len() + 1];
+        dp[0] = true;
+        for t in &self.toks {
+            match t {
+                Tok::Any => {
+                    // Reachable j extends to every j' >= first reachable j.
+                    let mut reach = false;
+                    for d in dp.iter_mut() {
+                        reach |= *d;
+                        *d = reach;
+                    }
+                }
+                Tok::One => {
+                    for j in (1..=s.len()).rev() {
+                        dp[j] = dp[j - 1];
+                    }
+                    dp[0] = false;
+                }
+                Tok::Lit(c) => {
+                    for j in (1..=s.len()).rev() {
+                        dp[j] = dp[j - 1] && s[j - 1] == *c;
+                    }
+                    dp[0] = false;
+                }
+            }
+        }
+        dp[s.len()]
+    }
+
+    /// The codes (dictionary indices) of all entries matching this pattern.
+    pub fn matching_codes(&self, dictionary: &[String]) -> Vec<i64> {
+        dictionary
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| self.matches(s))
+            .map(|(i, _)| i as i64)
+            .collect()
+    }
+}
+
+/// Constrain `term` to lie in `codes` (`negated = false`) or outside it
+/// (`negated = true`). An empty positive set is `False` (no dictionary
+/// entry matches); an empty negated set is `True`.
+pub fn membership_formula(term: Term, codes: &[i64], negated: bool) -> Formula {
+    xdata_obs::counter("solver.string_constraints", 1);
+    if negated {
+        Formula::and(codes.iter().map(|&c| Formula::atom(term, RelOp::Ne, Term::Const(c))))
+    } else {
+        Formula::or(codes.iter().map(|&c| Formula::atom(term, RelOp::Eq, Term::Const(c))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, s: &str) -> bool {
+        LikePattern::parse(pat).matches(s)
+    }
+
+    #[test]
+    fn literal_patterns_match_exactly() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abcd"));
+        assert!(!m("abc", "ab"));
+        assert!(m("", ""));
+        assert!(!m("", "x"));
+    }
+
+    #[test]
+    fn percent_matches_any_run() {
+        assert!(m("a%", "a"));
+        assert!(m("a%", "abc"));
+        assert!(!m("a%", "ba"));
+        assert!(m("%c", "abc"));
+        assert!(m("%c", "c"));
+        assert!(!m("%c", "cb"));
+        assert!(m("%b%", "abc"));
+        assert!(m("%b%", "b"));
+        assert!(!m("%b%", "ac"));
+        assert!(m("%", ""));
+        assert!(m("%", "anything"));
+        assert!(m("a%c", "abbbc"));
+        assert!(m("a%c", "ac"));
+        assert!(!m("a%c", "acb"));
+    }
+
+    #[test]
+    fn underscore_matches_one_char() {
+        assert!(m("a_c", "abc"));
+        assert!(!m("a_c", "ac"));
+        assert!(!m("a_c", "abbc"));
+        assert!(m("_", "x"));
+        assert!(!m("_", ""));
+        assert!(m("_%", "x"));
+        assert!(!m("_%", ""));
+    }
+
+    #[test]
+    fn collapsed_percent_runs_equivalent() {
+        assert_eq!(LikePattern::parse("a%%b"), LikePattern::parse("a%b"));
+        assert!(m("a%%b", "axyzb"));
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert!(m("Wü%", "Wüthrich"));
+        assert!(m("_ü_", "düo"));
+    }
+
+    #[test]
+    fn matching_codes_are_dictionary_indices() {
+        let dict: Vec<String> =
+            ["Wu", "Watson", "Kim", "Wolf"].iter().map(|s| s.to_string()).collect();
+        let codes = LikePattern::parse("W%").matching_codes(&dict);
+        assert_eq!(codes, vec![0, 1, 3]);
+        let codes = LikePattern::parse("%o%").matching_codes(&dict);
+        assert_eq!(codes, vec![1, 3]);
+    }
+
+    #[test]
+    fn membership_formula_shape() {
+        let t = Term::Const(0); // shape only; any term works
+        assert_eq!(membership_formula(t, &[], false), Formula::False);
+        assert_eq!(membership_formula(t, &[], true), Formula::True);
+        match membership_formula(t, &[1, 2], false) {
+            Formula::Or(parts) => assert_eq!(parts.len(), 2),
+            f => panic!("unexpected {f:?}"),
+        }
+        match membership_formula(t, &[1, 2], true) {
+            Formula::And(parts) => assert_eq!(parts.len(), 2),
+            f => panic!("unexpected {f:?}"),
+        }
+    }
+}

@@ -54,10 +54,16 @@ pub struct Query {
     pub from: Vec<FromItem>,
     /// Conjunctive WHERE clause (assumption A5).
     pub where_clause: Vec<Condition>,
-    /// `IN (SELECT ...)` conjuncts of the WHERE clause. The paper's §V-H
-    /// handles "simple subqueries which can be decorrelated into joins";
-    /// `xdata-relalg` performs that decorrelation.
+    /// `[NOT] IN (SELECT ...)` conjuncts of the WHERE clause. The paper's
+    /// §V-H handles "simple subqueries"; `xdata-relalg` lowers them to
+    /// bounded-quantifier predicates.
     pub where_in: Vec<InPred>,
+    /// `[NOT] EXISTS (SELECT ...)` conjuncts of the WHERE clause.
+    pub where_exists: Vec<ExistsPred>,
+    /// `[NOT] LIKE` string-pattern conjuncts of the WHERE clause.
+    pub where_like: Vec<LikePred>,
+    /// `IS [NOT] NULL` conjuncts of the WHERE clause.
+    pub where_null: Vec<NullPred>,
     pub group_by: Vec<ColRef>,
     /// `HAVING` conjuncts — *constrained aggregation*, which the paper
     /// defers to future work (§II, §VII); this reproduction implements the
@@ -76,11 +82,37 @@ pub struct HavingCond {
     pub value: i64,
 }
 
-/// `lhs IN (subquery)` — a decorrelatable membership predicate.
+/// `lhs [NOT] IN (subquery)` — a membership predicate over a (possibly
+/// correlated) subquery.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InPred {
     pub lhs: Expr,
+    pub negated: bool,
     pub subquery: Box<Query>,
+}
+
+/// `[NOT] EXISTS (subquery)` — an emptiness test on a (possibly
+/// correlated) subquery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExistsPred {
+    pub negated: bool,
+    pub subquery: Box<Query>,
+}
+
+/// `lhs [NOT] LIKE 'pattern'` — a string-pattern predicate (`%` matches
+/// any run of characters, `_` matches one character).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LikePred {
+    pub lhs: Expr,
+    pub negated: bool,
+    pub pattern: String,
+}
+
+/// `lhs IS [NOT] NULL`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NullPred {
+    pub lhs: Expr,
+    pub negated: bool,
 }
 
 impl Query {
@@ -371,22 +403,44 @@ impl fmt::Display for Query {
             }
             write!(f, "{t}")?;
         }
-        if !self.where_clause.is_empty() || !self.where_in.is_empty() {
+        let has_where = !self.where_clause.is_empty()
+            || !self.where_in.is_empty()
+            || !self.where_exists.is_empty()
+            || !self.where_like.is_empty()
+            || !self.where_null.is_empty();
+        if has_where {
             f.write_str(" WHERE ")?;
             let mut first = true;
-            for c in &self.where_clause {
+            let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
                 if !first {
                     f.write_str(" AND ")?;
                 }
                 first = false;
+                Ok(())
+            };
+            for c in &self.where_clause {
+                sep(f)?;
                 write!(f, "{c}")?;
             }
+            for p in &self.where_like {
+                sep(f)?;
+                let not = if p.negated { "NOT " } else { "" };
+                write!(f, "{} {not}LIKE '{}'", p.lhs, p.pattern)?;
+            }
+            for p in &self.where_null {
+                sep(f)?;
+                let not = if p.negated { "NOT " } else { "" };
+                write!(f, "{} IS {not}NULL", p.lhs)?;
+            }
             for p in &self.where_in {
-                if !first {
-                    f.write_str(" AND ")?;
-                }
-                first = false;
-                write!(f, "{} IN ({})", p.lhs, p.subquery)?;
+                sep(f)?;
+                let not = if p.negated { "NOT " } else { "" };
+                write!(f, "{} {not}IN ({})", p.lhs, p.subquery)?;
+            }
+            for p in &self.where_exists {
+                sep(f)?;
+                let not = if p.negated { "NOT " } else { "" };
+                write!(f, "{not}EXISTS ({})", p.subquery)?;
             }
         }
         if !self.group_by.is_empty() {

@@ -13,6 +13,10 @@
 //! join_kind   := [INNER] JOIN | LEFT|RIGHT|FULL [OUTER] JOIN
 //! conj        := cond (AND cond)*
 //! cond        := expr relop expr
+//!              | expr ['NOT'] IN '(' query ')'          (WHERE only)
+//!              | ['NOT'] EXISTS '(' query ')'           (WHERE only)
+//!              | expr ['NOT'] LIKE STRING               (WHERE only)
+//!              | expr IS ['NOT'] NULL                   (WHERE only)
 //! expr        := operand (('+'|'-') INT)*
 //! operand     := col | INT | FLOAT | STRING | '-' INT
 //! col         := ident ['.' ident]
@@ -21,8 +25,8 @@
 use xdata_catalog::SqlType;
 
 use crate::ast::{
-    AggOp, AstForeignKey, ColRef, CompareOp, Condition, CreateTable, Expr, FromItem, HavingCond,
-    InPred, Insert, JoinKind, Query, SelectItem, Statement,
+    AggOp, AstForeignKey, ColRef, CompareOp, Condition, CreateTable, ExistsPred, Expr, FromItem,
+    HavingCond, InPred, Insert, JoinKind, LikePred, NullPred, Query, SelectItem, Statement,
 };
 use crate::error::{ParseError, Span};
 use crate::lexer::{lex, Tok, Token};
@@ -293,9 +297,9 @@ impl Parser {
         let select = self.select_list()?;
         self.keyword("from")?;
         let from = self.from_list()?;
-        let mut where_in = Vec::new();
+        let mut sinks = WhereSinks::default();
         let where_clause = if self.try_keyword("where") {
-            self.condition_conj_with_in(Some(&mut where_in))?
+            self.condition_conj_with_in(Some(&mut sinks))?
         } else {
             Vec::new()
         };
@@ -319,7 +323,18 @@ impl Parser {
         } else {
             Vec::new()
         };
-        Ok(Query { distinct, select, from, where_clause, where_in, group_by, having })
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_clause,
+            where_in: sinks.ins,
+            where_exists: sinks.exists,
+            where_like: sinks.likes,
+            where_null: sinks.nulls,
+            group_by,
+            having,
+        })
     }
 
     /// `AGG([DISTINCT] col | *) relop INT`.
@@ -545,17 +560,18 @@ impl Parser {
         self.condition_conj_with_in(None)
     }
 
-    /// Parse a conjunction; `IN (SELECT ...)` conjuncts are only legal when
-    /// an `ins` sink is supplied (i.e. in WHERE, not in ON).
+    /// Parse a conjunction; `[NOT] IN (SELECT ...)`, `[NOT] EXISTS`,
+    /// `[NOT] LIKE` and `IS [NOT] NULL` conjuncts are only legal when a
+    /// `sinks` target is supplied (i.e. in WHERE, not in ON).
     fn condition_conj_with_in(
         &mut self,
-        mut ins: Option<&mut Vec<InPred>>,
+        mut sinks: Option<&mut WhereSinks>,
     ) -> Result<Vec<Condition>, ParseError> {
         // The paper writes `ON (i.id = t.id)`; allow parentheses around the
         // whole conjunction (expressions themselves never start with `(`).
         if matches!(self.peek(), Tok::LParen) {
             self.advance();
-            let conds = self.condition_conj_with_in(ins.as_deref_mut())?;
+            let conds = self.condition_conj_with_in(sinks.as_deref_mut())?;
             match self.advance() {
                 Tok::RParen => return Ok(conds),
                 other => {
@@ -568,7 +584,7 @@ impl Parser {
         }
         let mut conds = Vec::new();
         loop {
-            if let Some(c) = self.condition_or_in(ins.as_deref_mut())? { conds.push(c) }
+            if let Some(c) = self.condition_or_in(sinks.as_deref_mut())? { conds.push(c) }
             if !self.try_keyword("and") {
                 break;
             }
@@ -576,46 +592,108 @@ impl Parser {
         Ok(conds)
     }
 
-    /// One conjunct: a plain comparison, or `expr IN (subquery)` pushed to
-    /// `ins` (returning `None`).
+    /// Parse a parenthesized subquery: `( SELECT ... )`.
+    fn subquery(&mut self, after: &str) -> Result<Query, ParseError> {
+        match self.advance() {
+            Tok::LParen => {}
+            other => {
+                return Err(ParseError::new(
+                    format!("expected `(` after {after}, found `{other:?}`"),
+                    self.span(),
+                ))
+            }
+        }
+        let sub = self.query()?;
+        match self.advance() {
+            Tok::RParen => {}
+            other => {
+                return Err(ParseError::new(
+                    format!("expected `)` after {after} subquery, found `{other:?}`"),
+                    self.span(),
+                ))
+            }
+        }
+        Ok(sub)
+    }
+
+    /// One conjunct: a plain comparison, or one of the WHERE-only forms
+    /// (`[NOT] IN (subquery)`, `[NOT] EXISTS (subquery)`, `[NOT] LIKE`,
+    /// `IS [NOT] NULL`) pushed to its sink (returning `None`).
     fn condition_or_in(
         &mut self,
-        ins: Option<&mut Vec<InPred>>,
+        sinks: Option<&mut WhereSinks>,
     ) -> Result<Option<Condition>, ParseError> {
+        let where_only = |this: &Parser, what: &str| {
+            ParseError::new(
+                format!("{what} is only supported in the WHERE clause"),
+                this.span(),
+            )
+        };
+        // Leading `[NOT] EXISTS (subquery)`: nothing else in the grammar
+        // starts with NOT or EXISTS.
+        if self.peek_keyword("exists") || self.peek_keyword("not") {
+            let negated = self.try_keyword("not");
+            self.keyword("exists")?;
+            let sub = self.subquery("EXISTS")?;
+            return match sinks {
+                Some(s) => {
+                    s.exists.push(ExistsPred { negated, subquery: Box::new(sub) });
+                    Ok(None)
+                }
+                None => Err(where_only(self, "EXISTS (SELECT ...)")),
+            };
+        }
         let lhs = self.expr()?;
+        // `IS [NOT] NULL`.
+        if self.peek_keyword("is") {
+            self.advance();
+            let negated = self.try_keyword("not");
+            self.keyword("null")?;
+            return match sinks {
+                Some(s) => {
+                    s.nulls.push(NullPred { lhs, negated });
+                    Ok(None)
+                }
+                None => Err(where_only(self, "IS [NOT] NULL")),
+            };
+        }
+        // `NOT` after an expression must introduce `NOT IN` or `NOT LIKE`.
+        let negated = self.try_keyword("not");
         if self.peek_keyword("in") {
             self.advance();
-            match self.advance() {
-                Tok::LParen => {}
+            let sub = self.subquery("IN")?;
+            return match sinks {
+                Some(s) => {
+                    s.ins.push(InPred { lhs, negated, subquery: Box::new(sub) });
+                    Ok(None)
+                }
+                None => Err(where_only(self, "IN (SELECT ...)")),
+            };
+        }
+        if self.peek_keyword("like") {
+            self.advance();
+            let pattern = match self.advance() {
+                Tok::Str(s) => s,
                 other => {
                     return Err(ParseError::new(
-                        format!("expected `(` after IN, found `{other:?}`"),
+                        format!("expected string pattern after LIKE, found `{other:?}`"),
                         self.span(),
                     ))
                 }
-            }
-            let sub = self.query()?;
-            match self.advance() {
-                Tok::RParen => {}
-                other => {
-                    return Err(ParseError::new(
-                        format!("expected `)` after IN subquery, found `{other:?}`"),
-                        self.span(),
-                    ))
+            };
+            return match sinks {
+                Some(s) => {
+                    s.likes.push(LikePred { lhs, negated, pattern });
+                    Ok(None)
                 }
-            }
-            match ins {
-                Some(sink) => {
-                    sink.push(InPred { lhs, subquery: Box::new(sub) });
-                    return Ok(None);
-                }
-                None => {
-                    return Err(ParseError::new(
-                        "IN (SELECT ...) is only supported in the WHERE clause",
-                        self.span(),
-                    ))
-                }
-            }
+                None => Err(where_only(self, "LIKE")),
+            };
+        }
+        if negated {
+            return Err(ParseError::new(
+                format!("expected IN or LIKE after NOT, found `{:?}`", self.peek()),
+                self.span(),
+            ));
         }
         Ok(Some(self.condition_tail(lhs)?))
     }
@@ -847,11 +925,23 @@ impl Parser {
     }
 }
 
+/// Collection points for the WHERE-only predicate forms that live outside
+/// the plain `Condition` conjunction: `[NOT] IN (subquery)`,
+/// `[NOT] EXISTS (subquery)`, `[NOT] LIKE` and `IS [NOT] NULL`.
+#[derive(Default)]
+struct WhereSinks {
+    ins: Vec<InPred>,
+    exists: Vec<ExistsPred>,
+    likes: Vec<LikePred>,
+    nulls: Vec<NullPred>,
+}
+
 /// Words that cannot be identifiers (would make the grammar ambiguous).
 const RESERVED: &[&str] = &[
     "select", "from", "where", "group", "by", "join", "inner", "left", "right", "full", "outer",
     "on", "and", "as", "create", "table", "primary", "foreign", "key", "references", "not",
     "null", "distinct", "having", "or", "order", "union", "in", "exists", "insert", "into", "values",
+    "like", "is",
 ];
 
 #[cfg(test)]
@@ -1142,5 +1232,90 @@ mod tests {
         let q = parse_query("SELECT * FROM instructor AS i, teaches t").unwrap();
         assert_eq!(q.from[0].binding(), Some("i"));
         assert_eq!(q.from[1].binding(), Some("t"));
+    }
+
+    #[test]
+    fn in_and_not_in_subqueries_parse() {
+        let q = parse_query(
+            "SELECT name FROM instructor WHERE id IN (SELECT s_id FROM advisor)",
+        )
+        .unwrap();
+        assert_eq!(q.where_in.len(), 1);
+        assert!(!q.where_in[0].negated);
+
+        let q = parse_query(
+            "SELECT name FROM instructor WHERE id NOT IN (SELECT s_id FROM advisor) \
+             AND salary > 10",
+        )
+        .unwrap();
+        assert_eq!(q.where_in.len(), 1);
+        assert!(q.where_in[0].negated);
+        assert_eq!(q.where_clause.len(), 1);
+        assert!(q.to_string().contains("NOT IN ("), "{q}");
+    }
+
+    #[test]
+    fn exists_and_not_exists_parse() {
+        let q = parse_query(
+            "SELECT i.name FROM instructor i WHERE EXISTS \
+             (SELECT s_id FROM advisor a WHERE a.i_id = i.id)",
+        )
+        .unwrap();
+        assert_eq!(q.where_exists.len(), 1);
+        assert!(!q.where_exists[0].negated);
+
+        let q = parse_query(
+            "SELECT i.name FROM instructor i WHERE i.salary > 0 AND NOT EXISTS \
+             (SELECT s_id FROM advisor a WHERE a.i_id = i.id)",
+        )
+        .unwrap();
+        assert_eq!(q.where_exists.len(), 1);
+        assert!(q.where_exists[0].negated);
+        assert!(q.to_string().contains("NOT EXISTS ("), "{q}");
+    }
+
+    #[test]
+    fn like_and_not_like_parse() {
+        let q = parse_query("SELECT name FROM instructor WHERE name LIKE 'W%'").unwrap();
+        assert_eq!(q.where_like.len(), 1);
+        assert_eq!(q.where_like[0].pattern, "W%");
+        assert!(!q.where_like[0].negated);
+
+        let q =
+            parse_query("SELECT name FROM instructor WHERE name NOT LIKE '%u' AND salary > 1")
+                .unwrap();
+        assert!(q.where_like[0].negated);
+        assert!(q.to_string().contains("NOT LIKE '%u'"), "{q}");
+        // The pattern must be a string literal.
+        assert!(parse_query("SELECT name FROM instructor WHERE name LIKE 5").is_err());
+    }
+
+    #[test]
+    fn is_null_and_is_not_null_parse() {
+        let q = parse_query("SELECT * FROM teaches WHERE id IS NULL").unwrap();
+        assert_eq!(q.where_null.len(), 1);
+        assert!(!q.where_null[0].negated);
+
+        let q = parse_query("SELECT * FROM teaches WHERE id IS NOT NULL").unwrap();
+        assert!(q.where_null[0].negated);
+        assert!(q.to_string().contains("IS NOT NULL"), "{q}");
+    }
+
+    #[test]
+    fn where_only_forms_rejected_in_on() {
+        for src in [
+            "SELECT * FROM a JOIN b ON a.x IN (SELECT x FROM c)",
+            "SELECT * FROM a JOIN b ON EXISTS (SELECT x FROM c)",
+            "SELECT * FROM a JOIN b ON a.x LIKE 'y%'",
+            "SELECT * FROM a JOIN b ON a.x IS NULL",
+        ] {
+            assert!(parse_query(src).is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn dangling_not_rejected() {
+        assert!(parse_query("SELECT * FROM a WHERE x NOT = 3").is_err());
+        assert!(parse_query("SELECT * FROM a WHERE NOT x = 3").is_err());
     }
 }

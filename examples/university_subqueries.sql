@@ -1,0 +1,19 @@
+-- Extended-class example (§V-H): the university cut with a *nullable*
+-- foreign-key column. `teaches.id` carries an explicit NULL marker, so
+-- membership subqueries linked through it plan a NULL-membership witness
+-- dataset — the dataset that exhibits the `NOT IN` three-valued-logic
+-- trap and distinguishes IN from EXISTS connectives. Used by the README
+-- walkthrough and the CI extended-class smoke leg.
+CREATE TABLE instructor (
+    id INT PRIMARY KEY,
+    name VARCHAR,
+    dept_id INT,
+    salary INT
+);
+CREATE TABLE teaches (
+    id INT NULL,
+    course_id INT,
+    sec_id INT,
+    year INT,
+    FOREIGN KEY (id) REFERENCES instructor (id)
+);

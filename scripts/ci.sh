@@ -64,7 +64,7 @@ for key in $(grep -o '`\(core\|engine\|solver\|kill\|par\|serve\)\.[a-z_.]*`' DE
         exit 1
     }
 done
-for class in join cmp agg having_cmp having_agg distinct; do
+for class in join cmp agg having_cmp having_agg distinct subquery like null_check; do
     for verdict in killed survived; do
         grep -q "\"kill.$verdict.$class\"" crates/xdata-obs/src/names.rs || {
             echo "ci: kill.$verdict.$class missing from xdata-obs names registry" >&2
@@ -100,6 +100,43 @@ if [ "$(strip_timings "$M1")" != "$(strip_timings "$M4")" ]; then
     exit 1
 fi
 echo "ci: metrics schema + determinism OK"
+
+# Extended-class smoke leg (§V-H): generate + evaluate on the nullable
+# subquery example. The suite must plan a NULL-membership witness (the
+# `NOT IN` trap dataset), kill every subquery-connective mutant, count
+# the witness in core.targets.null_witness, and stay byte-identical
+# across --jobs values.
+EQ='SELECT name FROM instructor WHERE id IN (SELECT id FROM teaches WHERE year > 2000)'
+E1=$(mktemp) && E4=$(mktemp) && EM=$(mktemp)
+trap 'rm -f "$M1" "$M4" "$E1" "$E4" "$EM"' EXIT
+./target/release/xdata generate --schema examples/university_subqueries.sql \
+    --query "$EQ" --jobs 1 --metrics-json "$EM" > "$E1"
+./target/release/xdata generate --schema examples/university_subqueries.sql \
+    --query "$EQ" --jobs 4 > "$E4"
+if ! cmp -s "$E1" "$E4"; then
+    echo "ci: extended-class suite differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+grep -q 'NULL membership witness' "$E1" || {
+    echo "ci: extended-class suite is missing the NULL membership witness dataset" >&2
+    exit 1
+}
+grep -q '"core.targets.null_witness": *[1-9]' "$EM" || {
+    echo "ci: core.targets.null_witness was not counted for the witness target" >&2
+    exit 1
+}
+EVAL_OUT=$(./target/release/xdata evaluate \
+    --schema examples/university_subqueries.sql --query "$EQ")
+echo "$EVAL_OUT" | grep -q ' 0 surviving' || {
+    echo "ci: a subquery-connective mutant survived on the extended-class example" >&2
+    echo "$EVAL_OUT" >&2
+    exit 1
+}
+echo "$EVAL_OUT" | grep -q 'subquery connective mutant' || {
+    echo "ci: evaluate produced no subquery-connective mutants" >&2
+    exit 1
+}
+echo "ci: extended-class smoke (NULL witness + kill-complete + jobs determinism) OK"
 
 # Grading leg: batch-grade the sample submission pile against the
 # reference on the shipped schema, under two thread counts and both join
@@ -159,7 +196,9 @@ H=$(mktemp)
 trap 'rm -f "$M1" "$M4" "$G1" "$G4" "$T" "$F" "$H"' EXIT
 ./target/release/xdata --help > "$H"
 if ! cmp -s "$H" scripts/cli_help.txt; then
-    echo "ci: xdata --help drifted from scripts/cli_help.txt — regenerate the snapshot" >&2
+    echo "ci: xdata --help drifted from scripts/cli_help.txt" >&2
+    echo "ci: regenerate with: ./target/release/xdata --help > scripts/cli_help.txt" >&2
+    echo "ci: (and update the README flag table if the surface changed)" >&2
     diff scripts/cli_help.txt "$H" >&2 || true
     exit 1
 fi

@@ -73,6 +73,32 @@ fn university_corpus_parity() {
     }
 }
 
+/// §V-H extended classes ride the same differential harness: membership
+/// subqueries (hash-indexed and fallback), correlated EXISTS, LIKE and
+/// NULL checks, each with its full mutant family executed both ways.
+#[test]
+fn extended_class_corpus_parity() {
+    let schema = xdata::catalog::university::schema();
+    for sql in [
+        "SELECT name FROM instructor WHERE id IN \
+         (SELECT s_id FROM advisor WHERE i_id > 3)",
+        "SELECT name FROM instructor WHERE id NOT IN \
+         (SELECT s_id FROM advisor WHERE i_id > 3)",
+        "SELECT i.name FROM instructor i WHERE EXISTS \
+         (SELECT id FROM teaches t WHERE t.id = i.id)",
+        "SELECT i.name FROM instructor i WHERE NOT EXISTS \
+         (SELECT id FROM teaches t WHERE t.id = i.id)",
+        "SELECT i.name FROM instructor i, department d \
+         WHERE i.dept_id = d.dept_id AND i.id IN \
+         (SELECT id FROM teaches t WHERE t.year > 2000)",
+        "SELECT id FROM instructor WHERE name LIKE 'Wu%'",
+        "SELECT i.id FROM instructor i, teaches t WHERE i.id = t.id AND i.name NOT LIKE '%Wu%'",
+        "SELECT id FROM instructor WHERE salary IS NOT NULL",
+    ] {
+        assert_parity(&schema, sql);
+    }
+}
+
 /// Hand-built datasets that stress hash-key edge cases the generator may
 /// not produce: NULL join keys, duplicate keys on both sides, Int/Double
 /// mixed-type key equality, and empty inputs.
@@ -127,6 +153,14 @@ fn hand_built_edge_case_parity() {
         "SELECT * FROM a, b WHERE a.id = b.id AND a.v < b.w",
         // No equality at all: the hash path must fall back per node.
         "SELECT * FROM a, b WHERE a.v < b.w",
+        // Membership over duplicate and NULL keys: one NULL member must
+        // turn NOT IN into the empty result on both strategies.
+        "SELECT * FROM a WHERE a.id IN (SELECT id FROM b WHERE b.w > 2)",
+        "SELECT * FROM a WHERE a.id NOT IN (SELECT id FROM b WHERE b.w > 2)",
+        // Correlated quantification, hash-indexable and not.
+        "SELECT * FROM a WHERE EXISTS (SELECT id FROM b WHERE b.id = a.id)",
+        "SELECT * FROM a WHERE NOT EXISTS (SELECT id FROM b WHERE b.id = a.id AND b.w > 4)",
+        "SELECT * FROM a WHERE a.id IN (SELECT id FROM b WHERE b.w > a.v)",
     ] {
         let q = normalize(&parse_query(sql).unwrap(), &schema).unwrap();
         let h = execute_query_strategy(&q, &d, &schema, JoinStrategy::Hash).unwrap();

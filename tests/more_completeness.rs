@@ -1,7 +1,8 @@
 //! Additional completeness spot-checks over query shapes not covered by
 //! `end_to_end.rs`: repeated relations (self joins), selections on both
 //! sides of a join, ON-clause outer joins mixed with WHERE selections, and
-//! decorrelated IN queries.
+//! IN-subquery membership predicates (kill-completeness for the subquery
+//! connective space itself lives in `subqueries.rs`).
 
 use xdata::catalog::{university, Dataset, Value};
 use xdata::engine::execute_query;

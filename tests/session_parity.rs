@@ -47,6 +47,42 @@ fn table1_queries() -> Vec<(String, xdata::catalog::Schema)> {
     queries
 }
 
+/// §V-H extended-class queries: membership and quantified subqueries,
+/// LIKE patterns, NULL checks — including a NULL-witness target, which
+/// needs a DDL schema whose linked column stays nullable.
+fn extended_queries() -> Vec<(String, xdata::catalog::Schema)> {
+    let strict = university::schema_with_fk_count(0);
+    let nullable = xdata::sql::parse_schema(
+        "CREATE TABLE instructor (id INT PRIMARY KEY, name VARCHAR, dept_id INT, salary INT);
+         CREATE TABLE teaches (id INT, course_id INT, sec_id INT, year INT);",
+    )
+    .unwrap();
+    vec![
+        (
+            "SELECT name FROM instructor WHERE id NOT IN \
+             (SELECT s_id FROM advisor WHERE i_id > 3)"
+                .into(),
+            strict.clone(),
+        ),
+        (
+            "SELECT i.name FROM instructor i WHERE NOT EXISTS \
+             (SELECT id FROM teaches t WHERE t.id = i.id)"
+                .into(),
+            strict.clone(),
+        ),
+        (
+            "SELECT id FROM instructor WHERE name LIKE '%Wu%' AND salary IS NOT NULL".into(),
+            strict,
+        ),
+        (
+            "SELECT name FROM instructor WHERE id IN \
+             (SELECT id FROM teaches WHERE year > 2000)"
+                .into(),
+            nullable,
+        ),
+    ]
+}
+
 fn verdicts(
     schema: &xdata::catalog::Schema,
     sql: &str,
@@ -80,6 +116,37 @@ fn three_cores_agree_on_table1_verdicts() {
             let (labels, skips) = verdicts(&schema, &sql, *core, *incremental, None);
             assert_eq!(base_labels, labels, "dataset labels differ: session vs {name}: {sql}");
             assert_eq!(base_skips, skips, "skip lists differ: session vs {name}: {sql}");
+        }
+    }
+}
+
+/// Extended-class targets (subquery distinguishers, NULL witnesses, LIKE
+/// symmetric differences) keep the three-way verdict parity, and the
+/// session core keeps byte-identical suites across `--jobs` on them.
+#[test]
+fn extended_classes_keep_core_and_jobs_parity() {
+    for (sql, schema) in extended_queries() {
+        let (base_labels, base_skips) =
+            verdicts(&schema, &sql, CONFIGS[0].1, CONFIGS[0].2, None);
+        assert!(!base_labels.is_empty(), "{sql}: no datasets at all");
+        for (name, core, incremental) in &CONFIGS[1..] {
+            let (labels, skips) = verdicts(&schema, &sql, *core, *incremental, None);
+            assert_eq!(base_labels, labels, "dataset labels differ: session vs {name}: {sql}");
+            assert_eq!(base_skips, skips, "skip lists differ: session vs {name}: {sql}");
+        }
+        let render = |jobs: usize| {
+            XData::new(schema.clone())
+                .with_jobs(jobs)
+                .with_search_core(SearchCore::Cdcl)
+                .with_incremental(true)
+                .generate_for(&sql)
+                .unwrap_or_else(|e| panic!("jobs={jobs} {sql}: {e}"))
+                .suite
+                .to_string()
+        };
+        let base = render(1);
+        for jobs in [2, 4] {
+            assert_eq!(base, render(jobs), "suite bytes differ at jobs={jobs}: {sql}");
         }
     }
 }

@@ -1,84 +1,259 @@
-//! §V-H subquery decorrelation, end to end: `IN (SELECT ...)` queries are
-//! rewritten into joins and then go through the full generate/mutate/kill
-//! pipeline.
+//! §V-H extended query classes, end to end: `[NOT] IN` / `[NOT] EXISTS`
+//! subqueries, `LIKE` patterns and `IS [NOT] NULL` checks flow through the
+//! full generate/mutate/kill pipeline, and each family's datasets kill
+//! **every** non-equivalent mutant of that family.
 
-use xdata::catalog::{university, Dataset, Value};
+use xdata::catalog::{university, Dataset, Schema, Value};
 use xdata::engine::execute_query;
 use xdata::relalg::mutation::MutationOptions;
-use xdata::relalg::normalize;
-use xdata::sql::parse_query;
+use xdata::relalg::{normalize, Mutant};
+use xdata::sql::{parse_query, parse_schema};
 use xdata::XData;
 
-fn db() -> Dataset {
-    let mut d = Dataset::new();
-    for (id, name, dept, sal) in
-        [(1, "A", 1, 100), (2, "B", 1, 50), (3, "C", 2, 100)]
-    {
-        d.push(
-            "instructor",
-            vec![Value::Int(id), Value::Str(name.into()), Value::Int(dept), Value::Int(sal)],
-        );
+/// Evaluate `sql` and assert that no mutant matched by `class` survives.
+fn assert_class_complete(schema: &Schema, sql: &str, class: fn(&Mutant) -> bool) {
+    let xdata = XData::new(schema.clone());
+    let (run, space, report) =
+        xdata.evaluate(sql, MutationOptions::default()).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    let mutants: Vec<Mutant> = space.iter().collect();
+    assert!(mutants.iter().any(class), "`{sql}` produced no mutants of the asserted class");
+    let surviving: Vec<String> = report
+        .surviving()
+        .map(|i| &mutants[i])
+        .filter(|m| class(m))
+        .map(|m| m.describe(&run.query))
+        .collect();
+    assert!(surviving.is_empty(), "`{sql}` survivors: {surviving:?}\n{}", run.suite);
+    for d in &run.suite.datasets {
+        assert!(d.dataset.integrity_violations(schema).is_empty(), "{}", d.dataset);
     }
-    d.push("advisor", vec![Value::Int(10), Value::Int(1)]);
-    d.push("advisor", vec![Value::Int(11), Value::Int(3)]);
-    d
 }
 
-/// The decorrelated IN computes the same result as the hand-written join.
+fn is_sub(m: &Mutant) -> bool {
+    matches!(m, Mutant::Sub(_))
+}
+
+fn is_like(m: &Mutant) -> bool {
+    matches!(m, Mutant::Like(_))
+}
+
+fn is_null_check(m: &Mutant) -> bool {
+    matches!(m, Mutant::NullCheck(_))
+}
+
+/// A schema in the `examples/university_subqueries.sql` mould: DDL columns
+/// without `NOT NULL` stay nullable, so NULL-witness targets plan.
+fn nullable_schema() -> Schema {
+    parse_schema(
+        "CREATE TABLE instructor (
+             id INT PRIMARY KEY,
+             name VARCHAR,
+             dept_id INT,
+             salary INT
+         );
+         CREATE TABLE teaches (
+             id INT,
+             course_id INT,
+             sec_id INT,
+             year INT
+         );",
+    )
+    .unwrap()
+}
+
+// ----- execution semantics ----------------------------------------------
+
+/// Membership is evaluated as membership (not a join merge): one outer row
+/// appears at most once however many subquery rows match, and non-PK
+/// membership columns are accepted.
 #[test]
-fn in_query_equals_manual_join_semantics() {
+fn in_is_duplicate_safe_without_pk_side_condition() {
     let schema = university::schema_with_fk_count(0);
-    let q_in = normalize(
+    // advisor.i_id is NOT a primary key; the old join rewrite had to
+    // reject this, membership semantics accept it.
+    let q = normalize(
         &parse_query(
             "SELECT name FROM instructor WHERE id IN \
              (SELECT i_id FROM advisor WHERE s_id > 10)",
         )
         .unwrap(),
         &schema,
-    );
-    // advisor.i_id is not a PK: must be rejected (duplicate-unsafe).
-    assert!(q_in.is_err());
+    )
+    .unwrap();
+    let mut d = Dataset::new();
+    d.push("instructor", vec![Value::Int(7), Value::Str("A".into()), Value::Int(1), Value::Int(1)]);
+    d.push("instructor", vec![Value::Int(9), Value::Str("B".into()), Value::Int(1), Value::Int(1)]);
+    // Two advisor rows point at instructor 7: membership must still yield
+    // the row once.
+    d.push("advisor", vec![Value::Int(11), Value::Int(7)]);
+    d.push("advisor", vec![Value::Int(12), Value::Int(7)]);
+    let r = execute_query(&q, &d, &schema).unwrap();
+    assert_eq!(r.rows(), &[vec![Value::Str("A".into())]]);
+}
 
-    // advisor.s_id IS the PK; membership over it is safe.
-    let q_in = normalize(
+/// The SQL `NOT IN` NULL trap: one NULL member empties the whole result.
+#[test]
+fn not_in_with_null_member_returns_nothing() {
+    let schema = nullable_schema();
+    let q = normalize(
         &parse_query(
-            "SELECT name FROM instructor WHERE id IN \
-             (SELECT s_id FROM advisor WHERE i_id > 0)",
+            "SELECT name FROM instructor WHERE dept_id NOT IN \
+             (SELECT dept_id FROM teaches WHERE year = 2009)",
+        )
+        .unwrap(),
+        &schema,
+    );
+    // teaches has no dept_id column — use course_id instead.
+    assert!(q.is_err());
+    let q = normalize(
+        &parse_query(
+            "SELECT name FROM instructor WHERE salary NOT IN \
+             (SELECT course_id FROM teaches WHERE year = 2009)",
         )
         .unwrap(),
         &schema,
     )
     .unwrap();
     let mut d = Dataset::new();
-    d.push("instructor", vec![Value::Int(10), Value::Str("A".into()), Value::Int(1), Value::Int(1)]);
-    d.push("instructor", vec![Value::Int(99), Value::Str("B".into()), Value::Int(1), Value::Int(1)]);
-    d.push("advisor", vec![Value::Int(10), Value::Int(7)]);
-    let r = execute_query(&q_in, &d, &schema).unwrap();
-    assert_eq!(r.rows(), &[vec![Value::Str("A".into())]]);
+    d.push("instructor", vec![Value::Int(1), Value::Str("A".into()), Value::Int(1), Value::Int(5)]);
+    d.push("teaches", vec![Value::Int(1), Value::Null, Value::Int(1), Value::Int(2009)]);
+    let r = execute_query(&q, &d, &schema).unwrap();
+    assert!(r.is_empty(), "NOT IN over a NULL member must be UNKNOWN: {r:?}");
 }
 
-/// Membership semantics: one outer row appears at most once even when the
-/// subquery has selections.
+// ----- kill completeness per family -------------------------------------
+
+/// Subquery-connective mutants: positive and negative `IN`, correlated
+/// `EXISTS` and `NOT EXISTS` — each suite kills its full connective space.
 #[test]
-fn in_is_duplicate_safe() {
+fn subquery_connective_mutants_all_killed() {
     let schema = university::schema_with_fk_count(0);
-    let q = normalize(
+    for sql in [
+        "SELECT name FROM instructor WHERE id IN \
+         (SELECT s_id FROM advisor WHERE i_id > 3)",
+        "SELECT name FROM instructor WHERE id NOT IN \
+         (SELECT s_id FROM advisor WHERE i_id > 3)",
+        "SELECT i.name FROM instructor i WHERE EXISTS \
+         (SELECT id FROM teaches t WHERE t.id = i.id)",
+        "SELECT i.name FROM instructor i WHERE NOT EXISTS \
+         (SELECT id FROM teaches t WHERE t.id = i.id)",
+    ] {
+        assert_class_complete(&schema, sql, is_sub);
+    }
+}
+
+/// The connective space stays fully killed when the subquery rides along
+/// with a join and a selection.
+#[test]
+fn subquery_composed_with_join_mutants_all_killed() {
+    let schema = university::schema_with_fk_count(0);
+    assert_class_complete(
+        &schema,
+        "SELECT i.name FROM instructor i, department d \
+         WHERE i.dept_id = d.dept_id AND i.salary > 100 AND i.id IN \
+         (SELECT id FROM teaches t WHERE t.year > 2000)",
+        is_sub,
+    );
+}
+
+/// With a nullable linked column the NULL-membership witness dataset
+/// plans, carries an actual NULL in that column, and the connective space
+/// is still fully killed.
+#[test]
+fn null_witness_dataset_exhibits_the_not_in_trap() {
+    let schema = nullable_schema();
+    let sql = "SELECT name FROM instructor WHERE id IN \
+               (SELECT id FROM teaches WHERE year > 2000)";
+    assert_class_complete(&schema, sql, is_sub);
+    let run = XData::new(schema.clone()).generate_for(sql).unwrap();
+    let witness = run
+        .suite
+        .datasets
+        .iter()
+        .find(|d| d.label.contains("NULL membership witness"))
+        .unwrap_or_else(|| panic!("no NULL witness dataset:\n{}", run.suite));
+    let has_null_member = witness
+        .dataset
+        .relation("teaches")
+        .map(|rows| rows.iter().any(|t| t[0] == Value::Null))
+        .unwrap_or(false);
+    assert!(has_null_member, "witness lacks a NULL in the linked column:\n{}", witness.dataset);
+}
+
+/// The NULL witness of a *negated* IN catches the classic NULL-blind
+/// rewrite: `NOT EXISTS (... t.id = i.id ...)` agrees with `NOT IN` on
+/// every NULL-free dataset, so only the witness can fail the candidate.
+#[test]
+fn negated_null_witness_catches_not_exists_rewrite() {
+    let schema = nullable_schema();
+    let reference = "SELECT name FROM instructor WHERE id NOT IN \
+                     (SELECT id FROM teaches WHERE year > 2000)";
+    assert_class_complete(&schema, reference, is_sub);
+    let run = XData::new(schema.clone()).generate_for(reference).unwrap();
+    let rewrite = normalize(
         &parse_query(
-            "SELECT name FROM instructor WHERE dept_id IN \
-             (SELECT dept_id FROM department WHERE budget > 0)",
+            "SELECT i.name FROM instructor i WHERE NOT EXISTS \
+             (SELECT id FROM teaches t WHERE t.id = i.id AND t.year > 2000)",
         )
         .unwrap(),
         &schema,
     )
     .unwrap();
-    let mut d = db();
-    d.push("department", vec![Value::Int(1), Value::Str("CS".into()), Value::Str("T".into()), Value::Int(5)]);
-    let r = execute_query(&q, &d, &schema).unwrap();
-    // Exactly the two dept-1 instructors, once each.
-    assert_eq!(r.len(), 2);
+    let reference_q = &run.query;
+    let mut caught_by = Vec::new();
+    for d in &run.suite.datasets {
+        let a = execute_query(reference_q, &d.dataset, &schema).unwrap();
+        let b = execute_query(&rewrite, &d.dataset, &schema).unwrap();
+        if a != b {
+            caught_by.push(d.label.clone());
+        }
+    }
+    assert!(
+        caught_by.iter().any(|l| l.contains("NULL membership witness")),
+        "the NULL witness must expose the NULL-blind rewrite; caught by {caught_by:?}\n{}",
+        run.suite
+    );
 }
 
-/// Full pipeline: generation + kill checking on an IN query.
+/// LIKE-pattern mutants: the `{core, core%, %core, %core%}` family is
+/// killed from every starting shape, negated included.
+#[test]
+fn like_pattern_mutants_all_killed() {
+    let schema = university::schema_with_fk_count(0);
+    for sql in [
+        "SELECT id FROM instructor WHERE name LIKE 'Wu'",
+        "SELECT id FROM instructor WHERE name LIKE 'Wu%'",
+        "SELECT id FROM instructor WHERE name LIKE '%Wu'",
+        "SELECT id FROM instructor WHERE name LIKE '%Wu%'",
+        "SELECT id FROM instructor WHERE name NOT LIKE '%Wu%'",
+        "SELECT i.id FROM instructor i, teaches t WHERE i.id = t.id AND i.name LIKE 'Ko%'",
+    ] {
+        assert_class_complete(&schema, sql, is_like);
+    }
+}
+
+/// NULL-check mutants: the polarity flip dies on nullable columns (a NULL
+/// is constructible) and on non-nullable ones (the original side is then
+/// the witness).
+#[test]
+fn null_check_mutants_all_killed() {
+    let nullable = nullable_schema();
+    for sql in [
+        "SELECT id FROM instructor WHERE salary IS NULL",
+        "SELECT id FROM instructor WHERE salary IS NOT NULL",
+        "SELECT id FROM instructor WHERE salary IS NOT NULL AND dept_id > 2",
+    ] {
+        assert_class_complete(&nullable, sql, is_null_check);
+    }
+    // university::schema marks every column NOT NULL: `IS NOT NULL` is
+    // always true, its flip always false — the original dataset kills it.
+    let strict = university::schema_with_fk_count(0);
+    assert_class_complete(&strict, "SELECT id FROM instructor WHERE salary IS NOT NULL", is_null_check);
+}
+
+/// Full pipeline sanity on an IN query: suite non-empty, mutants killable,
+/// datasets valid — the spirit of the original decorrelation test, kept
+/// under membership semantics.
 #[test]
 fn in_query_generates_killing_suite() {
     let schema = university::schema_with_fk_count(0);
@@ -96,28 +271,4 @@ fn in_query_generates_killing_suite() {
     for d in &run.suite.datasets {
         assert!(d.dataset.integrity_violations(&schema).is_empty());
     }
-}
-
-/// The membership column of the rewrite participates in equivalence
-/// classes, so join-type mutants of the implicit semijoin exist and die.
-#[test]
-fn in_rewrite_exposes_join_mutants() {
-    let schema = university::schema_with_fk_count(0);
-    let xdata = XData::new(schema.clone());
-    let (run, space, report) = xdata
-        .evaluate(
-            "SELECT name FROM instructor WHERE id IN (SELECT s_id FROM advisor)",
-            MutationOptions::default(),
-        )
-        .unwrap();
-    assert!(!space.join.is_empty(), "semijoin rewrite must expose join mutants");
-    // Both nullification directions are possible without FKs, so the
-    // left/right outer mutants of the rewrite die.
-    let killed_join = space
-        .join
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| report.killed_by[*i].is_some())
-        .count();
-    assert!(killed_join >= 2, "{}", run.suite);
 }
